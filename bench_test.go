@@ -1,0 +1,330 @@
+package psoram
+
+// The benchmark harness: one benchmark per table and figure of the
+// paper, plus per-access microbenchmarks and the ablations DESIGN.md
+// calls out. `go test -bench . -benchmem` runs everything at a reduced
+// scale; cmd/psoram-bench prints the full tables.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/oram"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// benchOptions keeps per-iteration experiment cost manageable.
+func benchOptions() report.Options {
+	o := report.Default()
+	o.Accesses = 400
+	o.Levels = 10
+	o.Workloads = trace.Table4()[:3]
+	return o
+}
+
+// --- Tables ---
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if report.Table1().String() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if report.Table2().String() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// --- Figures ---
+
+func BenchmarkFigure5a(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.Figure5a(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure5b(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.Figure5b(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure6a(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.Figure6(false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure6b(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.Figure6(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.Figure7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkORAMCost(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.ORAMCost(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCrashMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := report.CrashMatrix(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Per-access microbenchmarks: the functional controller ---
+
+func benchStoreAccess(b *testing.B, scheme Scheme) {
+	cfg := config.Default()
+	cfg.StashEntries = 150
+	s, err := NewStore(StoreOptions{Scheme: scheme, NumBlocks: 256, Config: &cfg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, s.BlockSize())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint64(i % 256)
+		if i%2 == 0 {
+			if err := s.Write(addr, buf); err != nil {
+				b.Fatal(err)
+			}
+		} else if _, err := s.Read(addr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAccessBaseline(b *testing.B)    { benchStoreAccess(b, Baseline) }
+func BenchmarkAccessPSORAM(b *testing.B)      { benchStoreAccess(b, PSORAM) }
+func BenchmarkAccessNaivePSORAM(b *testing.B) { benchStoreAccess(b, NaivePSORAM) }
+func BenchmarkAccessRcrPSORAM(b *testing.B)   { benchStoreAccess(b, RcrPSORAM) }
+
+// BenchmarkAccessRingPS measures the Ring ORAM extension's per-access
+// cost in crash-consistent mode.
+func BenchmarkAccessRingPS(b *testing.B) {
+	s, err := NewRingStore(RingStoreOptions{NumBlocks: 256, Persist: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, s.BlockSize())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint64(i % 256)
+		if i%2 == 0 {
+			if err := s.Write(addr, buf); err != nil {
+				b.Fatal(err)
+			}
+		} else if _, err := s.Read(addr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Per-access microbenchmarks: the timing simulator ---
+
+func benchSimAccess(b *testing.B, scheme Scheme) {
+	cfg := config.Default()
+	sys, err := sim.NewSystem(scheme, cfg, 14)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Serve(uint64(i)*2654435761, i%3 == 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimBaseline(b *testing.B) { benchSimAccess(b, Baseline) }
+func BenchmarkSimPSORAM(b *testing.B)   { benchSimAccess(b, PSORAM) }
+func BenchmarkSimRcrPSORAM(b *testing.B) {
+	benchSimAccess(b, RcrPSORAM)
+}
+
+// --- Ablations (DESIGN.md §6) ---
+
+// BenchmarkAblationWPQ compares the one-batch eviction (96-entry WPQs)
+// against the ordered multi-batch eviction (4-entry WPQs). The report
+// output is the simulated slowdown; the benchmark measures harness cost.
+func BenchmarkAblationWPQ(b *testing.B) {
+	for _, entries := range []int{4, 16, 96} {
+		entries := entries
+		b.Run(fmt.Sprintf("wpq%d", entries), func(b *testing.B) {
+			cfg := config.Default()
+			cfg.StashEntries = 150
+			cfg.DataWPQEntries = entries
+			cfg.PosMapWPQEntries = entries
+			ctl, err := core.New(config.SchemePSORAM, cfg, core.Options{NumBlocks: 256, Levels: 7})
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf := make([]byte, cfg.BlockBytes)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ctl.Access(oram.OpWrite, oram.Addr(i%256), buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(ctl.Now())/float64(ctl.Accesses()), "simcycles/access")
+		})
+	}
+}
+
+// BenchmarkAblationZ sweeps the bucket size: larger Z shortens the tree
+// but widens every path.
+func BenchmarkAblationZ(b *testing.B) {
+	for _, z := range []int{2, 4, 8} {
+		z := z
+		b.Run(fmt.Sprintf("z%d", z), func(b *testing.B) {
+			cfg := config.Default()
+			cfg.Z = z
+			cfg.StashEntries = 400
+			w, _ := trace.ByName("464.h264ref")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(config.SchemePSORAM, cfg, w, 300, 12)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Cycles)/float64(res.Accesses), "simcycles/access")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDirtyTracking is the paper's PS-ORAM vs Naïve
+// comparison at several tree heights: the benefit of tracking dirty
+// PosMap entries grows with L (the Naïve scheme flushes Z*(L+1) entries
+// per access).
+func BenchmarkAblationDirtyTracking(b *testing.B) {
+	for _, levels := range []int{10, 14, 18} {
+		levels := levels
+		for _, scheme := range []config.Scheme{config.SchemePSORAM, config.SchemeNaivePSORAM} {
+			scheme := scheme
+			b.Run(fmt.Sprintf("L%d/%v", levels, scheme), func(b *testing.B) {
+				cfg := config.Default()
+				w, _ := trace.ByName("464.h264ref")
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := sim.Run(scheme, cfg, w, 300, levels)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(res.Cycles)/float64(res.Accesses), "simcycles/access")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationChannels sweeps memory channels for PS-ORAM.
+func BenchmarkAblationChannels(b *testing.B) {
+	for _, ch := range []int{1, 2, 4} {
+		ch := ch
+		b.Run(fmt.Sprintf("ch%d", ch), func(b *testing.B) {
+			cfg := config.Default()
+			cfg.Channels = ch
+			w, _ := trace.ByName("401.bzip2")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(config.SchemePSORAM, cfg, w, 300, 14)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Cycles)/float64(res.Accesses), "simcycles/access")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTreeTopCache sweeps the §4.5 hybrid-memory extension:
+// top-K tree levels mirrored in DRAM (write-through, crash-safe).
+func BenchmarkAblationTreeTopCache(b *testing.B) {
+	for _, k := range []int{0, 4, 8} {
+		k := k
+		b.Run(fmt.Sprintf("top%d", k), func(b *testing.B) {
+			cfg := config.Default()
+			cfg.TreeTopCacheLevels = k
+			w, _ := trace.ByName("464.h264ref")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(config.SchemePSORAM, cfg, w, 300, 14)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Cycles)/float64(res.Accesses), "simcycles/access")
+			}
+		})
+	}
+}
+
+// BenchmarkCrashRecoverySweep measures the crash-inject/recover/verify
+// loop itself.
+func BenchmarkCrashRecoverySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := VerifyCrashConsistency(PSORAM, 30, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Consistent != res.Fired {
+			b.Fatalf("PS-ORAM inconsistent: %d/%d", res.Consistent, res.Fired)
+		}
+	}
+}
+
+// BenchmarkAccessPSORAMIntegrity prices the Merkle verification and
+// crash-consistent root update per access.
+func BenchmarkAccessPSORAMIntegrity(b *testing.B) {
+	cfg := config.Default()
+	cfg.StashEntries = 150
+	cfg.Integrity = true
+	ctl, err := core.New(config.SchemePSORAM, cfg, core.Options{NumBlocks: 256, Levels: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, cfg.BlockBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctl.Access(oram.OpWrite, oram.Addr(i%256), buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Command psoram-bench regenerates the paper's tables and figures and
+// prints them as text tables (the rows/series of Figures 5-7 and Tables
+// 1-2, plus the crash-recoverability matrix and the §5.1 ORAM-cost
+// study).
+//
+// Usage:
+//
+//	psoram-bench                      # every experiment, quick scale
+//	psoram-bench -exp fig5a           # one experiment
+//	psoram-bench -accesses 20000 -levels 20   # closer to paper scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment to run: "+strings.Join(psoram.Experiments(), ", ")+", or all")
+		accesses = flag.Int("accesses", 3000, "LLC misses per (workload, scheme) run")
+		levels   = flag.Int("levels", 16, "ORAM tree height L (paper: 23)")
+	)
+	flag.Parse()
+
+	o := psoram.DefaultExperimentOptions()
+	o.Accesses = *accesses
+	o.Levels = *levels
+
+	names := psoram.Experiments()
+	if *exp != "all" {
+		names = []string{*exp}
+	}
+	for _, name := range names {
+		start := time.Now()
+		out, err := psoram.RunExperiment(name, o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "psoram-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("==> %s (%.1fs)\n%s\n", name, time.Since(start).Seconds(), out)
+	}
+}

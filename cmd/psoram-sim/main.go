@@ -1,0 +1,89 @@
+// Command psoram-sim runs the full-system timing simulation for one
+// (scheme, workload, channel-count) combination and prints its metrics.
+//
+// Usage:
+//
+//	psoram-sim -scheme PS-ORAM -workload 401.bzip2 -accesses 5000 -channels 1 -levels 16
+//	psoram-sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/config"
+)
+
+func main() {
+	var (
+		schemeName = flag.String("scheme", "PS-ORAM", "scheme to simulate (see -list)")
+		workload   = flag.String("workload", "401.bzip2", "Table 4 workload name (see -list)")
+		accesses   = flag.Int("accesses", 5000, "LLC misses to simulate")
+		channels   = flag.Int("channels", 1, "memory channels (1, 2 or 4)")
+		levels     = flag.Int("levels", 16, "ORAM tree height L (paper: 23)")
+		traceFile  = flag.String("trace", "", "replay a psoram-trace file instead of the synthetic workload")
+		list       = flag.Bool("list", false, "list schemes and workloads, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Schemes:")
+		for _, s := range psoram.Schemes() {
+			fmt.Printf("  %s\n", s)
+		}
+		fmt.Println("Workloads (Table 4):")
+		for _, w := range psoram.Workloads() {
+			fmt.Printf("  %s\n", w)
+		}
+		return
+	}
+
+	scheme, ok := schemeByName(*schemeName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "psoram-sim: unknown scheme %q (try -list)\n", *schemeName)
+		os.Exit(1)
+	}
+	cfg := psoram.DefaultConfig()
+	cfg.Channels = *channels
+	var (
+		res psoram.SimResult
+		err error
+	)
+	if *traceFile != "" {
+		res, err = psoram.SimulateTrace(scheme, cfg, *traceFile, *levels)
+	} else {
+		res, err = psoram.Simulate(scheme, cfg, *workload, *accesses, *levels)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "psoram-sim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("scheme:          %s\n", scheme)
+	fmt.Printf("workload:        %s\n", res.Workload)
+	fmt.Printf("accesses:        %d\n", res.Accesses)
+	fmt.Printf("instructions:    %d\n", res.Instrs)
+	fmt.Printf("cycles:          %d\n", res.Cycles)
+	fmt.Printf("cycles/access:   %.0f\n", float64(res.Cycles)/float64(res.Accesses))
+	fmt.Printf("NVM reads:       %d (%.1f/access)\n", res.Reads, float64(res.Reads)/float64(res.Accesses))
+	fmt.Printf("NVM writes:      %d (%.1f/access)\n", res.Writes, float64(res.Writes)/float64(res.Accesses))
+	fmt.Printf("bytes read:      %d\n", res.BytesRead)
+	fmt.Printf("bytes written:   %d\n", res.BytesWritten)
+	fmt.Printf("NVM energy:      %.3f uJ\n", float64(res.EnergyPJ)/1e6)
+	fmt.Printf("dirty entries:   %d (%.2f/access)\n", res.DirtyEntries, float64(res.DirtyEntries)/float64(res.Accesses))
+	if res.ChainBlocks > 0 {
+		fmt.Printf("posmap chain:    %d blocks (%.1f/access)\n", res.ChainBlocks, float64(res.ChainBlocks)/float64(res.Accesses))
+	}
+	fmt.Printf("pending peak:    %d (C_TPos budget: %d)\n", res.PendingPeak, cfg.TempPosMapSize)
+	fmt.Printf("wear imbalance:  %.2fx (max/min bank writes)\n", res.WearImbalance)
+}
+
+func schemeByName(name string) (psoram.Scheme, bool) {
+	for _, s := range config.Schemes() {
+		if s.String() == name {
+			return s, true
+		}
+	}
+	return 0, false
+}

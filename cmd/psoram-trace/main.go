@@ -1,0 +1,92 @@
+// Command psoram-trace generates and inspects workload trace files in
+// the repository's binary trace format.
+//
+// Usage:
+//
+//	psoram-trace gen -workload 429.mcf -n 100000 -o mcf.psot
+//	psoram-trace info mcf.psot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		gen(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  psoram-trace gen -workload <name> -n <records> [-seed N] -o <file>
+  psoram-trace info <file>`)
+	os.Exit(1)
+}
+
+func gen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	workload := fs.String("workload", "401.bzip2", "Table 4 workload name")
+	n := fs.Int("n", 100000, "records to generate")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	out := fs.String("o", "", "output file (required)")
+	_ = fs.Parse(args)
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "psoram-trace: -o is required")
+		os.Exit(1)
+	}
+	w, err := trace.ByName(*workload)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "psoram-trace: %v\n", err)
+		os.Exit(1)
+	}
+	recs := trace.NewGenerator(w, *seed, 0).Generate(*n)
+	if err := trace.Save(*out, recs); err != nil {
+		fmt.Fprintf(os.Stderr, "psoram-trace: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d records of %s (measured MPKI %.2f, target %.2f) to %s\n",
+		len(recs), w.Name, trace.MeasuredMPKI(recs), w.MPKI, *out)
+}
+
+func info(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	recs, err := trace.Load(args[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "psoram-trace: %v\n", err)
+		os.Exit(1)
+	}
+	var writes, instr uint64
+	distinct := make(map[uint64]bool)
+	var maxAddr uint64
+	for _, r := range recs {
+		if r.Write {
+			writes++
+		}
+		instr += r.InstrGap
+		distinct[r.Addr] = true
+		if r.Addr > maxAddr {
+			maxAddr = r.Addr
+		}
+	}
+	fmt.Printf("records:        %d\n", len(recs))
+	fmt.Printf("instructions:   %d\n", instr)
+	fmt.Printf("MPKI:           %.2f\n", trace.MeasuredMPKI(recs))
+	fmt.Printf("write fraction: %.3f\n", float64(writes)/float64(len(recs)))
+	fmt.Printf("distinct addrs: %d\n", len(distinct))
+	fmt.Printf("max addr:       %d\n", maxAddr)
+}

@@ -1,0 +1,100 @@
+// Crashlab mechanizes the paper's §3.3 case studies: it crashes the
+// baseline (non-persistent) ORAM and PS-ORAM at the same protocol points
+// and shows, value by value, that the baseline loses data while PS-ORAM
+// recovers every durable write.
+//
+//	go run ./examples/crashlab
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	fmt.Println("=== The paper's Section 3.3 case studies, mechanized ===")
+	fmt.Println()
+	cases := []struct {
+		name  string
+		step  int
+		sub   int
+		story string
+	}{
+		{"Case 1", 3, 2, "crash during step 3 (path load): the PosMap was remapped, the stash is mid-fill"},
+		{"Case 2", 4, -1, "crash at step 4 (stash update): path loaded, nothing written back yet"},
+		{"Case 3", 5, 7, "crash during step 5 (path write-back): the eviction is half-done"},
+		{"between", 6, -1, "crash after the access completes, before the next one"},
+	}
+	for _, c := range cases {
+		fmt.Printf("--- %s: %s\n", c.name, c.story)
+		for _, scheme := range []psoram.Scheme{psoram.Baseline, psoram.PSORAM} {
+			lost, total := runCase(scheme, c.step, c.sub)
+			verdict := "all blocks recovered consistently"
+			if lost > 0 {
+				verdict = fmt.Sprintf("%d of %d blocks LOST or stale", lost, total)
+			}
+			fmt.Printf("    %-10v -> %s\n", scheme, verdict)
+		}
+		fmt.Println()
+	}
+	fmt.Println("PS-ORAM's temporary PosMap defers metadata commits, its backup")
+	fmt.Println("blocks keep a reachable copy of every accessed block, and the")
+	fmt.Println("WPQ batch makes data+metadata write-back atomic — so every case")
+	fmt.Println("recovers. The baseline has none of that, and corrupts.")
+}
+
+// runCase writes versioned values, crashes at the chosen point of a
+// mid-run access, recovers, and counts blocks whose recovered value is
+// not the latest durable one.
+func runCase(scheme psoram.Scheme, step, sub int) (lost, total int) {
+	const blocks = 64
+	store, err := psoram.NewStore(psoram.StoreOptions{
+		Scheme:    scheme,
+		NumBlocks: blocks,
+		Seed:      7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Track what became durable (the store reports durability events).
+	durable := make(map[uint64][]byte)
+	store.OnDurable(func(addr uint64, value []byte) { durable[addr] = value })
+
+	// Arm the crash for access #20 at the chosen protocol point.
+	store.CrashAt(func(p psoram.CrashPoint) bool {
+		return p.Access == 20 && p.Step == step && (sub == -1 || p.Sub == sub)
+	})
+
+	version := 0
+	for i := 0; i < 40; i++ {
+		addr := uint64((i * 13) % blocks)
+		version++
+		data := make([]byte, store.BlockSize())
+		copy(data, fmt.Sprintf("a%d v%d", addr, version))
+		err := store.Write(addr, data)
+		if err == psoram.ErrCrashed {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	store.CrashAt(nil)
+	if err := store.Recover(); err != nil {
+		log.Fatal(err)
+	}
+	// Check every address against its latest durable value.
+	for a := uint64(0); a < blocks; a++ {
+		want := durable[a]
+		if want == nil {
+			want = make([]byte, store.BlockSize())
+		}
+		got, err := store.Read(a)
+		if err != nil || string(got) != string(want) {
+			lost++
+		}
+	}
+	return lost, blocks
+}

@@ -1,0 +1,116 @@
+// Ringdemo compares the two tree ORAMs side by side: Path ORAM reads
+// and rewrites Z·(L+1) blocks per access, Ring ORAM reads one block per
+// bucket and amortizes its write-backs — and with the repository's
+// Ring-PS extension both are crash consistent.
+//
+//	go run ./examples/ringdemo
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	const blocks = 500
+	path, err := psoram.NewStore(psoram.StoreOptions{Scheme: psoram.PSORAM, NumBlocks: blocks})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ring, err := psoram.NewRingStore(psoram.RingStoreOptions{NumBlocks: blocks, Persist: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Identical workload on both.
+	const n = 300
+	runPath := func() (reads, writes float64) {
+		for i := 0; i < n; i++ {
+			addr := uint64(i*37) % blocks
+			if i%2 == 0 {
+				data := make([]byte, path.BlockSize())
+				copy(data, fmt.Sprintf("v%d", i))
+				if err := path.Write(addr, data); err != nil {
+					log.Fatal(err)
+				}
+			} else if _, err := path.Read(addr); err != nil {
+				log.Fatal(err)
+			}
+		}
+		c := path.Counters()
+		return float64(c["nvm.reads"]) / n, float64(c["nvm.writes"]) / n
+	}
+	runRing := func() (reads, writes float64) {
+		for i := 0; i < n; i++ {
+			addr := uint64(i*37) % blocks
+			if i%2 == 0 {
+				data := make([]byte, ring.BlockSize())
+				copy(data, fmt.Sprintf("v%d", i))
+				if err := ring.Write(addr, data); err != nil {
+					log.Fatal(err)
+				}
+			} else if _, err := ring.Read(addr); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return float64(ring.Counter("nvm.reads")) / n, float64(ring.Counter("nvm.writes")) / n
+	}
+	pr, pw := runPath()
+	rr, rw := runRing()
+
+	fmt.Println("== Path ORAM (PS-ORAM) vs Ring ORAM (Ring-PS) on the same workload ==")
+	fmt.Printf("Path ORAM:  %5.1f NVM reads/access, %5.1f writes/access (full path both ways)\n", pr, pw)
+	fmt.Printf("Ring ORAM:  %5.1f NVM reads/access, %5.1f writes/access (one block per bucket,\n", rr, rw)
+	fmt.Printf("            write-backs amortized: %d scheduled evictions, %d early reshuffles,\n",
+		ring.Counter("ring.evictions"), ring.Counter("ring.early_reshuffles"))
+	fmt.Printf("            %d journal appends over %d accesses)\n",
+		ring.Counter("ring.journal_appends"), ring.Accesses())
+	fmt.Println()
+
+	// Crash both mid-run; both recover their durable state.
+	pdata := make([]byte, path.BlockSize())
+	copy(pdata, "path durable")
+	rdata := make([]byte, ring.BlockSize())
+	copy(rdata, "ring durable")
+	if err := path.Write(11, pdata); err != nil {
+		log.Fatal(err)
+	}
+	if err := ring.Write(11, rdata); err != nil {
+		log.Fatal(err)
+	}
+	if err := path.CrashNow(); err != nil {
+		log.Fatal(err)
+	}
+	ring.CrashNow()
+	if err := path.Recover(); err != nil {
+		log.Fatal(err)
+	}
+	if err := ring.Recover(); err != nil {
+		log.Fatal(err)
+	}
+	pv, err := path.Read(11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rv, err := ring.Read(11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== after simultaneous power failure and recovery ==")
+	fmt.Printf("Path ORAM block 11: %q\n", trim(pv))
+	fmt.Printf("Ring ORAM block 11: %q\n", trim(rv))
+	fmt.Println("\nPS-ORAM's principles — deferred metadata commits, bounded persistent")
+	fmt.Println("state, atomic WPQ batches — carry over to Ring ORAM's asymmetric")
+	fmt.Println("schedule via the stash journal. \"General ORAM protocols\", demonstrated.")
+}
+
+func trim(b []byte) string {
+	for i, c := range b {
+		if c == 0 {
+			return string(b[:i])
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,92 @@
+package psoram
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// FuzzStoreOps drives the PS-ORAM store with arbitrary operation
+// sequences (reads, writes, crashes, recoveries) decoded from the fuzz
+// input and checks it against a reference map plus the durability
+// oracle. The protocol must never corrupt, whatever the interleaving.
+func FuzzStoreOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte{10, 200, 10, 200, 255, 0, 0, 255})
+	f.Add(bytes.Repeat([]byte{7, 77, 177}, 20))
+
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 120 {
+			ops = ops[:120]
+		}
+		cfg := DefaultConfig()
+		cfg.StashEntries = 150
+		cfg.TempPosMapSize = 16
+		cfg.WriteBufferEntries = 16
+		s, err := NewStore(StoreOptions{Scheme: PSORAM, NumBlocks: 64, Config: &cfg, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		durable := make(map[uint64][]byte)
+		for a := uint64(0); a < 64; a++ {
+			durable[a] = make([]byte, 64)
+		}
+		s.OnDurable(func(addr uint64, v []byte) { durable[addr] = v })
+
+		working := make(map[uint64][]byte) // latest acknowledged values
+		for a, v := range durable {
+			working[a] = v
+		}
+		crashed := false
+		version := 0
+		for i, op := range ops {
+			addr := uint64(op) % 64
+			switch {
+			case crashed:
+				if err := s.Recover(); err != nil {
+					t.Fatalf("op %d: recover: %v", i, err)
+				}
+				crashed = false
+				// After recovery the durable state is the truth.
+				for a := uint64(0); a < 64; a++ {
+					working[a] = durable[a]
+				}
+			case op%7 == 6:
+				if err := s.CrashNow(); err != nil {
+					t.Fatalf("op %d: crash: %v", i, err)
+				}
+				crashed = true
+			case op%2 == 0:
+				version++
+				data := make([]byte, 64)
+				copy(data, fmt.Sprintf("a%d.v%d", addr, version))
+				if err := s.Write(addr, data); err != nil {
+					t.Fatalf("op %d: write: %v", i, err)
+				}
+				working[addr] = data
+			default:
+				got, err := s.Read(addr)
+				if err != nil {
+					t.Fatalf("op %d: read: %v", i, err)
+				}
+				if !bytes.Equal(got, working[addr]) {
+					t.Fatalf("op %d: addr %d = %.12q want %.12q", i, addr, got, working[addr])
+				}
+			}
+		}
+		if crashed {
+			if err := s.Recover(); err != nil {
+				t.Fatalf("final recover: %v", err)
+			}
+			for a := uint64(0); a < 64; a++ {
+				got, err := s.Read(a)
+				if err != nil {
+					t.Fatalf("final read %d: %v", a, err)
+				}
+				if !bytes.Equal(got, durable[a]) {
+					t.Fatalf("final: addr %d = %.12q, durable %.12q", a, got, durable[a])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,546 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/config"
+	"repro/internal/integrity"
+	"repro/internal/mem"
+	"repro/internal/nvm"
+	"repro/internal/oram"
+)
+
+// Result reports what one access did, for the timing and traffic layers.
+type Result struct {
+	Value      []byte    // value read (OpRead) or previous value (OpWrite)
+	Start, End mem.Cycle // access latency window in core cycles
+	PathLeaf   oram.Leaf
+	// DirtyEntries is the number of PosMap entries persisted this access.
+	DirtyEntries int
+	// EvictedBlocks is the number of real blocks (incl. backups) written.
+	EvictedBlocks int
+	// ChainBlocks is the recursive PosMap path work (Rcr-* schemes).
+	ChainBlocks int
+}
+
+// Access performs one ORAM access under the controller's scheme. The
+// returned error is ErrCrashed when the injected crash fired; the caller
+// then owns calling Recover and (if desired) retrying the access.
+func (c *Controller) Access(op oram.Op, addr oram.Addr, data []byte) (Result, error) {
+	if c.crashed {
+		return Result{}, fmt.Errorf("core: access after crash without Recover")
+	}
+	if uint64(addr) >= c.ORAM.NumBlocks() {
+		return Result{}, fmt.Errorf("core: access to addr %d outside [0,%d)", addr, c.ORAM.NumBlocks())
+	}
+	if op == oram.OpWrite && len(data) != c.Cfg.BlockBytes {
+		return Result{}, fmt.Errorf("core: write of %d bytes, block size %d", len(data), c.Cfg.BlockBytes)
+	}
+	var (
+		res Result
+		err error
+	)
+	switch c.Scheme {
+	case config.SchemeRcrBaseline, config.SchemeRcrPSORAM:
+		res, err = c.accessRecursive(op, addr, data)
+	default:
+		res, err = c.accessFlat(op, addr, data)
+	}
+	if err != nil {
+		return res, err
+	}
+	c.accessN++
+	c.counters.Inc("oram.accesses")
+	return res, nil
+}
+
+// accessFlat runs the 5-step protocol for the non-recursive schemes.
+func (c *Controller) accessFlat(op oram.Op, addr oram.Addr, data []byte) (Result, error) {
+	start := c.now
+	persistent := c.Scheme == config.SchemeNaivePSORAM || c.Scheme == config.SchemePSORAM
+
+	// Make room in the temporary PosMap before remapping a new address
+	// (the controller drains the oldest pending block with a background
+	// eviction access, §4.2.3 discussion).
+	if persistent {
+		if _, pending := c.Temp.Lookup(addr); !pending {
+			for c.Temp.Full() {
+				if err := c.drainOldestPending(); err != nil {
+					return Result{}, err
+				}
+			}
+		}
+	}
+
+	// -- Step 1: check stash (the path access proceeds either way; a hit
+	// only means the value is served from the stash copy).
+	c.epoch++
+
+	// -- Step 2: access PosMap, draw the new leaf, back up the label.
+	l := c.currentLeaf(addr)
+	lNew := c.ORAM.RandomLeaf()
+	var remapSeq uint64
+	switch {
+	case persistent:
+		// PS-ORAM: the fresh label goes to the *temporary* PosMap; the
+		// durable PosMap is untouched until the block's eviction commits.
+		remapSeq = c.Temp.Set(addr, lNew)
+	case c.Scheme == config.SchemeFullNVM || c.Scheme == config.SchemeFullNVMSTT:
+		// FullNVM: the on-chip PosMap is NVM — the update is durable the
+		// moment it is written (and that is exactly the atomicity bug:
+		// the paper's Case 1b).
+		c.ORAM.PosMap.Set(addr, lNew)
+		c.durable.Set(addr, lNew)
+		c.timeOnChipNVM(nvm.Read) // lookup
+		c.timeOnChipNVM(nvm.Write)
+	default:
+		// Baseline / eADR: volatile working map.
+		c.ORAM.PosMap.Set(addr, lNew)
+		c.inflight.active = true
+		c.inflight.addr = addr
+		c.inflight.oldLeaf = l
+	}
+	if c.maybeCrash(2, -1) {
+		return Result{}, ErrCrashed
+	}
+
+	// -- Step 3: load path l.
+	loaded, loadDone, err := c.loadPathTimed(l, addr, start)
+	if err != nil {
+		return Result{}, err
+	}
+	c.markOrigin(loaded)
+	c.now = maxCycle(c.now, loadDone) + mem.Cycle(c.ORAM.Engine.DecryptLatency(len(loaded)))
+
+	// Serve the request from the stash.
+	blk := c.ORAM.Stash.Get(addr)
+	if blk == nil {
+		return Result{}, fmt.Errorf("core: block %d not found on path %d nor in stash (corrupt state)", addr, l)
+	}
+	prev := append([]byte(nil), blk.Data...)
+	if op == oram.OpWrite {
+		copy(blk.Data, data)
+		blk.Dirty = true
+	}
+
+	// -- Step 4: update stash and back up the data block. From here the
+	// stash copy carries the new leaf, so the remap is no longer
+	// cancellable (eADR's drain now preserves stash + map coherently).
+	blk.Leaf = lNew
+	c.inflight.active = false
+	if persistent {
+		blk.PendingRemap = true
+		blk.RemapSeq = remapSeq
+		bak := &oram.StashBlock{
+			Addr:       addr,
+			Leaf:       lNew,
+			Data:       append([]byte(nil), blk.Data...),
+			Backup:     true,
+			BackupLeaf: l,
+		}
+		if blk.OriginEpoch == c.epoch {
+			// The backup replaces the target's just-consumed copy: give
+			// it the same slot so the ordered eviction stays cycle-free.
+			bak.OriginEpoch = c.epoch
+			bak.OriginBucket = blk.OriginBucket
+			bak.OriginSlot = blk.OriginSlot
+		}
+		c.ORAM.Stash.PutBackup(bak)
+		c.counters.Inc("psoram.backups")
+	}
+	if c.maybeCrash(4, -1) {
+		return Result{}, ErrCrashed
+	}
+
+	// -- Step 5: evict path l.
+	evicted, dirty, err := c.evictTimed(l)
+	if err != nil {
+		return Result{}, err
+	}
+	if c.ORAM.Stash.Overflowed() {
+		return Result{}, fmt.Errorf("core: stash overflow (%d > %d)", c.ORAM.Stash.Len(), c.ORAM.Stash.Capacity())
+	}
+	if c.maybeCrash(6, -1) {
+		return Result{}, ErrCrashed
+	}
+	return Result{
+		Value:         prev,
+		Start:         start,
+		End:           c.now,
+		PathLeaf:      l,
+		DirtyEntries:  dirty,
+		EvictedBlocks: evicted,
+	}, nil
+}
+
+// markOrigin tags freshly loaded blocks with the current epoch so the
+// evictor knows which blocks MUST return to this path.
+func (c *Controller) markOrigin(loaded []*oram.StashBlock) {
+	for _, b := range loaded {
+		b.OriginEpoch = c.epoch
+	}
+}
+
+// loadPathTimed reads the path both functionally (into the stash) and on
+// the device model. target is the in-flight address whose header still
+// carries the pre-remap leaf (relevant to FullNVM, which remaps before
+// the load). Crash points fire after each bucket.
+func (c *Controller) loadPathTimed(l oram.Leaf, target oram.Addr, earliest mem.Cycle) ([]*oram.StashBlock, mem.Cycle, error) {
+	oracle := func(a oram.Addr) oram.Leaf {
+		if a == target {
+			return l
+		}
+		return c.currentLeaf(a)
+	}
+	c.endangered = nil
+	// Integrity: verify the path against the trusted root before any of
+	// it is consumed. The sibling hashes come from NVM (one per level).
+	if c.Merkle != nil {
+		for _, bucket := range c.ORAM.Tree.Path(l) {
+			c.Mem.ReadBytes(c.Mem.PosMapLocation((1<<23)+bucket), earliest, integrity.HashSize)
+		}
+		if err := c.Merkle.VerifyPath(l, c.bucketSlots); err != nil {
+			return nil, 0, err
+		}
+		c.counters.Inc("integrity.verified_paths")
+	}
+	// Timing: all Z slots of each bucket, buckets issue in parallel
+	// across banks/channels.
+	var done mem.Cycle
+	path := c.ORAM.Tree.Path(l)
+	var loaded []*oram.StashBlock
+	for i, bucket := range path {
+		for z := 0; z < c.Cfg.Z; z++ {
+			loc := c.Mem.TreeBlockLocation(bucket, z)
+			if d := c.Mem.ReadBlock(loc, earliest); d > done {
+				done = d
+			}
+		}
+		// Functional load of this bucket.
+		got, err := c.loadBucket(bucket, oracle)
+		if err != nil {
+			return nil, 0, err
+		}
+		loaded = append(loaded, got...)
+		if c.onchipNVM != nil {
+			// FullNVM: each fetched block is written into the NVM stash.
+			for range got {
+				c.timeOnChipNVM(nvm.Write)
+			}
+		}
+		if c.maybeCrash(3, i) {
+			return nil, 0, ErrCrashed
+		}
+	}
+	return loaded, done, nil
+}
+
+// loadBucket is the functional half of loading one bucket.
+func (c *Controller) loadBucket(bucket uint64, oracle func(oram.Addr) oram.Leaf) ([]*oram.StashBlock, error) {
+	blocks, err := c.ORAM.Image.ReadBucket(c.ORAM.Engine, bucket)
+	if err != nil {
+		return nil, err
+	}
+	var loaded []*oram.StashBlock
+	for z, b := range blocks {
+		if b.Dummy() {
+			continue
+		}
+		if uint64(b.Addr) >= c.ORAM.NumBlocks() {
+			return nil, fmt.Errorf("core: tree contains out-of-range addr %d", b.Addr)
+		}
+		// A copy on this path whose header leaf matches the *durable*
+		// PosMap while a fresher pending copy sits in the stash is the
+		// block's durable continuation (typically a backup from an
+		// earlier access). Overwriting the path destroys it, so record
+		// it: the eviction will write a replacement backup.
+		if c.wpqPersistent() {
+			if sb := c.ORAM.Stash.Get(b.Addr); sb != nil && sb.PendingRemap &&
+				c.durable.Lookup(b.Addr) == b.Leaf {
+				if c.endangered == nil {
+					c.endangered = make(map[oram.Addr]endangeredCopy)
+				}
+				c.endangered[b.Addr] = endangeredCopy{leaf: b.Leaf, bucket: bucket, slot: z}
+			}
+		}
+		if oracle(b.Addr) != b.Leaf {
+			continue // stale copy (superseded backup): reads as dummy
+		}
+		if existing := c.ORAM.Stash.Get(b.Addr); existing != nil {
+			// A copy resident from an earlier access is always fresher.
+			// Between copies loaded this access (leaf collision between
+			// a block and its backup), the higher seal version wins.
+			if existing.OriginEpoch == c.epoch && b.Ver > existing.Ver {
+				existing.Ver = b.Ver
+				existing.Data = b.Data
+			}
+			continue
+		}
+		sb := &oram.StashBlock{
+			Addr: b.Addr, Leaf: b.Leaf, Ver: b.Ver, Data: b.Data,
+			OriginBucket: bucket, OriginSlot: z,
+		}
+		c.ORAM.Stash.Put(sb)
+		loaded = append(loaded, sb)
+	}
+	return loaded, nil
+}
+
+// timeOnChipNVM schedules one op on the FullNVM on-chip device and
+// advances the time cursor (on-chip structure accesses serialize with
+// the protocol).
+func (c *Controller) timeOnChipNVM(op nvm.Op) {
+	if c.onchipNVM == nil {
+		return
+	}
+	ratio := mem.Cycle(c.Cfg.CoreCyclesPerNVMCycle())
+	comp := c.onchipNVM.Schedule(op, int(c.now)%c.onchipNVM.Banks(), int64(c.now>>6), nvm.Cycle(c.now/ratio))
+	c.now = mem.Cycle(comp.Done) * ratio
+	c.counters.Inc("onchip.nvm.ops")
+}
+
+// evictionOrder builds the crash-consistent candidate order:
+//  1. backups and clean path-origin blocks (they must return to this
+//     path or a partial write-back strands them — Fig. 3; the remapped
+//     target is exempt because its backup is its durable continuation),
+//     deepest target first;
+//  2. blocks with pending temporary-PosMap entries, oldest first (their
+//     metadata can only become durable by evicting them);
+//  3. everything else, deepest first.
+func (c *Controller) evictionOrder(l oram.Leaf) []*oram.StashBlock {
+	if !c.wpqPersistent() {
+		// Non-persistent schemes have no crash-consistency obligations:
+		// plain greedy Path ORAM eviction.
+		return c.ORAM.DefaultEvictionOrder(l)
+	}
+	t := c.ORAM.Tree
+	var must, pending, rest []*oram.StashBlock
+	for _, b := range c.ORAM.Stash.Backups() {
+		must = append(must, b)
+	}
+	for _, b := range c.ORAM.Stash.Live() {
+		switch {
+		case b.OriginEpoch == c.epoch && c.epoch != 0 && !b.PendingRemap:
+			must = append(must, b)
+		case b.PendingRemap:
+			pending = append(pending, b)
+		default:
+			rest = append(rest, b)
+		}
+	}
+	depth := func(b *oram.StashBlock) int { return t.IntersectLevel(l, b.TargetLeaf()) }
+	sort.Slice(must, func(i, j int) bool {
+		if d1, d2 := depth(must[i]), depth(must[j]); d1 != d2 {
+			return d1 > d2
+		}
+		return must[i].Addr < must[j].Addr
+	})
+	sort.Slice(pending, func(i, j int) bool { return pending[i].RemapSeq < pending[j].RemapSeq })
+	sort.Slice(rest, func(i, j int) bool {
+		if d1, d2 := depth(rest[i]), depth(rest[j]); d1 != d2 {
+			return d1 > d2
+		}
+		return rest[i].Addr < rest[j].Addr
+	})
+	return append(append(must, pending...), rest...)
+}
+
+// evictTimed runs step 5 for the flat schemes, dispatching on the
+// persistence mode. Returns (#real blocks written, #posmap entries
+// persisted).
+func (c *Controller) evictTimed(l oram.Leaf) (int, int, error) {
+	// Replace endangered durable continuations: each gets a fresh backup
+	// sealed under its durable leaf, written back with this path (legal:
+	// the destroyed copy sat on this path at a level both paths share).
+	for addr, cp := range c.endangered {
+		sb := c.ORAM.Stash.Get(addr)
+		if sb == nil {
+			continue // evicted meanwhile; its entry merge will cover it
+		}
+		dup := false
+		for _, b := range c.ORAM.Stash.Backups() {
+			if b.Addr == addr && b.BackupLeaf == cp.leaf {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		c.ORAM.Stash.PutBackup(&oram.StashBlock{
+			Addr:       addr,
+			Leaf:       sb.Leaf,
+			Data:       append([]byte(nil), sb.Data...),
+			Backup:     true,
+			BackupLeaf: cp.leaf,
+			// Replace the endangered copy in place.
+			OriginEpoch:  c.epoch,
+			OriginBucket: cp.bucket,
+			OriginSlot:   cp.slot,
+		})
+		c.counters.Inc("psoram.rescue_backups")
+	}
+	c.endangered = nil
+
+	smallWPQ := c.ORAM.Tree.PathBlocks() > c.Cfg.DataWPQEntries ||
+		(c.Scheme == config.SchemeNaivePSORAM && c.ORAM.Tree.PathBlocks() > c.Cfg.PosMapWPQEntries)
+	var plan [][]*oram.StashBlock
+	var unplaced []*oram.StashBlock
+	if c.wpqPersistent() && smallWPQ {
+		// Ordered multi-batch mode: identity placement kills the
+		// displacement cycles that small WPQs cannot commit atomically.
+		plan, unplaced = c.planIdentity(l)
+	} else {
+		plan, unplaced = c.ORAM.PlanEviction(l, c.evictionOrder(l))
+	}
+	// Crash-consistency check: every must-evict candidate placed
+	// (persistent schemes only; the baselines tolerate lingering).
+	if c.wpqPersistent() {
+		for _, b := range unplaced {
+			if b.Backup || (b.OriginEpoch == c.epoch && c.epoch != 0 && !b.PendingRemap) {
+				return 0, 0, fmt.Errorf("core: must-evict block %d did not fit path %d", b.Addr, l)
+			}
+		}
+	}
+	c.now += mem.Cycle(c.ORAM.Engine.EncryptLatency(c.ORAM.Tree.PathBlocks()))
+
+	switch c.Scheme {
+	case config.SchemeNaivePSORAM, config.SchemePSORAM:
+		return c.evictPersistent(l, plan)
+	default:
+		return c.evictPosted(l, plan)
+	}
+}
+
+// planIdentity builds an eviction plan for the ordered small-WPQ mode:
+// clean path-origin blocks return to their exact original slots (no
+// displacement, hence no write-order cycles); backups, pending blocks,
+// and any other stash blocks fill the remaining slots greedily.
+func (c *Controller) planIdentity(l oram.Leaf) ([][]*oram.StashBlock, []*oram.StashBlock) {
+	t := c.ORAM.Tree
+	path := t.Path(l)
+	levelOf := make(map[uint64]int, len(path))
+	for k, b := range path {
+		levelOf[b] = k
+	}
+	plan := make([][]*oram.StashBlock, t.L+1)
+	for k := range plan {
+		plan[k] = make([]*oram.StashBlock, t.Z)
+	}
+	var movers []*oram.StashBlock
+	// Identity placement for backups that replace a known slot (the
+	// consumed target copy or an endangered rescue): a backup written to
+	// the very slot it replaces is its own continuation — no write-order
+	// edge at all.
+	var looseBackups []*oram.StashBlock
+	for _, b := range c.ORAM.Stash.Backups() {
+		if b.OriginEpoch == c.epoch && c.epoch != 0 {
+			k, ok := levelOf[b.OriginBucket]
+			if ok && b.OriginSlot < t.Z && plan[k][b.OriginSlot] == nil {
+				plan[k][b.OriginSlot] = b
+				continue
+			}
+		}
+		looseBackups = append(looseBackups, b)
+	}
+	for _, b := range c.ORAM.Stash.Live() {
+		if b.OriginEpoch == c.epoch && c.epoch != 0 && !b.PendingRemap {
+			k, ok := levelOf[b.OriginBucket]
+			if ok && b.OriginSlot < t.Z && plan[k][b.OriginSlot] == nil {
+				plan[k][b.OriginSlot] = b
+				continue
+			}
+		}
+		movers = append(movers, b)
+	}
+	// Remaining backups first (must evict), then pending by age, then
+	// the rest.
+	order := make([]*oram.StashBlock, 0, len(movers)+len(looseBackups))
+	order = append(order, looseBackups...)
+	sort.Slice(movers, func(i, j int) bool {
+		a, b := movers[i], movers[j]
+		if a.PendingRemap != b.PendingRemap {
+			return a.PendingRemap
+		}
+		if a.PendingRemap && a.RemapSeq != b.RemapSeq {
+			return a.RemapSeq < b.RemapSeq
+		}
+		return a.Addr < b.Addr
+	})
+	order = append(order, movers...)
+	var unplaced []*oram.StashBlock
+	for _, b := range order {
+		deepest := t.IntersectLevel(l, b.TargetLeaf())
+		placed := false
+		for k := deepest; k >= 0 && !placed; k-- {
+			for z := 0; z < t.Z; z++ {
+				if plan[k][z] == nil {
+					plan[k][z] = b
+					placed = true
+					break
+				}
+			}
+		}
+		if !placed {
+			unplaced = append(unplaced, b)
+		}
+	}
+	return plan, unplaced
+}
+
+// evictPosted writes the plan through the volatile write buffer
+// (Baseline, FullNVM, eADR): fast, coalesced, and lost on crash before
+// completion.
+func (c *Controller) evictPosted(l oram.Leaf, plan [][]*oram.StashBlock) (int, int, error) {
+	img := c.ORAM.Image
+	proceed := c.now
+	slotIdx := 0
+	crashedMid := false
+	real := c.ORAM.ApplyEviction(l, plan, func(bucket uint64, z int, s oram.Slot, b *oram.StashBlock) {
+		if crashedMid {
+			return
+		}
+		loc := c.Mem.TreeBlockLocation(bucket, z)
+		p := c.Mem.WriteBlockPosted(loc, c.now, func() func() {
+			return img.SetSlot(bucket, z, s)
+		})
+		if p > proceed {
+			proceed = p
+		}
+		if c.onchipNVM != nil && b != nil {
+			c.timeOnChipNVM(nvm.Read) // read the block out of the NVM stash
+		}
+		crashedMid = c.maybeCrash(5, slotIdx)
+		slotIdx++
+	})
+	if crashedMid {
+		return 0, 0, ErrCrashed
+	}
+	c.now = proceed
+	// Volatile PosMap schemes persist nothing here. The durable events of
+	// the always-durable schemes (FullNVM: NVM stash; eADR: flush-on-
+	// crash) are emitted at access end by the caller via markDurable —
+	// see accessEndDurability.
+	c.accessEndDurability(plan)
+	return real, 0, nil
+}
+
+// accessEndDurability emits durability events for schemes whose stash
+// survives power failure (FullNVM, eADR): once the access completes, the
+// target's value is durable wherever it sits.
+func (c *Controller) accessEndDurability(plan [][]*oram.StashBlock) {
+	switch c.Scheme {
+	case config.SchemeFullNVM, config.SchemeFullNVMSTT, config.SchemeEADRORAM:
+		for _, row := range plan {
+			for _, b := range row {
+				if b != nil && !b.Backup {
+					c.markDurable(b.Addr, b.Data)
+				}
+			}
+		}
+		for _, b := range c.ORAM.Stash.Live() {
+			c.markDurable(b.Addr, b.Data)
+		}
+	}
+}

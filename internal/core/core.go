@@ -1,0 +1,396 @@
+// Package core implements the paper's primary contribution: the PS-ORAM
+// controller — a Path ORAM controller extended with a temporary PosMap,
+// backup blocks, and atomic WPQ write-backs so that ORAM accesses to NVM
+// are crash consistent (§4 of the paper).
+//
+// The same controller also runs the comparison protocols of §5.1
+// (Baseline, FullNVM, FullNVM(STT), Naïve-PS-ORAM, Rcr-Baseline,
+// Rcr-PS-ORAM, eADR-ORAM), selected by config.Scheme, so every evaluated
+// system shares one code path and differs only in its persistence rules.
+//
+// Two coupled aspects are simulated together:
+//
+//   - function: blocks move exactly as the protocol dictates, over real
+//     AES-CTR sealed data, so a crash at any protocol point followed by
+//     recovery can be checked value-by-value;
+//   - timing: every NVM command is scheduled on internal/mem's device
+//     model, so the same run yields execution cycles and traffic.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/integrity"
+	"repro/internal/mem"
+	"repro/internal/nvm"
+	"repro/internal/oram"
+	"repro/internal/stats"
+)
+
+// CrashPoint identifies a protocol point at which a crash can be
+// injected. Step numbering follows §2.2.2/§4.2.1; Sub indexes repeated
+// sub-steps (buckets loaded in step 3, slots written in step 5).
+type CrashPoint struct {
+	Access uint64 // which access (0-based) is in flight
+	Step   int    // 2..6; 6 = access complete (crash between accesses)
+	Sub    int    // sub-step index within the step, -1 if n/a
+}
+
+func (p CrashPoint) String() string {
+	return fmt.Sprintf("access %d step %d.%d", p.Access, p.Step, p.Sub)
+}
+
+// ErrCrashed is returned by Access when the injected crash fired; the
+// controller is then in the post-power-failure state and Recover must be
+// called before further use.
+var ErrCrashed = errors.New("core: simulated power failure")
+
+// Controller is the crash-consistent ORAM controller.
+type Controller struct {
+	Scheme config.Scheme
+	Cfg    config.Config
+
+	ORAM *oram.Controller // stash, tree image, engine, working PosMap
+	Mem  *mem.Controller  // NVM timing + durability
+
+	// durable is the NVM ground truth of the position map: what recovery
+	// reads. For PS-ORAM it is only mutated through committed WPQ
+	// batches; for FullNVM it is mutated synchronously at step 2; for
+	// Baseline it is never mutated (the paper's Case 1a).
+	durable *oram.PosMap
+	// Temp is the temporary PosMap (PS-ORAM §4.1).
+	Temp *oram.TempPosMap
+	// Rec is the recursive PosMap hierarchy (Rcr-* schemes).
+	Rec *oram.RecursiveMap
+	// durableTop is the NVM copy of the on-chip Top map of the recursive
+	// hierarchy; Rcr-PS-ORAM updates it through committed batches,
+	// Rcr-Baseline never does (its Top updates are volatile).
+	durableTop *oram.PosMap
+
+	// onchipNVM models the stash/PosMap built from NVM in the FullNVM
+	// schemes; nil otherwise.
+	onchipNVM *nvm.Device
+
+	// Merkle is the integrity tree (cfg.Integrity); nil when disabled.
+	Merkle *integrity.Tree
+
+	// now is the advancing time cursor in core cycles.
+	now mem.Cycle
+
+	// accessN counts completed accesses.
+	accessN uint64
+	// remapEpoch tags path-origin blocks per access.
+	epoch uint64
+
+	counters stats.Counters
+
+	// endangered records, per access, pending-remap blocks whose durable
+	// continuation copy (a backup or live block reachable from the
+	// durable PosMap) lies on the path about to be overwritten. The
+	// eviction must re-emit a backup for each of them, or a crash after
+	// this access would strand the block (its durable leaf would point
+	// at an overwritten slot). The slot location lets the replacement
+	// backup take the destroyed copy's exact slot.
+	endangered map[oram.Addr]endangeredCopy
+
+	// inflight tracks the uncommitted remap of the access in progress
+	// (between step 2 and step 4). eADR's power-fail drain cancels it:
+	// the preserved stash/PosMap must describe a consistent state, and
+	// before step 4 the target still lives under its old leaf.
+	inflight struct {
+		active  bool
+		addr    oram.Addr
+		oldLeaf oram.Leaf
+	}
+
+	// CrashAt, when non-nil, is consulted at every crash point; returning
+	// true triggers the simulated power failure there.
+	CrashAt func(CrashPoint) bool
+	// OnDurable, when non-nil, observes every (addr, value) that becomes
+	// durable — reachable from the durable PosMap in NVM. The crash
+	// checker uses it as its oracle.
+	OnDurable func(addr oram.Addr, value []byte)
+
+	crashed bool
+}
+
+// Options tunes construction beyond the scheme and config.
+type Options struct {
+	// NumBlocks overrides the logical block count (the full Table 3 tree
+	// is too large for functional simulation; tests use small trees).
+	NumBlocks uint64
+	// Levels overrides the tree height. Zero derives it from NumBlocks.
+	Levels int
+}
+
+// New builds a controller for the scheme. cfg supplies Z, stash size,
+// WPQ sizes, NVM timing, etc.; opts scales the tree.
+func New(scheme config.Scheme, cfg config.Config, opts Options) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.NumBlocks == 0 {
+		return nil, fmt.Errorf("core: Options.NumBlocks is required (functional trees are sized explicitly)")
+	}
+	levels := opts.Levels
+	if levels == 0 {
+		levels = cfg.TreeLevelsFor(opts.NumBlocks)
+		if levels < 2 {
+			levels = 2
+		}
+	}
+	stash := cfg.StashEntries
+	path := oram.NewTree(levels, cfg.Z).PathBlocks()
+	if stash <= path {
+		stash = path * 3
+	}
+	oc, err := oram.New(oram.Params{
+		Levels:       levels,
+		Z:            cfg.Z,
+		BlockBytes:   cfg.BlockBytes,
+		StashEntries: stash,
+		NumBlocks:    opts.NumBlocks,
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		Scheme:  scheme,
+		Cfg:     cfg,
+		ORAM:    oc,
+		Mem:     mem.New(cfg),
+		durable: oc.PosMap.Clone(),
+		Temp:    oram.NewTempPosMap(cfg.TempPosMapSize),
+	}
+	switch scheme {
+	case config.SchemeFullNVM:
+		c.onchipNVM = nvm.NewDevice(config.PCM(), 8, cfg.BlockBytes)
+	case config.SchemeFullNVMSTT:
+		c.onchipNVM = nvm.NewDevice(config.STTRAM(), 8, cfg.BlockBytes)
+	case config.SchemeRcrBaseline, config.SchemeRcrPSORAM:
+		perBlock := cfg.BlockBytes / 4
+		if perBlock > 16 {
+			perBlock = 16
+		}
+		rec, err := oram.NewRecursiveMap(oram.RecursiveParams{
+			DataBlocks:      opts.NumBlocks,
+			DataTree:        oc.Tree,
+			BlockBytes:      cfg.BlockBytes,
+			EntriesPerBlock: perBlock,
+			OnChipEntries:   uint64(cfg.OnChipPosMapBytes / 4 / 64), // scaled-down on-chip budget
+			StashEntries:    stash,
+			Seed:            cfg.Seed + 7,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := rec.SyncLevel1(oc.PosMap); err != nil {
+			return nil, err
+		}
+		if len(rec.Levels) == 0 {
+			// Degenerate recursion (the whole map fits on chip): the Top
+			// map must BE the data ORAM's map, not an independent one.
+			rec.Top = oc.PosMap
+		}
+		c.Rec = rec
+		c.durableTop = rec.Top.Clone()
+	}
+	if cfg.Integrity {
+		if !c.wpqPersistent() {
+			return nil, fmt.Errorf("core: integrity requires a WPQ-persistent scheme (got %v): the hash and root updates need atomic batches", scheme)
+		}
+		path := c.ORAM.Tree.PathBlocks()
+		if path > cfg.DataWPQEntries {
+			return nil, fmt.Errorf("core: integrity needs the full path (%d blocks) in one batch; DataWPQEntries=%d", path, cfg.DataWPQEntries)
+		}
+		// The hash updates (L+2 entries) plus any posmap entries must fit
+		// the PosMap WPQ in one batch too.
+		posDemand := c.ORAM.Tree.Levels() + 2
+		if scheme == config.SchemeNaivePSORAM {
+			posDemand += path
+		}
+		if posDemand > cfg.PosMapWPQEntries {
+			return nil, fmt.Errorf("core: integrity needs %d PosMap WPQ entries per batch; have %d", posDemand, cfg.PosMapWPQEntries)
+		}
+		c.Merkle = integrity.New(c.ORAM.Tree, c.bucketSlots)
+	}
+	return c, nil
+}
+
+// bucketSlots reads a bucket's sealed slots from the image (the Merkle
+// tree's view of NVM).
+func (c *Controller) bucketSlots(bucket uint64) []oram.Slot {
+	out := make([]oram.Slot, c.ORAM.Tree.Z)
+	for z := 0; z < c.ORAM.Tree.Z; z++ {
+		out[z] = c.ORAM.Image.Slot(bucket, z)
+	}
+	return out
+}
+
+// Now returns the current simulated time in core cycles.
+func (c *Controller) Now() mem.Cycle { return c.now }
+
+// Accesses returns the number of completed ORAM accesses.
+func (c *Controller) Accesses() uint64 { return c.accessN }
+
+// Counters exposes the controller's own metric registry (the memory
+// controller keeps its own; see Mem.Counters).
+func (c *Controller) Counters() *stats.Counters { return &c.counters }
+
+// DurablePosMap exposes the NVM copy of the position map for tests and
+// the recovery checker.
+func (c *Controller) DurablePosMap() *oram.PosMap { return c.durable }
+
+// endangeredCopy locates a durable continuation copy about to be
+// overwritten.
+type endangeredCopy struct {
+	leaf   oram.Leaf
+	bucket uint64
+	slot   int
+}
+
+// wpqPersistent reports whether the scheme persists evictions through
+// atomic WPQ batches (and therefore owes the must-return eviction rule).
+// eADR is persistent by flushing everything at power fail, not through
+// eviction ordering, so it is excluded.
+func (c *Controller) wpqPersistent() bool {
+	switch c.Scheme {
+	case config.SchemeNaivePSORAM, config.SchemePSORAM, config.SchemeRcrPSORAM:
+		return true
+	}
+	return false
+}
+
+// currentLeaf is the controller's live view of a block's leaf: the
+// temporary PosMap overlays the on-chip working map.
+func (c *Controller) currentLeaf(addr oram.Addr) oram.Leaf {
+	if l, ok := c.Temp.Lookup(addr); ok {
+		return l
+	}
+	return c.ORAM.PosMap.Lookup(addr)
+}
+
+// maybeCrash consults the injection hook; on fire it performs the power
+// failure and reports true.
+func (c *Controller) maybeCrash(step, sub int) bool {
+	if c.CrashAt == nil || c.crashed {
+		return false
+	}
+	if c.Scheme == config.SchemeEADRORAM && step == 5 {
+		// eADR's persistence domain covers the write buffers: a power
+		// failure mid-write-back drains the remaining eviction, so the
+		// observable state equals a crash after step 5. Only the
+		// post-eviction point is meaningful.
+		return false
+	}
+	if !c.CrashAt(CrashPoint{Access: c.accessN, Step: step, Sub: sub}) {
+		return false
+	}
+	c.powerFail()
+	return true
+}
+
+// powerFail applies the physics of losing power at c.now: the volatile
+// write buffer and any uncommitted WPQ batch are lost (mem.Crash), and
+// the volatile on-chip structures are cleared according to the scheme's
+// persistence domain.
+func (c *Controller) powerFail() {
+	c.crashed = true
+	c.counters.Inc("crash.count")
+	if c.Scheme == config.SchemeEADRORAM {
+		// eADR's persistence domain covers the buffers: drain, not drop.
+		c.Mem.DrainAll()
+	} else {
+		c.Mem.Crash(c.now)
+	}
+	switch c.Scheme {
+	case config.SchemeFullNVM, config.SchemeFullNVMSTT:
+		// Stash and PosMap are themselves NVM: they survive. Nothing to
+		// clear — but nothing was atomic either.
+	case config.SchemeEADRORAM:
+		// eADR flushes the entire on-chip hierarchy on power fail: the
+		// stash and working PosMap reach NVM (at enormous energy cost —
+		// Table 2). The drain follows the ORAM protocol, so an access
+		// interrupted before its step-4 stash update is cancelled: its
+		// remap is rolled back (the target still lives under the old
+		// leaf). Model: cancel the in-flight remap, then the working map
+		// becomes the durable map and the stash is preserved.
+		if c.inflight.active {
+			c.ORAM.PosMap.Set(c.inflight.addr, c.inflight.oldLeaf)
+		}
+		c.durable = c.ORAM.PosMap.Clone()
+		if c.OnDurable != nil {
+			for _, b := range c.ORAM.Stash.Live() {
+				c.OnDurable(b.Addr, append([]byte(nil), b.Data...))
+			}
+		}
+	default:
+		// SRAM structures vanish.
+		c.ORAM.Stash.Clear()
+		c.Temp.Clear()
+		if c.Rec != nil {
+			for _, lvl := range c.Rec.Levels {
+				lvl.Stash.Clear()
+			}
+		}
+	}
+}
+
+// Recover models the post-restart recovery procedure (§4.3): reload the
+// on-chip position map from its durable NVM copy and resume. It returns
+// an error if called without a preceding crash.
+//
+// Recovery cost is charged to the simulated clock and the
+// "recovery.nvm_reads" counter: PS-ORAM recovery is a single sequential
+// sweep of the PosMap region (no log scan, no tree walk) — one of the
+// advantages over logging/CoW the paper argues in §2.5.
+func (c *Controller) Recover() error {
+	if !c.crashed {
+		return errors.New("core: Recover called without a crash")
+	}
+	c.crashed = false
+	// Charge the PosMap reload: N entries packed PosMapEntryBytes each,
+	// read line by line from the trusted region.
+	entriesPerLine := uint64(c.Cfg.BlockBytes / c.Cfg.PosMapEntryBytes)
+	lines := (c.ORAM.NumBlocks() + entriesPerLine - 1) / entriesPerLine
+	for i := uint64(0); i < lines; i++ {
+		loc := c.Mem.PosMapLocation(i * entriesPerLine)
+		done := c.Mem.ReadBytes(loc, c.now, c.Cfg.BlockBytes)
+		if done > c.now {
+			c.now = done
+		}
+		c.counters.Inc("recovery.nvm_reads")
+	}
+	switch {
+	case c.Rec != nil:
+		if err := c.recoverRecursive(); err != nil {
+			return err
+		}
+	case c.Scheme == config.SchemeFullNVM || c.Scheme == config.SchemeFullNVMSTT:
+		// The on-chip map *is* durable; durable view follows it.
+		c.durable = c.ORAM.PosMap.Clone()
+	case c.Scheme == config.SchemeEADRORAM:
+		// Working state was flushed wholesale; nothing to reload.
+	default:
+		// Reload the working map from NVM.
+		*c.ORAM.PosMap = *c.durable.Clone()
+	}
+	c.counters.Inc("crash.recoveries")
+	return nil
+}
+
+// Peek returns addr's value as the running system would read it
+// (diagnostics / consistency checking; not an ORAM access).
+func (c *Controller) Peek(addr oram.Addr) ([]byte, error) {
+	return c.ORAM.PeekWith(addr, c.currentLeaf)
+}
+
+// markDurable reports a durable (addr, value) to the oracle.
+func (c *Controller) markDurable(addr oram.Addr, value []byte) {
+	if c.OnDurable != nil {
+		c.OnDurable(addr, append([]byte(nil), value...))
+	}
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/mem"
+	"repro/internal/oram"
+)
+
+// plannedSlot flattens an eviction plan entry for batch construction.
+type plannedSlot struct {
+	bucket uint64
+	z      int
+	block  *oram.StashBlock // nil = dummy
+	sealed oram.Slot
+}
+
+// sealPlan encrypts the whole plan up front (step 5-A) so the batch can
+// be pushed into the WPQs as one unit (step 5-B).
+func (c *Controller) sealPlan(l oram.Leaf, plan [][]*oram.StashBlock) []plannedSlot {
+	t := c.ORAM.Tree
+	path := t.Path(l)
+	out := make([]plannedSlot, 0, t.PathBlocks())
+	for k, bucket := range path {
+		for z := 0; z < t.Z; z++ {
+			b := plan[k][z]
+			var sealed oram.Slot
+			if b == nil {
+				sealed = oram.DummySlot(c.ORAM.Engine, c.Cfg.BlockBytes, c.ORAM.NextIV)
+			} else {
+				sealed = oram.SealBlock(c.ORAM.Engine, oram.Block{
+					Addr: b.Addr, Leaf: b.TargetLeaf(), Ver: c.ORAM.NextVer(), Data: b.Data,
+				}, c.ORAM.NextIV)
+			}
+			out = append(out, plannedSlot{bucket: bucket, z: z, block: b, sealed: sealed})
+		}
+	}
+	return out
+}
+
+// evictPersistent implements PS-ORAM eviction (§4.2.2): seal the path,
+// identify the dirty PosMap entries, push both into the WPQs between the
+// drainer's start/end signals, and flush. Naïve-PS-ORAM differs only in
+// flushing a PosMap entry for every slot on the path instead of just the
+// dirty ones.
+//
+// On success the controller's durable state advanced atomically; dirty
+// temporary-PosMap entries of evicted blocks are merged into the durable
+// PosMap and dropped from the temporary one.
+func (c *Controller) evictPersistent(l oram.Leaf, plan [][]*oram.StashBlock) (int, int, error) {
+	slots := c.sealPlan(l, plan)
+	// If one atomic batch cannot fit the WPQs, fall back to the ordered
+	// multi-batch eviction for limited persistence domains (§4.2.3).
+	needData := len(slots)
+	needPos := c.posMapEntriesFor(slots)
+	if c.Merkle != nil {
+		needPos += c.ORAM.Tree.Levels() + 1 // hash entries + root
+	}
+	if needData > c.Cfg.DataWPQEntries || needPos > c.Cfg.PosMapWPQEntries {
+		if c.Merkle != nil {
+			// Ordered multi-batch eviction cannot keep the hash tree and
+			// the data atomic; construction should have prevented this.
+			return 0, 0, fmt.Errorf("core: integrity eviction exceeds WPQs (%d data, %d posmap entries)", needData, needPos)
+		}
+		return c.evictOrdered(l, slots)
+	}
+
+	batch := c.Mem.BeginBatch()
+	real, dirty := c.stageBatch(batch, slots)
+	// Integrity: the new path-node hashes and the new root ride in the
+	// same batch as the data — tree and root can never diverge.
+	if c.Merkle != nil {
+		t := c.ORAM.Tree
+		newSlots := make([][]oram.Slot, t.L+1)
+		for k := 0; k <= t.L; k++ {
+			row := make([]oram.Slot, t.Z)
+			for z := 0; z < t.Z; z++ {
+				row[z] = slots[k*t.Z+z].sealed
+			}
+			newSlots[k] = row
+		}
+		up := c.Merkle.ComputeUpdate(l, newSlots)
+		for _, b := range up.Buckets {
+			batch.AddPosMapBlock(c.Mem.PosMapLocation((1<<23)+b), nil)
+		}
+		mt := c.Merkle
+		batch.AddPosMapBlock(c.Mem.PosMapLocation(1<<24), func() { mt.Apply(up) })
+		c.counters.Inc("integrity.root_updates")
+	}
+	// Crash points while the WPQs fill, before the drainer's "end"
+	// signal: the whole batch is discarded (step 5-B/5-C of §4.2.2 —
+	// "the original data blocks on the write-back path still exist and
+	// will not be overwritten").
+	for i := range slots {
+		if c.maybeCrash(5, i) {
+			batch.Abandon()
+			return 0, 0, ErrCrashed
+		}
+	}
+	done, err := batch.Commit(c.now)
+	if err != nil {
+		return 0, 0, fmt.Errorf("core: eviction batch: %w", err)
+	}
+	c.now = done
+	c.finishEvicted(slots)
+	c.counters.Add("psoram.dirty_entries", int64(dirty))
+	return real, dirty, nil
+}
+
+// posMapEntriesFor counts the PosMap WPQ demand of a slot set under the
+// current scheme.
+func (c *Controller) posMapEntriesFor(slots []plannedSlot) int {
+	if c.Scheme == config.SchemeNaivePSORAM {
+		return len(slots)
+	}
+	n := 0
+	for _, s := range slots {
+		if s.block != nil && !s.block.Backup && s.block.PendingRemap {
+			n++
+		}
+	}
+	return n
+}
+
+// stageBatch stages data and PosMap entries for the given slots into an
+// open batch. Functional applies: slot writes update the tree image;
+// PosMap applies merge the pending remap into the durable map. Returns
+// (#real blocks, #posmap entries staged).
+func (c *Controller) stageBatch(batch *mem.Batch, slots []plannedSlot) (int, int) {
+	img := c.ORAM.Image
+	real, dirty := 0, 0
+	for _, s := range slots {
+		s := s
+		batch.AddData(c.Mem.TreeBlockLocation(s.bucket, s.z), func() {
+			img.SetSlot(s.bucket, s.z, s.sealed)
+		})
+		if s.block != nil {
+			real++
+		}
+
+		isDirty := s.block != nil && !s.block.Backup && s.block.PendingRemap
+		switch {
+		case isDirty:
+			b := s.block
+			batch.AddPosMap(c.Mem.PosMapLocation(uint64(b.Addr)), func() {
+				c.durable.Set(b.Addr, b.Leaf)
+				c.ORAM.PosMap.Set(b.Addr, b.Leaf)
+				c.Temp.Delete(b.Addr)
+			})
+			dirty++
+		case c.Scheme == config.SchemeNaivePSORAM:
+			// Naïve mode rewrites an entry per path slot regardless:
+			// for real clean blocks the unchanged entry, for dummies a
+			// dummy entry. Functionally a no-op; the cost is the point.
+			var idx uint64
+			if s.block != nil && !s.block.Backup {
+				idx = uint64(s.block.Addr)
+			} else {
+				idx = uint64(s.bucket)*uint64(c.Cfg.Z) + uint64(s.z)
+			}
+			batch.AddPosMap(c.Mem.PosMapLocation(idx), nil)
+		}
+	}
+	return real, dirty
+}
+
+// finishEvicted removes committed blocks from the stash and emits
+// durability events for every value the committed batch made reachable
+// from the durable PosMap.
+func (c *Controller) finishEvicted(slots []plannedSlot) {
+	for _, s := range slots {
+		b := s.block
+		if b == nil {
+			continue
+		}
+		if b.Backup {
+			c.ORAM.Stash.RemoveBackup(b)
+			// A backup is durable-reachable iff the durable PosMap still
+			// points at its path.
+			if c.durable.Lookup(b.Addr) == b.BackupLeaf {
+				c.markDurable(b.Addr, b.Data)
+			}
+		} else {
+			c.ORAM.Stash.Remove(b.Addr)
+			b.PendingRemap = false
+			// Live block: reachable iff the durable map agrees with the
+			// leaf it was sealed under (true when its entry merged in
+			// this batch, or it never had a pending remap).
+			if c.durable.Lookup(b.Addr) == b.Leaf {
+				c.markDurable(b.Addr, b.Data)
+			}
+		}
+	}
+}
+
+// drainOldestPending performs a background eviction access on the oldest
+// pending block's current path so its temporary-PosMap entry can merge.
+// Used when the temporary PosMap runs full (§4.2.3: C_TPos is sized for
+// the worst case; the drain is the overflow valve).
+func (c *Controller) drainOldestPending() error {
+	addr, ok := c.Temp.Oldest()
+	if !ok {
+		return nil
+	}
+	l := c.currentLeaf(addr)
+	c.epoch++
+	loaded, loadDone, err := c.loadPathTimed(l, addr, c.now)
+	if err != nil {
+		return err
+	}
+	c.markOrigin(loaded)
+	c.now = maxCycle(c.now, loadDone) + mem.Cycle(c.ORAM.Engine.DecryptLatency(len(loaded)))
+	if _, _, err := c.evictTimed(l); err != nil {
+		return err
+	}
+	if _, still := c.Temp.Lookup(addr); still {
+		return fmt.Errorf("core: drain access did not merge pending entry for %d", addr)
+	}
+	c.counters.Inc("psoram.temp_drains")
+	return nil
+}

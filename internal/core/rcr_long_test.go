@@ -1,0 +1,42 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/oram"
+)
+
+// TestRcrPSLongSoak reproduces the failure the benchmark harness found:
+// the force-evict flush staging into an uncommitted batch used to read
+// the pre-batch image and lose blocks after thousands of accesses.
+func TestRcrPSLongSoak(t *testing.T) {
+	cfg := config.Default()
+	cfg.StashEntries = 150
+	c, err := New(config.SchemeRcrPSORAM, cfg, Options{NumBlocks: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := make(map[oram.Addr][]byte)
+	buf := make([]byte, 64)
+	for i := 0; i < 25000; i++ {
+		addr := oram.Addr(i % 256)
+		if i%2 == 0 {
+			copy(buf, []byte{byte(i), byte(i >> 8), byte(i >> 16)})
+			if _, err := c.Access(oram.OpWrite, addr, buf); err != nil {
+				t.Fatalf("access %d: %v (flushes so far: %d)", i, err, c.Counters().Get("psoram.rcr_flushes"))
+			}
+			ref[addr] = append([]byte(nil), buf...)
+		} else {
+			res, err := c.Access(oram.OpRead, addr, nil)
+			if err != nil {
+				t.Fatalf("access %d: %v (flushes so far: %d)", i, err, c.Counters().Get("psoram.rcr_flushes"))
+			}
+			if want := ref[addr]; want != nil && !bytes.Equal(res.Value, want) {
+				t.Fatalf("access %d: addr %d mismatch", i, addr)
+			}
+		}
+	}
+	t.Logf("rcr_flushes fired %d times over 25000 accesses", c.Counters().Get("psoram.rcr_flushes"))
+}

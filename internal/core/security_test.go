@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/oram"
+)
+
+// The paper's §4.6 security analysis rests on the access-pattern
+// statistics being unchanged by the persistence machinery. These tests
+// check the measurable halves of those claims on the functional
+// controller.
+
+// chiSquareUniform computes the chi-square statistic of observed counts
+// against a uniform distribution over k bins.
+func chiSquareUniform(counts map[oram.Leaf]int, k uint64, total int) float64 {
+	expected := float64(total) / float64(k)
+	chi := 0.0
+	seen := 0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi += d * d / expected
+		seen += c
+	}
+	// Bins never observed contribute expected each.
+	chi += float64(int(k)-len(counts)) * expected
+	_ = seen
+	return chi
+}
+
+// TestPathsUniformUnderRepeatedAccess: repeatedly accessing ONE address
+// must touch paths indistinguishable from uniform draws (Claim: the
+// remapping process is unmodified).
+func TestPathsUniformUnderRepeatedAccess(t *testing.T) {
+	c := newCtl(t, config.SchemePSORAM)
+	leaves := c.ORAM.Tree.Leaves() // 32 at Levels:5
+	counts := make(map[oram.Leaf]int)
+	const n = 3200
+	for i := 0; i < n; i++ {
+		res, err := c.Access(oram.OpRead, 7, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[res.PathLeaf]++
+	}
+	chi := chiSquareUniform(counts, leaves, n)
+	// 31 dof; 99.9th percentile ~= 61.1. Generous bound to avoid flakes.
+	if chi > 70 {
+		t.Fatalf("path distribution chi-square %.1f: repeated access is not oblivious", chi)
+	}
+}
+
+// TestSequencesIndistinguishable: a hot single-address stream and a
+// scanning stream must produce path distributions with similar spread
+// (two access sequences of equal length are computationally
+// indistinguishable on the bus).
+func TestSequencesIndistinguishable(t *testing.T) {
+	run := func(pick func(i int) oram.Addr) map[oram.Leaf]int {
+		c := newCtl(t, config.SchemePSORAM)
+		counts := make(map[oram.Leaf]int)
+		for i := 0; i < 1600; i++ {
+			res, err := c.Access(oram.OpRead, pick(i), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts[res.PathLeaf]++
+		}
+		return counts
+	}
+	hot := run(func(i int) oram.Addr { return 5 })
+	scan := run(func(i int) oram.Addr { return oram.Addr(i % 100) })
+	// Compare the two empirical distributions via total variation
+	// distance: both should be near-uniform, so their distance is small.
+	tv := 0.0
+	leaves := int(oram.NewTree(5, 4).Leaves())
+	for l := oram.Leaf(0); int(l) < leaves; l++ {
+		tv += math.Abs(float64(hot[l])-float64(scan[l])) / 1600
+	}
+	tv /= 2
+	if tv > 0.12 {
+		t.Fatalf("total variation %.3f between hot and scan path distributions: sequences distinguishable", tv)
+	}
+}
+
+// TestAccessTraceShapeInvariant: every access reads exactly one path and
+// writes exactly one path (plus posmap entries), regardless of the
+// address or whether the request hit the stash — the constant-shape
+// property that hides read/write type and repetition.
+func TestAccessTraceShapeInvariant(t *testing.T) {
+	c := newCtl(t, config.SchemePSORAM)
+	pathBlocks := int64(c.ORAM.Tree.PathBlocks())
+	prevReads := int64(0)
+	r := &lcg{s: 31}
+	for i := 0; i < 200; i++ {
+		var err error
+		if i%3 == 0 {
+			_, err = c.Access(oram.OpWrite, oram.Addr(r.n(100)), make([]byte, 64))
+		} else {
+			_, err = c.Access(oram.OpRead, oram.Addr(r.n(100)), nil)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		reads := c.Mem.Counters().Get("nvm.reads")
+		delta := reads - prevReads
+		prevReads = reads
+		// Temp-posmap drains add whole extra path reads; the delta is
+		// always a positive multiple of one path.
+		if delta%pathBlocks != 0 || delta == 0 {
+			t.Fatalf("access %d read %d blocks; not a multiple of the path size %d", i, delta, pathBlocks)
+		}
+	}
+}
+
+// TestBackupsDoNotGrowStash (§4.6 Claim 2): the backup block is written
+// back within its own access, so steady-state stash occupancy matches
+// the baseline's.
+func TestBackupsDoNotGrowStash(t *testing.T) {
+	occupancy := func(scheme config.Scheme) int {
+		c := newCtl(t, scheme)
+		r := &lcg{s: 77}
+		max := 0
+		for i := 0; i < 600; i++ {
+			if _, err := c.Access(oram.OpRead, oram.Addr(r.n(100)), nil); err != nil {
+				t.Fatal(err)
+			}
+			if n := c.ORAM.Stash.Len(); n > max {
+				max = n
+			}
+		}
+		return max
+	}
+	base := occupancy(config.SchemeBaseline)
+	ps := occupancy(config.SchemePSORAM)
+	if ps > base+4 {
+		t.Fatalf("PS-ORAM stash peak %d far above baseline %d: backups leak", ps, base)
+	}
+}
+
+// TestDummySlotsIndistinguishable: sealed dummy slots and sealed real
+// slots must be byte-wise indistinguishable in format (same sizes,
+// unique IVs).
+func TestDummySlotsIndistinguishable(t *testing.T) {
+	c := newCtl(t, config.SchemePSORAM)
+	img := c.ORAM.Image
+	ivs := make(map[uint64]bool)
+	var sizes = map[int]bool{}
+	for b := uint64(0); b < 32; b++ {
+		for z := 0; z < 4; z++ {
+			s := img.Slot(b, z)
+			if ivs[s.IV1] || ivs[s.IV2] {
+				t.Fatalf("IV reuse at bucket %d slot %d", b, z)
+			}
+			ivs[s.IV1], ivs[s.IV2] = true, true
+			sizes[len(s.SealedData)] = true
+			sizes[-len(s.SealedHeader)] = true
+		}
+	}
+	if len(sizes) != 2 {
+		t.Fatalf("sealed slots vary in size: %v", sizes)
+	}
+}

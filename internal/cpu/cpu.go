@@ -1,0 +1,77 @@
+// Package cpu models the in-order core of Table 3a. An in-order core
+// with a blocking memory system executes instructions at one per cycle
+// and stalls for the full latency of every LLC miss — the paper notes
+// that this choice does not change the memory-system comparisons, which
+// is exactly what makes the model sufficient here.
+package cpu
+
+import "fmt"
+
+// Memory services LLC misses and reports their latency in core cycles.
+type Memory interface {
+	// Serve performs the access for block address addr and returns its
+	// latency in core cycles.
+	Serve(addr uint64, write bool) (latency uint64, err error)
+}
+
+// Core is the in-order core.
+type Core struct {
+	mem Memory
+
+	cycles     uint64
+	instrs     uint64
+	misses     uint64
+	stallCycle uint64
+}
+
+// New creates a core over the given memory system.
+func New(mem Memory) *Core {
+	if mem == nil {
+		panic("cpu: nil memory")
+	}
+	return &Core{mem: mem}
+}
+
+// Step executes instrGap instructions (1 IPC) followed by one memory
+// access that stalls the core for its full latency.
+func (c *Core) Step(instrGap uint64, addr uint64, write bool) error {
+	c.cycles += instrGap
+	c.instrs += instrGap
+	lat, err := c.mem.Serve(addr, write)
+	if err != nil {
+		return fmt.Errorf("cpu: serving miss at %#x: %w", addr, err)
+	}
+	c.cycles += lat
+	c.stallCycle += lat
+	c.misses++
+	return nil
+}
+
+// Stats of the run so far.
+type Stats struct {
+	Cycles      uint64
+	Instrs      uint64
+	Misses      uint64
+	StallCycles uint64
+}
+
+// Stats returns a snapshot.
+func (c *Core) Stats() Stats {
+	return Stats{Cycles: c.cycles, Instrs: c.instrs, Misses: c.misses, StallCycles: c.stallCycle}
+}
+
+// IPC returns retired instructions per cycle (compute + stalls).
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instrs) / float64(s.Cycles)
+}
+
+// MPKI returns misses per kilo-instruction of the run.
+func (s Stats) MPKI() float64 {
+	if s.Instrs == 0 {
+		return 0
+	}
+	return float64(s.Misses) * 1000 / float64(s.Instrs)
+}

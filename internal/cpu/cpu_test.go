@@ -1,0 +1,96 @@
+package cpu
+
+import (
+	"errors"
+	"testing"
+)
+
+// fixedMem returns a constant latency per access.
+type fixedMem struct {
+	lat    uint64
+	served []uint64
+	fail   bool
+}
+
+func (m *fixedMem) Serve(addr uint64, write bool) (uint64, error) {
+	if m.fail {
+		return 0, errors.New("boom")
+	}
+	m.served = append(m.served, addr)
+	return m.lat, nil
+}
+
+func TestStepAccounting(t *testing.T) {
+	mem := &fixedMem{lat: 100}
+	c := New(mem)
+	if err := c.Step(50, 7, false); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.Cycles != 150 || s.Instrs != 50 || s.Misses != 1 || s.StallCycles != 100 {
+		t.Fatalf("stats wrong: %+v", s)
+	}
+	if len(mem.served) != 1 || mem.served[0] != 7 {
+		t.Fatalf("memory not driven: %v", mem.served)
+	}
+}
+
+func TestIPCAndMPKI(t *testing.T) {
+	mem := &fixedMem{lat: 900}
+	c := New(mem)
+	for i := 0; i < 10; i++ {
+		if err := c.Step(100, uint64(i), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Stats()
+	// 1000 instrs, 10 misses -> 10 MPKI; 10000 cycles -> IPC 0.1.
+	if got := s.MPKI(); got != 10 {
+		t.Fatalf("MPKI = %f", got)
+	}
+	if got := s.IPC(); got != 0.1 {
+		t.Fatalf("IPC = %f", got)
+	}
+}
+
+func TestMemoryBoundSlowdown(t *testing.T) {
+	// The same instruction stream over a 10x slower memory must run
+	// close to 10x longer when memory dominates.
+	run := func(lat uint64) uint64 {
+		c := New(&fixedMem{lat: lat})
+		for i := 0; i < 100; i++ {
+			if err := c.Step(1, uint64(i), false); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c.Stats().Cycles
+	}
+	slow, fast := run(10000), run(1000)
+	ratio := float64(slow) / float64(fast)
+	if ratio < 9.5 || ratio > 10.5 {
+		t.Fatalf("slowdown ratio %f, want ~10", ratio)
+	}
+}
+
+func TestErrorPropagates(t *testing.T) {
+	c := New(&fixedMem{fail: true})
+	if err := c.Step(1, 0, false); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestNilMemoryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(nil)
+}
+
+func TestZeroStats(t *testing.T) {
+	var s Stats
+	if s.IPC() != 0 || s.MPKI() != 0 {
+		t.Fatal("zero stats should yield zero rates")
+	}
+}

@@ -1,0 +1,283 @@
+// Package crash implements the crash-consistency validation harness: it
+// drives a core.Controller through a workload, injects a simulated power
+// failure at a chosen protocol point, runs recovery, and checks the
+// recovered state against a durability oracle.
+//
+// The oracle's rule mirrors §3.3 of the paper:
+//
+//   - for persistent schemes (PS-ORAM, Naïve-PS-ORAM, Rcr-PS-ORAM,
+//     eADR-ORAM, FullNVM*): after recovery every address must read
+//     exactly its latest *durable* value — the last value that a
+//     committed WPQ batch (or the scheme's persistence domain) made
+//     reachable from the durable position map;
+//   - for the volatile baselines (Baseline, Rcr-Baseline): the weaker
+//     recoverability check — every address must still be readable and
+//     hold *some* previously written value. The paper's case studies
+//     predict even this fails, which is exactly what the harness
+//     demonstrates.
+//
+// (*) FullNVM keeps stash and PosMap in NVM, so its values are durable at
+// access end — but its updates are not atomic, and the harness catches
+// the windows in which they tear (the paper's motivation for PS-ORAM).
+package crash
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/oram"
+)
+
+// Workload drives accesses; it must be deterministic for a given seed.
+type Workload struct {
+	NumBlocks uint64
+	Accesses  int
+	Seed      uint64
+	// WriteRatio in [0,1]: fraction of accesses that are writes.
+	WriteRatio float64
+}
+
+// Violation describes one consistency failure found after recovery.
+type Violation struct {
+	Addr oram.Addr
+	Want []byte // latest durable value ("" for readability check)
+	Got  []byte
+	Err  error // non-nil when the address was unreadable
+}
+
+func (v Violation) String() string {
+	if v.Err != nil {
+		return fmt.Sprintf("addr %d unreadable after recovery: %v", v.Addr, v.Err)
+	}
+	return fmt.Sprintf("addr %d: recovered %.12q, latest durable %.12q", v.Addr, v.Got, v.Want)
+}
+
+// Report summarizes one injected crash.
+type Report struct {
+	Scheme     config.Scheme
+	Point      core.CrashPoint
+	Fired      bool // the crash point was actually reached
+	Violations []Violation
+	// AccessesBefore counts completed accesses before the crash.
+	AccessesBefore uint64
+}
+
+// Consistent reports whether recovery restored a consistent state.
+func (r Report) Consistent() bool { return r.Fired && len(r.Violations) == 0 }
+
+// oracle tracks per-address durable values and full version history.
+type oracle struct {
+	blockBytes int
+	durable    map[oram.Addr][]byte
+	history    map[oram.Addr][][]byte
+}
+
+func newOracle(numBlocks uint64, blockBytes int) *oracle {
+	o := &oracle{
+		blockBytes: blockBytes,
+		durable:    make(map[oram.Addr][]byte, numBlocks),
+		history:    make(map[oram.Addr][][]byte, numBlocks),
+	}
+	zero := make([]byte, blockBytes)
+	for a := oram.Addr(0); uint64(a) < numBlocks; a++ {
+		o.durable[a] = zero
+		o.history[a] = [][]byte{zero}
+	}
+	return o
+}
+
+func (o *oracle) markDurable(addr oram.Addr, value []byte) {
+	o.durable[addr] = value
+}
+
+func (o *oracle) recordWrite(addr oram.Addr, value []byte) {
+	o.history[addr] = append(o.history[addr], append([]byte(nil), value...))
+}
+
+func (o *oracle) knownVersion(addr oram.Addr, value []byte) bool {
+	for _, v := range o.history[addr] {
+		if bytes.Equal(v, value) {
+			return true
+		}
+	}
+	return false
+}
+
+// Runner executes crash experiments.
+type Runner struct {
+	Cfg    config.Config
+	Blocks uint64
+	Levels int
+}
+
+// value deterministically derives the payload for (addr, version).
+func value(addr oram.Addr, version int, n int) []byte {
+	b := make([]byte, n)
+	copy(b, []byte(fmt.Sprintf("a%d.v%d!", addr, version)))
+	return b
+}
+
+// RunOnce builds a fresh controller, runs the workload, crashes at the
+// chosen point, recovers, and checks consistency.
+func (r Runner) RunOnce(scheme config.Scheme, w Workload, point core.CrashPoint) (Report, error) {
+	ctl, err := core.New(scheme, r.Cfg, core.Options{NumBlocks: r.Blocks, Levels: r.Levels})
+	if err != nil {
+		return Report{}, err
+	}
+	o := newOracle(r.Blocks, r.Cfg.BlockBytes)
+	ctl.OnDurable = o.markDurable
+
+	fired := false
+	ctl.CrashAt = func(p core.CrashPoint) bool {
+		if p == point {
+			fired = true
+			return true
+		}
+		return false
+	}
+
+	rng := w.Seed*2862933555777941757 + 3037000493
+	next := func(n int) int {
+		rng = rng*2862933555777941757 + 3037000493
+		return int((rng >> 33) % uint64(n))
+	}
+	version := 0
+	crashed := false
+	for i := 0; i < w.Accesses; i++ {
+		addr := oram.Addr(next(int(w.NumBlocks)))
+		var op oram.Op
+		var data []byte
+		if float64(next(1000))/1000 < w.WriteRatio {
+			op = oram.OpWrite
+			version++
+			data = value(addr, version, r.Cfg.BlockBytes)
+			o.recordWrite(addr, data)
+		} else {
+			op = oram.OpRead
+		}
+		_, err := ctl.Access(op, addr, data)
+		if err == core.ErrCrashed {
+			crashed = true
+			break
+		}
+		if err != nil {
+			return Report{}, fmt.Errorf("access %d: %w", i, err)
+		}
+	}
+	rep := Report{Scheme: scheme, Point: point, Fired: fired, AccessesBefore: ctl.Accesses()}
+	if !crashed {
+		// The crash point was never reached (e.g. the workload ended
+		// first); report non-fired so sweeps can skip it.
+		return rep, nil
+	}
+	if err := ctl.Recover(); err != nil {
+		return Report{}, err
+	}
+	rep.Violations = r.check(ctl, o)
+	return rep, nil
+}
+
+// check compares post-recovery reads against the oracle.
+func (r Runner) check(ctl *core.Controller, o *oracle) []Violation {
+	var out []Violation
+	strict := strictScheme(ctl.Scheme)
+	for a := oram.Addr(0); uint64(a) < r.Blocks; a++ {
+		got, err := ctl.Peek(a)
+		if err != nil {
+			out = append(out, Violation{Addr: a, Err: err})
+			continue
+		}
+		if strict {
+			if want := o.durable[a]; !bytes.Equal(got, want) {
+				out = append(out, Violation{Addr: a, Want: want, Got: got})
+			}
+		} else if !o.knownVersion(a, got) {
+			out = append(out, Violation{Addr: a, Got: got})
+		}
+	}
+	return out
+}
+
+// strictScheme reports whether the scheme promises exact latest-durable
+// recovery (vs. the weaker any-version readability check).
+func strictScheme(s config.Scheme) bool {
+	switch s {
+	case config.SchemeBaseline, config.SchemeRcrBaseline:
+		return false
+	}
+	return true
+}
+
+// SweepPoints enumerates a representative set of crash points for a
+// workload of the given length and tree height: every protocol step,
+// several path-load sub-steps, write-back sub-steps, and between-access
+// points, spread across early/middle/late accesses.
+func SweepPoints(accesses, levels int) []core.CrashPoint {
+	var pts []core.CrashPoint
+	for _, acc := range []uint64{0, uint64(accesses) / 3, uint64(accesses) / 2, uint64(accesses) - 2} {
+		pts = append(pts,
+			core.CrashPoint{Access: acc, Step: 2, Sub: -1},
+			core.CrashPoint{Access: acc, Step: 3, Sub: 0},
+			core.CrashPoint{Access: acc, Step: 3, Sub: levels / 2},
+			core.CrashPoint{Access: acc, Step: 3, Sub: levels},
+			core.CrashPoint{Access: acc, Step: 4, Sub: -1},
+			core.CrashPoint{Access: acc, Step: 5, Sub: 0},
+			core.CrashPoint{Access: acc, Step: 5, Sub: 7},
+			core.CrashPoint{Access: acc, Step: 5, Sub: 20},
+			core.CrashPoint{Access: acc, Step: 6, Sub: -1},
+		)
+	}
+	return pts
+}
+
+// Sweep runs the workload against every point and aggregates results.
+type SweepResult struct {
+	Scheme     config.Scheme
+	Fired      int // points that actually triggered
+	Consistent int // fired points that recovered consistently
+	Failures   []Report
+}
+
+// Sweep executes RunOnce for each point. Points are independent (each
+// builds a fresh controller), so they run concurrently; results are
+// aggregated in point order for determinism.
+func (r Runner) Sweep(scheme config.Scheme, w Workload, points []core.CrashPoint) (SweepResult, error) {
+	res := SweepResult{Scheme: scheme}
+	type outcome struct {
+		rep Report
+		err error
+	}
+	outcomes := make([]outcome, len(points))
+	sem := make(chan struct{}, 8)
+	var wg sync.WaitGroup
+	for i, p := range points {
+		i, p := i, p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rep, err := r.RunOnce(scheme, w, p)
+			outcomes[i] = outcome{rep: rep, err: err}
+		}()
+	}
+	wg.Wait()
+	for i, o := range outcomes {
+		if o.err != nil {
+			return res, fmt.Errorf("%v at %v: %w", scheme, points[i], o.err)
+		}
+		if !o.rep.Fired {
+			continue
+		}
+		res.Fired++
+		if o.rep.Consistent() {
+			res.Consistent++
+		} else {
+			res.Failures = append(res.Failures, o.rep)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,150 @@
+package crash
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+)
+
+func runner() Runner {
+	cfg := config.Default()
+	cfg.StashEntries = 150
+	cfg.TempPosMapSize = 16
+	cfg.WriteBufferEntries = 16
+	cfg.OnChipPosMapBytes = 4 * 64 * 8
+	return Runner{Cfg: cfg, Blocks: 80, Levels: 5}
+}
+
+func workload() Workload {
+	return Workload{NumBlocks: 80, Accesses: 60, Seed: 11, WriteRatio: 0.5}
+}
+
+// The headline result: PS-ORAM (and its variants) recover a consistent
+// state from every crash point.
+func TestPSORAMCrashConsistentEverywhere(t *testing.T) {
+	r := runner()
+	for _, scheme := range []config.Scheme{
+		config.SchemePSORAM,
+		config.SchemeNaivePSORAM,
+		config.SchemeEADRORAM,
+	} {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			res, err := r.Sweep(scheme, workload(), SweepPoints(60, 5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Fired == 0 {
+				t.Fatal("no crash point fired; sweep is vacuous")
+			}
+			if len(res.Failures) > 0 {
+				f := res.Failures[0]
+				t.Fatalf("%d/%d crash points inconsistent; first: %v -> %v",
+					len(res.Failures), res.Fired, f.Point, f.Violations[0])
+			}
+		})
+	}
+}
+
+func TestRcrPSORAMCrashConsistent(t *testing.T) {
+	r := runner()
+	w := workload()
+	w.Accesses = 40
+	res, err := r.Sweep(config.SchemeRcrPSORAM, w, SweepPoints(40, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fired == 0 {
+		t.Fatal("no crash point fired")
+	}
+	if len(res.Failures) > 0 {
+		f := res.Failures[0]
+		t.Fatalf("%d/%d crash points inconsistent; first: %v -> %v",
+			len(res.Failures), res.Fired, f.Point, f.Violations[0])
+	}
+}
+
+// The motivation: the baselines corrupt state somewhere in the sweep
+// (paper §3.3 case studies). If they never failed, our checker would be
+// vacuous.
+func TestBaselinesFailSomewhere(t *testing.T) {
+	r := runner()
+	for _, scheme := range []config.Scheme{
+		config.SchemeBaseline,
+		config.SchemeFullNVM,
+		config.SchemeRcrBaseline,
+	} {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			res, err := r.Sweep(scheme, workload(), SweepPoints(60, 5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Fired == 0 {
+				t.Fatal("no crash point fired")
+			}
+			if len(res.Failures) == 0 {
+				t.Fatalf("%v recovered consistently from all %d crash points; expected corruption", scheme, res.Fired)
+			}
+		})
+	}
+}
+
+// PS-ORAM with tiny WPQs (the ordered multi-batch eviction) must still
+// recover from crashes at batch boundaries.
+func TestPSORAMSmallWPQCrashConsistent(t *testing.T) {
+	r := runner()
+	r.Cfg.DataWPQEntries = 4
+	r.Cfg.PosMapWPQEntries = 4
+	res, err := r.Sweep(config.SchemePSORAM, workload(), SweepPoints(60, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fired == 0 {
+		t.Fatal("no crash point fired")
+	}
+	if len(res.Failures) > 0 {
+		f := res.Failures[0]
+		t.Fatalf("%d/%d crash points inconsistent with small WPQ; first: %v -> %v",
+			len(res.Failures), res.Fired, f.Point, f.Violations[0])
+	}
+}
+
+func TestReportPlumbing(t *testing.T) {
+	r := runner()
+	rep, err := r.RunOnce(config.SchemePSORAM, workload(), core.CrashPoint{Access: 5, Step: 4, Sub: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Fired {
+		t.Fatal("point should have fired")
+	}
+	if rep.AccessesBefore != 5 {
+		t.Fatalf("AccessesBefore = %d, want 5", rep.AccessesBefore)
+	}
+	if !rep.Consistent() {
+		t.Fatalf("PS-ORAM inconsistent at step 4: %v", rep.Violations)
+	}
+}
+
+func TestUnreachedPointNotFired(t *testing.T) {
+	r := runner()
+	rep, err := r.RunOnce(config.SchemePSORAM, workload(), core.CrashPoint{Access: 10000, Step: 2, Sub: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fired {
+		t.Fatal("point beyond the workload cannot fire")
+	}
+	if rep.Consistent() {
+		t.Fatal("non-fired reports must not count as consistent")
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Addr: 3, Want: []byte("abc"), Got: []byte("xyz")}
+	if v.String() == "" {
+		t.Fatal("empty violation string")
+	}
+}

@@ -1,0 +1,184 @@
+package crash
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/oram"
+)
+
+// TestTortureRandomCrashPoints sweeps many randomized (seed, crash
+// point) combinations for PS-ORAM. This is the net that catches protocol
+// holes the hand-picked sweep misses (it found the endangered-backup
+// overwrite bug during development).
+func TestTortureRandomCrashPoints(t *testing.T) {
+	r := runner()
+	steps := []struct{ step, sub int }{
+		{2, -1}, {3, 0}, {3, 2}, {3, 5}, {4, -1}, {5, 0}, {5, 11}, {6, -1},
+	}
+	for seed := uint64(1); seed <= 6; seed++ {
+		w := Workload{NumBlocks: 80, Accesses: 50, Seed: seed, WriteRatio: 0.6}
+		var pts []core.CrashPoint
+		for acc := uint64(1); acc < 50; acc += 7 {
+			s := steps[int(seed+acc)%len(steps)]
+			pts = append(pts, core.CrashPoint{Access: acc, Step: s.step, Sub: s.sub})
+		}
+		res, err := r.Sweep(config.SchemePSORAM, w, pts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(res.Failures) > 0 {
+			f := res.Failures[0]
+			t.Fatalf("seed %d: %d inconsistent points; first %v -> %v",
+				seed, len(res.Failures), f.Point, f.Violations[0])
+		}
+	}
+}
+
+// TestRepeatedCrashRecoverCycles crashes the same controller several
+// times over its lifetime; every recovery must restore the latest
+// durable state and leave the system fully operational.
+func TestRepeatedCrashRecoverCycles(t *testing.T) {
+	cfg := config.Default()
+	cfg.StashEntries = 150
+	cfg.TempPosMapSize = 16
+	cfg.WriteBufferEntries = 16
+	ctl, err := core.New(config.SchemePSORAM, cfg, core.Options{NumBlocks: 60, Levels: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	durable := make(map[oram.Addr][]byte)
+	for a := oram.Addr(0); a < 60; a++ {
+		durable[a] = make([]byte, 64)
+	}
+	ctl.OnDurable = func(a oram.Addr, v []byte) { durable[a] = v }
+
+	rngState := uint64(99)
+	next := func(n int) int {
+		rngState = rngState*6364136223846793005 + 1442695040888963407
+		return int((rngState >> 33) % uint64(n))
+	}
+	version := 0
+	for cycle := 0; cycle < 8; cycle++ {
+		// Run a burst of accesses, then crash at a random point.
+		crashAfter := uint64(ctl.Accesses()) + uint64(3+next(8))
+		step := []int{2, 3, 4, 5, 6}[next(5)]
+		ctl.CrashAt = func(p core.CrashPoint) bool {
+			return p.Access >= crashAfter && p.Step == step
+		}
+		for i := 0; i < 40; i++ {
+			addr := oram.Addr(next(60))
+			version++
+			data := make([]byte, 64)
+			copy(data, fmt.Sprintf("c%d.a%d.v%d", cycle, addr, version))
+			_, err := ctl.Access(oram.OpWrite, addr, data)
+			if err == core.ErrCrashed {
+				break
+			}
+			if err != nil {
+				t.Fatalf("cycle %d access %d: %v", cycle, i, err)
+			}
+		}
+		ctl.CrashAt = nil
+		if err := ctl.Recover(); err != nil {
+			// Recover errors only when no crash fired this cycle (the
+			// burst ended first); that's fine — crash between accesses.
+			ctl.CrashAt = func(p core.CrashPoint) bool { return true }
+			if _, err := ctl.Access(oram.OpRead, 0, nil); err != core.ErrCrashed {
+				t.Fatalf("cycle %d: manual crash failed: %v", cycle, err)
+			}
+			ctl.CrashAt = nil
+			if err := ctl.Recover(); err != nil {
+				t.Fatalf("cycle %d: recover: %v", cycle, err)
+			}
+		}
+		// Every address must read its latest durable version.
+		for a := oram.Addr(0); a < 60; a++ {
+			got, err := ctl.Peek(a)
+			if err != nil {
+				t.Fatalf("cycle %d: addr %d unreadable: %v", cycle, a, err)
+			}
+			if !bytes.Equal(got, durable[a]) {
+				t.Fatalf("cycle %d: addr %d = %.16q, durable %.16q", cycle, a, got, durable[a])
+			}
+		}
+	}
+	if ctl.Counters().Get("crash.recoveries") < 8 {
+		t.Fatalf("expected 8 recoveries, got %d", ctl.Counters().Get("crash.recoveries"))
+	}
+}
+
+// TestTortureSmallWPQ repeats the randomized sweep with 4-entry WPQs so
+// the ordered multi-batch eviction (with bounce writes and atomic cycle
+// groups) is exercised under crash fire.
+func TestTortureSmallWPQ(t *testing.T) {
+	r := runner()
+	r.Cfg.DataWPQEntries = 4
+	r.Cfg.PosMapWPQEntries = 4
+	for seed := uint64(10); seed <= 13; seed++ {
+		w := Workload{NumBlocks: 80, Accesses: 40, Seed: seed, WriteRatio: 0.6}
+		var pts []core.CrashPoint
+		for acc := uint64(1); acc < 40; acc += 5 {
+			// Step 5 sub-points land between ordered batches.
+			pts = append(pts,
+				core.CrashPoint{Access: acc, Step: 5, Sub: int(acc % 13)},
+				core.CrashPoint{Access: acc, Step: 6, Sub: -1},
+			)
+		}
+		res, err := r.Sweep(config.SchemePSORAM, w, pts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(res.Failures) > 0 {
+			f := res.Failures[0]
+			t.Fatalf("seed %d: %v -> %v", seed, f.Point, f.Violations[0])
+		}
+	}
+}
+
+// TestTortureNaive ensures the Naïve variant (same atomicity, more
+// writes) is equally crash consistent.
+func TestTortureNaive(t *testing.T) {
+	r := runner()
+	w := Workload{NumBlocks: 80, Accesses: 40, Seed: 21, WriteRatio: 0.6}
+	res, err := r.Sweep(config.SchemeNaivePSORAM, w, SweepPoints(40, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) > 0 {
+		f := res.Failures[0]
+		t.Fatalf("%v -> %v", f.Point, f.Violations[0])
+	}
+}
+
+// TestTortureTinyWPQ drives the 2-entry-WPQ configuration (maximum
+// batch splitting, identity placement everywhere) through crash fire.
+func TestTortureTinyWPQ(t *testing.T) {
+	r := runner()
+	r.Cfg.DataWPQEntries = 2
+	r.Cfg.PosMapWPQEntries = 2
+	for seed := uint64(30); seed <= 32; seed++ {
+		w := Workload{NumBlocks: 80, Accesses: 35, Seed: seed, WriteRatio: 0.7}
+		var pts []core.CrashPoint
+		for acc := uint64(1); acc < 35; acc += 3 {
+			pts = append(pts,
+				core.CrashPoint{Access: acc, Step: 5, Sub: int(acc % 29)},
+				core.CrashPoint{Access: acc, Step: 6, Sub: -1},
+			)
+		}
+		res, err := r.Sweep(config.SchemePSORAM, w, pts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Fired == 0 {
+			t.Fatalf("seed %d: nothing fired", seed)
+		}
+		if len(res.Failures) > 0 {
+			f := res.Failures[0]
+			t.Fatalf("seed %d: %v -> %v", seed, f.Point, f.Violations[0])
+		}
+	}
+}

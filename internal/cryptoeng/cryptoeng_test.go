@@ -1,0 +1,111 @@
+package cryptoeng
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+var key = []byte("0123456789abcdef")
+
+func TestRoundTrip(t *testing.T) {
+	e := MustNew(key)
+	pt := []byte("the quick brown fox jumps over the lazy dog, 64 bytes padding!!")
+	ct := e.Seal(42, pt)
+	if bytes.Equal(ct, pt) {
+		t.Fatal("ciphertext equals plaintext")
+	}
+	if got := e.Open(42, ct); !bytes.Equal(got, pt) {
+		t.Fatalf("round trip failed: %q", got)
+	}
+}
+
+func TestDistinctIVsDistinctCiphertexts(t *testing.T) {
+	e := MustNew(key)
+	pt := make([]byte, 64)
+	a := e.Seal(1, pt)
+	b := e.Seal(2, pt)
+	if bytes.Equal(a, b) {
+		t.Fatal("different IVs produced identical ciphertexts")
+	}
+}
+
+func TestWrongIVFailsToDecrypt(t *testing.T) {
+	e := MustNew(key)
+	pt := []byte("secret block")
+	ct := e.Seal(7, pt)
+	if got := e.Open(8, ct); bytes.Equal(got, pt) {
+		t.Fatal("wrong IV decrypted successfully")
+	}
+}
+
+func TestDifferentKeysDiffer(t *testing.T) {
+	a := MustNew(key)
+	b := MustNew([]byte("fedcba9876543210"))
+	pt := make([]byte, 32)
+	if bytes.Equal(a.Seal(1, pt), b.Seal(1, pt)) {
+		t.Fatal("different keys produced identical ciphertexts")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	e := MustNew(key)
+	f := func(iv uint64, pt []byte) bool {
+		ct := e.Seal(iv, pt)
+		return bytes.Equal(e.Open(iv, ct), pt)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSealDoesNotMutateInput(t *testing.T) {
+	e := MustNew(key)
+	pt := []byte{1, 2, 3, 4}
+	orig := append([]byte(nil), pt...)
+	_ = e.Seal(9, pt)
+	if !bytes.Equal(pt, orig) {
+		t.Fatal("Seal mutated its input")
+	}
+}
+
+func TestOddLengths(t *testing.T) {
+	e := MustNew(key)
+	for _, n := range []int{0, 1, 15, 16, 17, 63, 64, 65, 100} {
+		pt := make([]byte, n)
+		for i := range pt {
+			pt[i] = byte(i)
+		}
+		if got := e.Open(3, e.Seal(3, pt)); !bytes.Equal(got, pt) {
+			t.Fatalf("length %d round trip failed", n)
+		}
+	}
+}
+
+func TestNewRejectsBadKeys(t *testing.T) {
+	if _, err := New([]byte("short")); err == nil {
+		t.Fatal("accepted short key")
+	}
+	if _, err := New(make([]byte, 32)); err == nil {
+		t.Fatal("accepted 32-byte key (engine models AES-128)")
+	}
+}
+
+func TestLatencyModel(t *testing.T) {
+	e := MustNew(key)
+	if e.DecryptLatency(96) != 32 || e.EncryptLatency(96) != 32 {
+		t.Fatalf("latency should be one pipeline fill (32 cycles)")
+	}
+	if e.DecryptLatency(0) != 0 || e.EncryptLatency(0) != 0 {
+		t.Fatal("zero blocks should cost zero cycles")
+	}
+}
+
+func BenchmarkSeal64(b *testing.B) {
+	e := MustNew(key)
+	pt := make([]byte, 64)
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		_ = e.Seal(uint64(i), pt)
+	}
+}

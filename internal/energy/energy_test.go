@@ -1,0 +1,76 @@
+package energy
+
+import "testing"
+
+func TestTable1Constants(t *testing.T) {
+	m := Table1()
+	if m.SRAMAccessPJPerByte != 1 || m.L1ToNVMnJPerByte != 11.839 || m.L2ToNVMnJPerByte != 11.228 {
+		t.Fatalf("Table 1 constants diverge: %+v", m)
+	}
+}
+
+func TestTable2Magnitudes(t *testing.T) {
+	m := Table1()
+	f96 := Table2Footprint(96, 96)
+	f4 := Table2Footprint(4, 4)
+
+	eadrORAM := m.EADRORAM(f96)
+	eadrCache := m.EADRCache(f96)
+	ps96 := m.PSORAM(f96)
+	ps4 := m.PSORAM(f4)
+
+	// Paper: eADR-ORAM ~2.286 J. Accept the right order of magnitude.
+	if eadrORAM.EnergyJ < 1.5 || eadrORAM.EnergyJ > 3.5 {
+		t.Errorf("eADR-ORAM energy %.3f J, paper reports ~2.286 J", eadrORAM.EnergyJ)
+	}
+	// Paper: eADR-cache ~12.653 mJ.
+	if eadrCache.EnergyJ < 8e-3 || eadrCache.EnergyJ > 20e-3 {
+		t.Errorf("eADR-cache energy %.6f J, paper reports ~12.653 mJ", eadrCache.EnergyJ)
+	}
+	// Paper: PS-ORAM 76.530 µJ at 96 entries, 2.83 µJ at 4 entries.
+	if ps96.EnergyJ < 40e-6 || ps96.EnergyJ > 120e-6 {
+		t.Errorf("PS-ORAM(96) energy %.9f J, paper reports ~76.53 µJ", ps96.EnergyJ)
+	}
+	if ps4.EnergyJ < 1e-6 || ps4.EnergyJ > 6e-6 {
+		t.Errorf("PS-ORAM(4) energy %.9f J, paper reports ~2.83 µJ", ps4.EnergyJ)
+	}
+	// The ordering claims: PS-ORAM is orders of magnitude cheaper.
+	if r := Ratio(eadrORAM, ps96); r < 10000 {
+		t.Errorf("eADR-ORAM/PS-ORAM(96) energy ratio %.0f, paper reports ~29870x", r)
+	}
+	if r := Ratio(eadrORAM, ps4); r < 100000 {
+		t.Errorf("eADR-ORAM/PS-ORAM(4) energy ratio %.0f, paper reports ~807797x", r)
+	}
+	if r := Ratio(eadrCache, ps96); r < 50 {
+		t.Errorf("eADR-cache/PS-ORAM(96) energy ratio %.0f, paper reports ~165x", r)
+	}
+}
+
+func TestTable2Times(t *testing.T) {
+	m := Table1()
+	f := Table2Footprint(96, 96)
+	if ts := m.EADRORAM(f).TimeS; ts < 1e-3 || ts > 10e-3 {
+		t.Errorf("eADR-ORAM drain time %.6f s, paper reports ~4.8 ms", ts)
+	}
+	if ts := m.PSORAM(f).TimeS; ts < 50e-9 || ts > 500e-9 {
+		t.Errorf("PS-ORAM drain time %.9f s, paper reports ~161 ns", ts)
+	}
+}
+
+func TestMonotoneInWPQSize(t *testing.T) {
+	m := Table1()
+	prev := 0.0
+	for _, n := range []int{1, 4, 16, 96, 256} {
+		c := m.PSORAM(Table2Footprint(n, n))
+		if c.EnergyJ <= prev {
+			t.Fatalf("PS-ORAM energy not monotone at %d entries", n)
+		}
+		prev = c.EnergyJ
+	}
+}
+
+func TestRatioZeroDenominator(t *testing.T) {
+	if Ratio(Cost{EnergyJ: 1}, Cost{}) != 0 {
+		t.Fatal("zero denominator should yield 0")
+	}
+}

@@ -1,0 +1,173 @@
+// Package integrity adds Merkle-tree integrity verification to the ORAM
+// tree, with crash-consistent root updates — the companion property the
+// paper's related work (Triad-NVM, SuperMem, "No compromises") pairs
+// with persistence, and a natural extension here because PS-ORAM's
+// atomic WPQ batches are exactly the mechanism an integrity tree needs:
+// the new bucket hashes and the new root commit in the same batch as the
+// path write-back, so the stored tree and the root can never diverge
+// across a power failure.
+//
+// The Merkle tree mirrors the ORAM tree: every bucket b has
+//
+//	node(b) = SHA-256( bucketHash(b) || node(left(b)) || node(right(b)) )
+//
+// where bucketHash covers the bucket's sealed slots (ciphertexts and
+// IVs — the attacker-visible bytes). Leaves use zero child hashes. The
+// root lives on chip (trusted); node hashes live in NVM next to the
+// tree. Verification of a path load recomputes the path nodes from the
+// fetched buckets plus the stored sibling hashes and compares the root.
+package integrity
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/oram"
+)
+
+// HashSize is the node hash width in bytes.
+const HashSize = sha256.Size
+
+// Tree is the Merkle tree over an ORAM tree's buckets.
+type Tree struct {
+	geom oram.Tree
+	// nodes[b] is the Merkle node hash of bucket b (NVM-resident; the
+	// controller persists updates through WPQ batches).
+	nodes [][]byte
+	// root is the on-chip trusted copy.
+	root []byte
+}
+
+// BucketReader supplies the sealed content of a bucket's slots.
+type BucketReader func(bucket uint64) []oram.Slot
+
+// New builds the tree over the current image content.
+func New(geom oram.Tree, read BucketReader) *Tree {
+	t := &Tree{geom: geom, nodes: make([][]byte, geom.Buckets())}
+	// Bottom-up: children have larger indices in heap order.
+	for b := int64(geom.Buckets()) - 1; b >= 0; b-- {
+		t.nodes[b] = t.nodeHash(uint64(b), BucketHash(read(uint64(b))), read)
+	}
+	t.root = append([]byte(nil), t.nodes[0]...)
+	return t
+}
+
+// BucketHash hashes a bucket's sealed slots (the attacker-visible NVM
+// bytes: IVs, sealed headers, sealed payloads).
+func BucketHash(slots []oram.Slot) []byte {
+	h := sha256.New()
+	var iv [16]byte
+	for _, s := range slots {
+		binary.LittleEndian.PutUint64(iv[0:8], s.IV1)
+		binary.LittleEndian.PutUint64(iv[8:16], s.IV2)
+		h.Write(iv[:])
+		h.Write(s.SealedHeader)
+		h.Write(s.SealedData)
+	}
+	return h.Sum(nil)
+}
+
+// nodeHash combines a bucket hash with its children's node hashes.
+func (t *Tree) nodeHash(b uint64, bucketHash []byte, read BucketReader) []byte {
+	h := sha256.New()
+	h.Write(bucketHash)
+	left, right := 2*b+1, 2*b+2
+	if left < t.geom.Buckets() {
+		h.Write(t.nodes[left])
+	} else {
+		h.Write(make([]byte, HashSize))
+	}
+	if right < t.geom.Buckets() {
+		h.Write(t.nodes[right])
+	} else {
+		h.Write(make([]byte, HashSize))
+	}
+	return h.Sum(nil)
+}
+
+// Root returns the on-chip trusted root.
+func (t *Tree) Root() []byte { return append([]byte(nil), t.root...) }
+
+// Node returns the stored node hash of a bucket (for accounting and
+// tests).
+func (t *Tree) Node(b uint64) []byte { return t.nodes[b] }
+
+// VerifyPath checks a freshly loaded path against the trusted root: the
+// path-node hashes are recomputed from the fetched buckets; off-path
+// children use the stored hashes. Returns an error naming the deepest
+// mismatching level on failure.
+func (t *Tree) VerifyPath(leaf oram.Leaf, read BucketReader) error {
+	path := t.geom.Path(leaf)
+	// Recompute from the leaf up.
+	computed := make(map[uint64][]byte, len(path))
+	for k := len(path) - 1; k >= 0; k-- {
+		b := path[k]
+		h := sha256.New()
+		h.Write(BucketHash(read(b)))
+		for _, child := range []uint64{2*b + 1, 2*b + 2} {
+			switch {
+			case child >= t.geom.Buckets():
+				h.Write(make([]byte, HashSize))
+			case k+1 < len(path) && child == path[k+1]:
+				h.Write(computed[child])
+			default:
+				h.Write(t.nodes[child])
+			}
+		}
+		computed[b] = h.Sum(nil)
+	}
+	if !bytes.Equal(computed[0], t.root) {
+		return fmt.Errorf("integrity: root mismatch verifying path %d (tree tampered or torn)", leaf)
+	}
+	return nil
+}
+
+// PathUpdate is the set of node-hash changes one path write-back incurs.
+type PathUpdate struct {
+	Buckets []uint64
+	Hashes  [][]byte
+	Root    []byte
+}
+
+// ComputeUpdate derives the new node hashes along a path whose buckets
+// are about to be overwritten with newSlots[k] (root-first order, same
+// as geom.Path). Nothing is applied; the controller stages Apply inside
+// the same WPQ batch as the data write-back.
+func (t *Tree) ComputeUpdate(leaf oram.Leaf, newSlots [][]oram.Slot) PathUpdate {
+	path := t.geom.Path(leaf)
+	up := PathUpdate{Buckets: append([]uint64(nil), path...), Hashes: make([][]byte, len(path))}
+	computed := make(map[uint64][]byte, len(path))
+	for k := len(path) - 1; k >= 0; k-- {
+		b := path[k]
+		h := sha256.New()
+		h.Write(BucketHash(newSlots[k]))
+		for _, child := range []uint64{2*b + 1, 2*b + 2} {
+			switch {
+			case child >= t.geom.Buckets():
+				h.Write(make([]byte, HashSize))
+			case k+1 < len(path) && child == path[k+1]:
+				h.Write(computed[child])
+			default:
+				h.Write(t.nodes[child])
+			}
+		}
+		computed[b] = h.Sum(nil)
+		up.Hashes[k] = computed[b]
+	}
+	up.Root = computed[0]
+	return up
+}
+
+// Apply installs a previously computed update (call from the WPQ batch's
+// apply closure so hashes, root, data, and metadata commit atomically).
+func (t *Tree) Apply(up PathUpdate) {
+	for k, b := range up.Buckets {
+		t.nodes[b] = up.Hashes[k]
+	}
+	t.root = append([]byte(nil), up.Root...)
+}
+
+// Snapshot returns a deep copy of the root (tests; crash oracles).
+func (t *Tree) Snapshot() []byte { return t.Root() }

@@ -1,0 +1,165 @@
+package integrity
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cryptoeng"
+	"repro/internal/oram"
+	"repro/internal/rng"
+)
+
+// fixture builds a small image and its Merkle tree.
+func fixture(t *testing.T) (*oram.Image, *Tree, *cryptoeng.Engine, func() uint64) {
+	t.Helper()
+	eng := cryptoeng.MustNew([]byte("0123456789abcdef"))
+	iv := oram.NewIVSource(rng.New(4))
+	geom := oram.NewTree(4, 4)
+	img := oram.NewImage(geom, eng, 64, iv)
+	read := func(b uint64) []oram.Slot {
+		out := make([]oram.Slot, geom.Z)
+		for z := 0; z < geom.Z; z++ {
+			out[z] = img.Slot(b, z)
+		}
+		return out
+	}
+	return img, New(geom, read), eng, iv
+}
+
+func reader(img *oram.Image) BucketReader {
+	return func(b uint64) []oram.Slot {
+		out := make([]oram.Slot, img.Tree.Z)
+		for z := 0; z < img.Tree.Z; z++ {
+			out[z] = img.Slot(b, z)
+		}
+		return out
+	}
+}
+
+func TestFreshTreeVerifies(t *testing.T) {
+	img, mt, _, _ := fixture(t)
+	for l := oram.Leaf(0); uint64(l) < img.Tree.Leaves(); l++ {
+		if err := mt.VerifyPath(l, reader(img)); err != nil {
+			t.Fatalf("fresh path %d: %v", l, err)
+		}
+	}
+}
+
+func TestTamperDetected(t *testing.T) {
+	img, mt, eng, iv := fixture(t)
+	// Replace a slot without updating the tree: tampering.
+	img.SetSlot(7, 2, oram.DummySlot(eng, 64, iv))
+	// Bucket 7 is on the paths through it; find one.
+	found := false
+	for l := oram.Leaf(0); uint64(l) < img.Tree.Leaves(); l++ {
+		if img.Tree.OnPath(7, l) {
+			if err := mt.VerifyPath(l, reader(img)); err == nil {
+				t.Fatalf("tampered path %d verified", l)
+			}
+			found = true
+		} else if err := mt.VerifyPath(l, reader(img)); err != nil {
+			t.Fatalf("untampered path %d failed: %v", l, err)
+		}
+	}
+	if !found {
+		t.Fatal("no path crossed the tampered bucket")
+	}
+}
+
+func TestBitFlipInSealedDataDetected(t *testing.T) {
+	img, mt, _, _ := fixture(t)
+	s := img.Slot(3, 1)
+	s.SealedData = append([]byte(nil), s.SealedData...)
+	s.SealedData[5] ^= 0x80
+	img.SetSlot(3, 1, s)
+	detected := false
+	for l := oram.Leaf(0); uint64(l) < img.Tree.Leaves(); l++ {
+		if img.Tree.OnPath(3, l) && mt.VerifyPath(l, reader(img)) != nil {
+			detected = true
+		}
+	}
+	if !detected {
+		t.Fatal("single bit flip not detected")
+	}
+}
+
+func TestIVTamperDetected(t *testing.T) {
+	img, mt, _, _ := fixture(t)
+	s := img.Slot(0, 0)
+	s.IV2++
+	img.SetSlot(0, 0, s)
+	// Bucket 0 is the root: every path must now fail.
+	for l := oram.Leaf(0); uint64(l) < img.Tree.Leaves(); l++ {
+		if err := mt.VerifyPath(l, reader(img)); err == nil {
+			t.Fatalf("IV tamper on root bucket not detected on path %d", l)
+		}
+	}
+}
+
+func TestUpdateThenVerify(t *testing.T) {
+	img, mt, eng, iv := fixture(t)
+	l := oram.Leaf(9)
+	path := img.Tree.Path(l)
+	// Rewrite the whole path with fresh dummies (an eviction's effect).
+	newSlots := make([][]oram.Slot, len(path))
+	for k := range path {
+		row := make([]oram.Slot, img.Tree.Z)
+		for z := range row {
+			row[z] = oram.DummySlot(eng, 64, iv)
+		}
+		newSlots[k] = row
+	}
+	up := mt.ComputeUpdate(l, newSlots)
+	if len(up.Buckets) != len(path) || len(up.Root) != HashSize {
+		t.Fatalf("update shape: %d buckets, root %d bytes", len(up.Buckets), len(up.Root))
+	}
+	// Apply to both image and tree (as the WPQ batch does atomically).
+	for k, b := range path {
+		for z := range newSlots[k] {
+			img.SetSlot(b, z, newSlots[k][z])
+		}
+	}
+	mt.Apply(up)
+	for ll := oram.Leaf(0); uint64(ll) < img.Tree.Leaves(); ll++ {
+		if err := mt.VerifyPath(ll, reader(img)); err != nil {
+			t.Fatalf("post-update path %d: %v", ll, err)
+		}
+	}
+	if bytes.Equal(up.Root, make([]byte, HashSize)) {
+		t.Fatal("root is zero")
+	}
+}
+
+func TestApplyWithoutImageUpdateFails(t *testing.T) {
+	// Applying the hash update WITHOUT the matching data write (a torn,
+	// non-atomic update) must be detectable — the reason the update
+	// rides in the WPQ batch.
+	img, mt, eng, iv := fixture(t)
+	l := oram.Leaf(3)
+	path := img.Tree.Path(l)
+	newSlots := make([][]oram.Slot, len(path))
+	for k := range path {
+		row := make([]oram.Slot, img.Tree.Z)
+		for z := range row {
+			row[z] = oram.DummySlot(eng, 64, iv)
+		}
+		newSlots[k] = row
+	}
+	mt.Apply(mt.ComputeUpdate(l, newSlots))
+	if err := mt.VerifyPath(l, reader(img)); err == nil {
+		t.Fatal("torn hash/data update verified")
+	}
+}
+
+func TestBucketHashSensitivity(t *testing.T) {
+	eng := cryptoeng.MustNew([]byte("0123456789abcdef"))
+	iv := oram.NewIVSource(rng.New(8))
+	a := []oram.Slot{oram.DummySlot(eng, 64, iv)}
+	b := []oram.Slot{oram.DummySlot(eng, 64, iv)}
+	if bytes.Equal(BucketHash(a), BucketHash(b)) {
+		t.Fatal("distinct sealed buckets hash equal")
+	}
+	if !bytes.Equal(BucketHash(a), BucketHash(a)) {
+		t.Fatal("hash not deterministic")
+	}
+}

@@ -1,0 +1,503 @@
+// Package mem implements the memory controller that sits between the
+// ORAM controller and the NVM devices: multi-channel address mapping over
+// the ORAM tree, a volatile posted-write buffer (used by non-persistent
+// schemes), and the ADR persistence domain of PS-ORAM — the Data-block
+// WPQ and PosMap WPQ fed by the Drainer with atomic start/end batch
+// semantics (paper §4.1, §4.2.2).
+//
+// Two concerns are deliberately coupled here, because crash behaviour
+// couples them in hardware:
+//
+//   - timing: when does each read/write complete on the device;
+//   - durability: which functional mutations survive a power failure.
+//
+// Functional mutations are injected as apply/undo closures. Posted writes
+// apply immediately (the controller forwards from its write buffer) but
+// are undone if a crash strikes before their device completion. Batch
+// writes apply at commit (the "end" signal) and are durable from that
+// instant, matching the ADR guarantee that WPQ contents drain on power
+// fail; a batch never committed is discarded whole.
+package mem
+
+import (
+	"container/heap"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/config"
+	"repro/internal/nvm"
+	"repro/internal/stats"
+)
+
+// Cycle is a point in time in core clock cycles.
+type Cycle uint64
+
+// Location is a fully resolved NVM location.
+type Location struct {
+	Channel int
+	Bank    int
+	Row     int64
+}
+
+// Controller is the multi-channel NVM memory controller.
+type Controller struct {
+	cfg      config.Config
+	devices  []*nvm.Device
+	ratio    Cycle // core cycles per NVM cycle
+	counters stats.Counters
+
+	// Volatile posted-write buffer (non-persistent path writes).
+	posted     postedHeap
+	postedCap  int
+	inFlight   []inFlightWrite // journal for crash undo
+	openBatch  *Batch
+	numBatches uint64
+
+	// WPQ occupancy model: completion cycles of entries still draining.
+	dataWPQ   postedHeap
+	posMapWPQ postedHeap
+}
+
+type inFlightWrite struct {
+	done Cycle
+	undo func()
+}
+
+// postedHeap is a min-heap of completion cycles.
+type postedHeap []Cycle
+
+func (h postedHeap) Len() int            { return len(h) }
+func (h postedHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h postedHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *postedHeap) Push(x interface{}) { *h = append(*h, x.(Cycle)) }
+func (h *postedHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// New creates a controller with cfg.Channels devices.
+func New(cfg config.Config) *Controller {
+	c := &Controller{
+		cfg:       cfg,
+		ratio:     Cycle(cfg.CoreCyclesPerNVMCycle()),
+		postedCap: cfg.WriteBufferEntries,
+	}
+	for i := 0; i < cfg.Channels; i++ {
+		c.devices = append(c.devices, nvm.NewDevice(cfg.NVM, cfg.BanksPerChannel, cfg.BlockBytes))
+	}
+	return c
+}
+
+// Counters exposes the controller's metric registry.
+func (c *Controller) Counters() *stats.Counters { return &c.counters }
+
+// DeviceStats returns aggregate device statistics across channels.
+func (c *Controller) DeviceStats() nvm.Stats {
+	var agg nvm.Stats
+	for i, d := range c.devices {
+		s := d.Stats()
+		agg.Reads += s.Reads
+		agg.Writes += s.Writes
+		agg.BytesRead += s.BytesRead
+		agg.BytesWritten += s.BytesWritten
+		agg.EnergyReadPJ += s.EnergyReadPJ
+		agg.EnergyWritePJ += s.EnergyWritePJ
+		agg.RowBufferHits += s.RowBufferHits
+		agg.RowBufferMisses += s.RowBufferMisses
+		if s.LastCompletion > agg.LastCompletion {
+			agg.LastCompletion = s.LastCompletion
+		}
+		if i == 0 {
+			agg.MinBankWrites = s.MinBankWrites
+		}
+		if s.MaxBankWrites > agg.MaxBankWrites {
+			agg.MaxBankWrites = s.MaxBankWrites
+		}
+		if s.MinBankWrites < agg.MinBankWrites {
+			agg.MinBankWrites = s.MinBankWrites
+		}
+	}
+	return agg
+}
+
+// toNVM converts core cycles to NVM cycles (floor).
+func (c *Controller) toNVM(t Cycle) nvm.Cycle { return nvm.Cycle(t / c.ratio) }
+
+// toCore converts NVM cycles to core cycles (ceiling to be conservative).
+func (c *Controller) toCore(t nvm.Cycle) Cycle { return Cycle(t) * c.ratio }
+
+// subtreeLevel is the tree level below which buckets are allocated by
+// subtree rather than round-robin: each level-8 subtree lives in one
+// channel's address region (contiguous allocations improve row locality,
+// which is how real ORAM memory allocators behave). The consequence —
+// the deep tail of every path lands on a single channel — is exactly the
+// "hard to allocate the memory accesses to each channel equally" effect
+// that saturates the paper's multi-channel scaling (§5.2.3).
+const subtreeLevel = 8
+
+// TreeBlockLocation maps (bucket, slot) of the ORAM tree to a device
+// location. Shallow buckets interleave across channels round-robin; deep
+// buckets map by their level-8 subtree. The Z slots of one bucket share
+// a row, so reading a bucket enjoys row-buffer hits.
+func (c *Controller) TreeBlockLocation(bucket uint64, slot int) Location {
+	channels := uint64(len(c.devices))
+	var ch uint64
+	if lvl := bits.Len64(bucket+1) - 1; lvl < subtreeLevel {
+		ch = bucket % channels
+	} else {
+		ancestor := (bucket+1)>>(uint(lvl-subtreeLevel)) - 1
+		ch = ancestor % channels
+	}
+	perCh := bucket / channels
+	bank := int(perCh % uint64(c.cfg.BanksPerChannel))
+	row := int64(perCh / uint64(c.cfg.BanksPerChannel))
+	return Location{Channel: int(ch), Bank: bank, Row: row}
+}
+
+// RegionTreeLocation is TreeBlockLocation for one of several ORAM trees
+// sharing the devices: region 0 is the data tree, regions 1..k hold the
+// recursive PosMap trees. Regions are separated in the row address space
+// (they are distinct NVM allocations).
+func (c *Controller) RegionTreeLocation(region int, bucket uint64, slot int) Location {
+	loc := c.TreeBlockLocation(bucket, slot)
+	loc.Row += int64(region) << 44
+	return loc
+}
+
+// PosMapLocation maps a PosMap entry index to its home in the trusted
+// PosMap region of NVM. The region lives past the tree rows (row offset
+// 1<<40) and packs entries so that one block row holds BlockBytes /
+// PosMapEntryBytes entries.
+func (c *Controller) PosMapLocation(entry uint64) Location {
+	perRow := uint64(c.cfg.BlockBytes / c.cfg.PosMapEntryBytes)
+	rowIdx := entry / perRow
+	ch := int(rowIdx % uint64(len(c.devices)))
+	perCh := rowIdx / uint64(len(c.devices))
+	bank := int(perCh % uint64(c.cfg.BanksPerChannel))
+	row := int64(perCh/uint64(c.cfg.BanksPerChannel)) + (1 << 40)
+	return Location{Channel: ch, Bank: bank, Row: row}
+}
+
+// ReadBlock performs a timed block read at loc, no earlier than earliest,
+// and returns its completion in core cycles.
+func (c *Controller) ReadBlock(loc Location, earliest Cycle) Cycle {
+	comp := c.devices[loc.Channel].Schedule(nvm.Read, loc.Bank, loc.Row, c.toNVM(earliest))
+	c.counters.Inc("nvm.reads")
+	return c.toCore(comp.Done)
+}
+
+// ReadBytes performs a timed partial read (e.g. one PosMap entry).
+func (c *Controller) ReadBytes(loc Location, earliest Cycle, bytes int) Cycle {
+	comp := c.devices[loc.Channel].ScheduleBytes(nvm.Read, loc.Bank, loc.Row, c.toNVM(earliest), bytes)
+	c.counters.Inc("nvm.reads")
+	return c.toCore(comp.Done)
+}
+
+// WriteBlockPosted issues a block write through the volatile write
+// buffer: the caller does not stall (unless the buffer is full), but the
+// mutation is undone if a crash precedes device completion. apply is run
+// immediately (write-buffer forwarding) and must return an undo closure.
+// Returns the cycle at which the caller may proceed.
+func (c *Controller) WriteBlockPosted(loc Location, earliest Cycle, apply func() (undo func())) Cycle {
+	proceed := earliest
+	// Stall if the volatile buffer is full of writes that are still
+	// draining at `earliest`.
+	c.reapPosted(earliest)
+	for c.posted.Len() >= c.postedCap {
+		oldest := heap.Pop(&c.posted).(Cycle)
+		if oldest > proceed {
+			proceed = oldest
+		}
+	}
+	comp := c.devices[loc.Channel].Schedule(nvm.Write, loc.Bank, loc.Row, c.toNVM(proceed))
+	done := c.toCore(comp.Done)
+	heap.Push(&c.posted, done)
+	c.counters.Inc("nvm.writes")
+	if apply != nil {
+		undo := apply()
+		c.inFlight = append(c.inFlight, inFlightWrite{done: done, undo: undo})
+	}
+	return proceed
+}
+
+// WriteBlockSync issues a block write and stalls the caller until the
+// device completes it. apply (optional) is run immediately and is durable
+// at the returned cycle; it is undone on a crash before then.
+func (c *Controller) WriteBlockSync(loc Location, earliest Cycle, apply func() (undo func())) Cycle {
+	comp := c.devices[loc.Channel].Schedule(nvm.Write, loc.Bank, loc.Row, c.toNVM(earliest))
+	done := c.toCore(comp.Done)
+	c.counters.Inc("nvm.writes")
+	if apply != nil {
+		undo := apply()
+		c.inFlight = append(c.inFlight, inFlightWrite{done: done, undo: undo})
+	}
+	return done
+}
+
+// WriteBytesSync is WriteBlockSync for a partial write (PosMap entry).
+func (c *Controller) WriteBytesSync(loc Location, earliest Cycle, bytes int, apply func() (undo func())) Cycle {
+	comp := c.devices[loc.Channel].ScheduleBytes(nvm.Write, loc.Bank, loc.Row, c.toNVM(earliest), bytes)
+	done := c.toCore(comp.Done)
+	c.counters.Inc("nvm.writes")
+	if apply != nil {
+		undo := apply()
+		c.inFlight = append(c.inFlight, inFlightWrite{done: done, undo: undo})
+	}
+	return done
+}
+
+func (c *Controller) reapPosted(now Cycle) {
+	for c.posted.Len() > 0 && c.posted[0] <= now {
+		heap.Pop(&c.posted)
+	}
+	// Drop journal entries whose writes have completed; they are durable.
+	kept := c.inFlight[:0]
+	for _, w := range c.inFlight {
+		if w.done > now {
+			kept = append(kept, w)
+		}
+	}
+	c.inFlight = kept
+}
+
+// ---------------------------------------------------------------------
+// Persistence domain: Drainer + WPQs (§4.1, §4.2.2)
+// ---------------------------------------------------------------------
+
+// EntryKind distinguishes the two WPQs.
+type EntryKind int
+
+const (
+	// DataEntry goes to the data-block WPQ.
+	DataEntry EntryKind = iota
+	// PosMapEntry goes to the PosMap WPQ.
+	PosMapEntry
+)
+
+type batchEntry struct {
+	kind  EntryKind
+	loc   Location
+	bytes int
+	apply func()
+	// undo, when non-nil, marks an immediate-apply entry: its mutation
+	// already ran (so later protocol steps inside the same batch read
+	// coherent state) and must be rolled back if the batch never
+	// commits.
+	undo func()
+}
+
+// Batch is one atomic eviction round: all entries between the drainer's
+// "start" and "end" signals. Entries become durable together at Commit;
+// a batch abandoned before Commit leaves no trace in NVM.
+type Batch struct {
+	c       *Controller
+	entries []batchEntry
+	done    bool
+}
+
+// BeginBatch starts a new atomic WPQ batch (the drainer's "start"
+// signal). Only one batch may be open at a time.
+func (c *Controller) BeginBatch() *Batch {
+	if c.openBatch != nil && !c.openBatch.done {
+		panic("mem: batch already open")
+	}
+	b := &Batch{c: c}
+	c.openBatch = b
+	return b
+}
+
+// AddData stages a data-block write into the batch.
+func (b *Batch) AddData(loc Location, apply func()) {
+	b.mustOpen()
+	b.entries = append(b.entries, batchEntry{kind: DataEntry, loc: loc, bytes: b.c.cfg.BlockBytes, apply: apply})
+}
+
+// AddDataApplied stages a data-block write whose functional mutation has
+// ALREADY been applied by the caller (so subsequent reads within the
+// same batch see it); undo rolls it back if the batch is abandoned or
+// lost to a crash. Atomicity is unchanged: either the whole batch
+// commits, or every immediate mutation is undone.
+func (b *Batch) AddDataApplied(loc Location, undo func()) {
+	b.mustOpen()
+	b.entries = append(b.entries, batchEntry{kind: DataEntry, loc: loc, bytes: b.c.cfg.BlockBytes, undo: undo})
+}
+
+// AddPosMapBlockApplied is AddDataApplied for the PosMap WPQ (recursive
+// posmap-tree path blocks).
+func (b *Batch) AddPosMapBlockApplied(loc Location, undo func()) {
+	b.mustOpen()
+	b.entries = append(b.entries, batchEntry{kind: PosMapEntry, loc: loc, bytes: b.c.cfg.BlockBytes, undo: undo})
+}
+
+// AddPosMap stages a PosMap-entry write into the batch.
+func (b *Batch) AddPosMap(loc Location, apply func()) {
+	b.mustOpen()
+	b.entries = append(b.entries, batchEntry{kind: PosMapEntry, loc: loc, bytes: b.c.cfg.PosMapEntryBytes, apply: apply})
+}
+
+// AddPosMapBlock stages a full posmap-ORAM block write into the PosMap
+// WPQ (recursive schemes write the PosMap back "in a tree organization",
+// so the queue carries whole path blocks rather than single entries).
+func (b *Batch) AddPosMapBlock(loc Location, apply func()) {
+	b.mustOpen()
+	b.entries = append(b.entries, batchEntry{kind: PosMapEntry, loc: loc, bytes: b.c.cfg.BlockBytes, apply: apply})
+}
+
+func (b *Batch) mustOpen() {
+	if b.done {
+		panic("mem: batch already committed or abandoned")
+	}
+}
+
+// DataCount and PosMapCount report staged entries per WPQ.
+func (b *Batch) DataCount() int {
+	n := 0
+	for _, e := range b.entries {
+		if e.kind == DataEntry {
+			n++
+		}
+	}
+	return n
+}
+
+// PosMapCount reports staged PosMap entries.
+func (b *Batch) PosMapCount() int { return len(b.entries) - b.DataCount() }
+
+// ErrWPQOverflow reports a batch exceeding a WPQ's capacity; the caller
+// (the ORAM controller) must use the ordered small-WPQ eviction instead.
+type ErrWPQOverflow struct {
+	Kind      EntryKind
+	Need, Cap int
+}
+
+func (e ErrWPQOverflow) Error() string {
+	which := "data"
+	if e.Kind == PosMapEntry {
+		which = "posmap"
+	}
+	return fmt.Sprintf("mem: %s WPQ overflow: batch needs %d entries, capacity %d", which, e.Need, e.Cap)
+}
+
+// Commit is the drainer's "end" signal: every staged entry is now inside
+// the persistence domain, so the whole batch is durable — the functional
+// applies run immediately. The returned cycle is when the ORAM controller
+// may proceed: entries must have *entered* the WPQs by then, which stalls
+// on WPQ free slots (drains to NVM continue in the background and are
+// accounted on the devices).
+func (b *Batch) Commit(earliest Cycle) (Cycle, error) {
+	b.mustOpen()
+	if n := b.DataCount(); n > b.c.cfg.DataWPQEntries {
+		return 0, ErrWPQOverflow{Kind: DataEntry, Need: n, Cap: b.c.cfg.DataWPQEntries}
+	}
+	if n := b.PosMapCount(); n > b.c.cfg.PosMapWPQEntries {
+		return 0, ErrWPQOverflow{Kind: PosMapEntry, Need: n, Cap: b.c.cfg.PosMapWPQEntries}
+	}
+	proceed := earliest
+	for _, e := range b.entries {
+		var q *postedHeap
+		var capacity int
+		if e.kind == DataEntry {
+			q, capacity = &b.c.dataWPQ, b.c.cfg.DataWPQEntries
+			b.c.counters.Inc("wpq.data.entries")
+		} else {
+			q, capacity = &b.c.posMapWPQ, b.c.cfg.PosMapWPQEntries
+			b.c.counters.Inc("wpq.posmap.entries")
+		}
+		// Free a slot if the queue is full: wait for the oldest drain.
+		for q.Len() > 0 && (*q)[0] <= proceed {
+			heap.Pop(q)
+		}
+		for q.Len() >= capacity {
+			oldest := heap.Pop(q).(Cycle)
+			if oldest > proceed {
+				proceed = oldest
+			}
+		}
+		// Schedule the background drain to NVM.
+		var comp nvm.Completion
+		dev := b.c.devices[e.loc.Channel]
+		comp = dev.ScheduleBytes(nvm.Write, e.loc.Bank, e.loc.Row, b.c.toNVM(proceed), e.bytes)
+		heap.Push(q, b.c.toCore(comp.Done))
+		b.c.counters.Inc("nvm.writes")
+	}
+	// Durability point: "end" signal received by both WPQs.
+	for _, e := range b.entries {
+		if e.apply != nil {
+			e.apply()
+		}
+	}
+	b.done = true
+	b.c.openBatch = nil
+	b.c.numBatches++
+	b.c.counters.Inc("wpq.batches")
+	return proceed, nil
+}
+
+// Abandon drops an uncommitted batch (used on simulated crash),
+// rolling back any immediate-apply entries in reverse order.
+func (b *Batch) Abandon() {
+	if b.done {
+		return
+	}
+	b.done = true
+	for i := len(b.entries) - 1; i >= 0; i-- {
+		if b.entries[i].undo != nil {
+			b.entries[i].undo()
+		}
+	}
+	if b.c.openBatch == b {
+		b.c.openBatch = nil
+	}
+}
+
+// ---------------------------------------------------------------------
+// Crash semantics
+// ---------------------------------------------------------------------
+
+// DrainAll simulates a power failure under eADR, where the persistence
+// domain covers the volatile buffers too: every in-flight posted write
+// drains to NVM (its functional apply stands), and an open batch's
+// staged entries are likewise flushed and applied. Contrast with Crash.
+func (c *Controller) DrainAll() {
+	c.inFlight = nil
+	c.posted = nil
+	if c.openBatch != nil {
+		for _, e := range c.openBatch.entries {
+			if e.apply != nil {
+				e.apply()
+			}
+		}
+		c.openBatch.Abandon()
+		c.counters.Inc("crash.drained_batches")
+	}
+	c.dataWPQ = nil
+	c.posMapWPQ = nil
+}
+
+// Crash simulates a power failure at cycle `now`: posted writes whose
+// device completion lies in the future are rolled back (the volatile
+// write buffer is lost); an open, uncommitted WPQ batch is discarded;
+// committed batches were already durable. The controller is left ready
+// for a post-recovery run.
+func (c *Controller) Crash(now Cycle) {
+	// Undo journal: newest first, so overlapping writes restore the
+	// oldest surviving value.
+	for i := len(c.inFlight) - 1; i >= 0; i-- {
+		w := c.inFlight[i]
+		if w.done > now && w.undo != nil {
+			w.undo()
+			c.counters.Inc("crash.lost_posted_writes")
+		}
+	}
+	c.inFlight = nil
+	c.posted = nil
+	if c.openBatch != nil {
+		c.openBatch.Abandon()
+		c.counters.Inc("crash.discarded_batches")
+	}
+	c.dataWPQ = nil
+	c.posMapWPQ = nil
+}

@@ -1,0 +1,252 @@
+// Package nvm models a byte-addressable non-volatile memory device at
+// command granularity: banked timing with the Table 3 parameters,
+// channel data-bus contention, read/write traffic accounting, access
+// energy, and per-bank write wear (NVM lifetime).
+//
+// The model is deliberately a *timing* model only. Functional contents
+// (what bytes live where) are owned by the ORAM layer; this package
+// answers "when does this block read/write complete" and "how much
+// traffic/energy/wear did the run cost".
+package nvm
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+)
+
+// Cycle is a point in time measured in NVM device clock cycles.
+type Cycle uint64
+
+// Op distinguishes read from write commands.
+type Op int
+
+const (
+	// Read is a block read command.
+	Read Op = iota
+	// Write is a block write command.
+	Write
+)
+
+func (o Op) String() string {
+	if o == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// bank tracks the occupancy of a single NVM bank. Column accesses to an
+// open row pipeline at the burst rate (issueFree); switching rows or
+// direction must wait for the in-flight access to finish (busyUntil).
+type bank struct {
+	issueFree Cycle // next same-row command may issue
+	busyUntil Cycle // row switch / turnaround must wait until here
+	openRow   int64 // currently open row, -1 if none
+	lastOp    Op
+	hasLast   bool
+	writes    uint64 // wear counter
+	reads     uint64
+	busyTime  Cycle
+}
+
+// Device is a single-channel NVM device with several banks sharing one
+// data bus.
+type Device struct {
+	timing config.NVMTiming
+	banks  []bank
+	// busFreeAt is when the shared data bus next frees up. Each block
+	// transfer occupies the bus for burstCycles.
+	busFreeAt   Cycle
+	burstCycles Cycle
+
+	reads, writes   uint64
+	bytesRead       uint64
+	bytesWritten    uint64
+	blockBytes      uint64
+	energyReadPJ    uint64
+	energyWritePJ   uint64
+	lastCompletion  Cycle
+	rowBufferHits   uint64
+	rowBufferMisses uint64
+}
+
+// Per-byte access energy in picojoules. PCM array writes are roughly an
+// order of magnitude more expensive than reads; values follow the common
+// modeling assumptions used with NVMain-style PCM configs.
+const (
+	readEnergyPJPerByte  = 2
+	writeEnergyPJPerByte = 16
+)
+
+// NewDevice creates a device with the given timing and bank count. The
+// block size determines the data burst length on the shared bus.
+func NewDevice(t config.NVMTiming, banks, blockBytes int) *Device {
+	if banks <= 0 {
+		panic(fmt.Sprintf("nvm: bank count must be positive, got %d", banks))
+	}
+	d := &Device{
+		timing:     t,
+		banks:      make([]bank, banks),
+		blockBytes: uint64(blockBytes),
+		// 64B over an 8-byte-wide bus at tCCD pacing: tCCD covers one
+		// burst chunk; a 64B block is 8 chunks of 8B => 8/2 * tCCD... we
+		// keep it simple: one block transfer = tCCD * (blockBytes/16).
+		burstCycles: Cycle(t.TCCD) * Cycle((blockBytes+15)/16),
+	}
+	for i := range d.banks {
+		d.banks[i].openRow = -1
+	}
+	return d
+}
+
+// Banks returns the number of banks.
+func (d *Device) Banks() int { return len(d.banks) }
+
+// Completion describes a scheduled command.
+type Completion struct {
+	Start Cycle // when the command began occupying the bank
+	Done  Cycle // when the data is available (read) or durable (write)
+}
+
+// Schedule issues a full-block op on (bankIdx, row) no earlier than
+// `earliest` and returns the completion. Banks serialize their own
+// commands; the data bus serializes transfers across banks; a row-buffer
+// hit skips the activate (tRCD) phase; a write-to-read turnaround on the
+// same bank pays tWTR; precharge (tRP) is paid when switching rows.
+func (d *Device) Schedule(op Op, bankIdx int, row int64, earliest Cycle) Completion {
+	return d.ScheduleBytes(op, bankIdx, row, earliest, int(d.blockBytes))
+}
+
+// ScheduleBytes is Schedule for a transfer of `bytes` bytes (e.g. a
+// PosMap entry smaller than a data block). Traffic and energy accounting
+// use the actual byte count; the burst occupies the bus proportionally.
+func (d *Device) ScheduleBytes(op Op, bankIdx int, row int64, earliest Cycle, bytes int) Completion {
+	if bankIdx < 0 || bankIdx >= len(d.banks) {
+		panic(fmt.Sprintf("nvm: bank %d out of range [0,%d)", bankIdx, len(d.banks)))
+	}
+	b := &d.banks[bankIdx]
+
+	rowHit := b.openRow == row
+	sameDir := b.hasLast && b.lastOp == op
+
+	start := earliest
+	if rowHit && sameDir {
+		// Pipelined column access: issue at the burst rate.
+		if b.issueFree > start {
+			start = b.issueFree
+		}
+	} else {
+		// Row switch or direction turnaround drains the bank.
+		if b.busyUntil > start {
+			start = b.busyUntil
+		}
+		if b.hasLast && b.lastOp == Write && op == Read {
+			start += Cycle(d.timing.TWTR)
+		}
+	}
+
+	var access Cycle
+	if rowHit {
+		d.rowBufferHits++
+	} else {
+		d.rowBufferMisses++
+		if b.openRow >= 0 {
+			access += Cycle(d.timing.TRP)
+		}
+		access += Cycle(d.timing.TRCD)
+		b.openRow = row
+	}
+	switch op {
+	case Read:
+		access += Cycle(d.timing.TCCD)
+	case Write:
+		access += Cycle(d.timing.TCWD) + Cycle(d.timing.TWP)
+	}
+
+	burst := Cycle(d.timing.TCCD) * Cycle((bytes+15)/16)
+	if burst == 0 {
+		burst = Cycle(d.timing.TCCD)
+	}
+
+	// The data transfer needs the shared bus; it begins after the column
+	// access completes and after the bus frees.
+	xferStart := start + access
+	if d.busFreeAt > xferStart {
+		xferStart = d.busFreeAt
+	}
+	done := xferStart + burst
+	d.busFreeAt = done
+
+	b.issueFree = start + burst
+	b.busyUntil = done
+	b.lastOp = op
+	b.hasLast = true
+	b.busyTime += done - start
+
+	switch op {
+	case Read:
+		d.reads++
+		b.reads++
+		d.bytesRead += uint64(bytes)
+		d.energyReadPJ += uint64(bytes) * readEnergyPJPerByte
+	case Write:
+		d.writes++
+		b.writes++
+		d.bytesWritten += uint64(bytes)
+		d.energyWritePJ += uint64(bytes) * writeEnergyPJPerByte
+	}
+	if done > d.lastCompletion {
+		d.lastCompletion = done
+	}
+	return Completion{Start: start, Done: done}
+}
+
+// Stats is a snapshot of device accounting.
+type Stats struct {
+	Reads, Writes           uint64
+	BytesRead, BytesWritten uint64
+	EnergyReadPJ            uint64
+	EnergyWritePJ           uint64
+	RowBufferHits           uint64
+	RowBufferMisses         uint64
+	LastCompletion          Cycle
+	MaxBankWrites           uint64 // hottest bank (lifetime proxy)
+	MinBankWrites           uint64 // coldest bank
+}
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Stats {
+	s := Stats{
+		Reads: d.reads, Writes: d.writes,
+		BytesRead: d.bytesRead, BytesWritten: d.bytesWritten,
+		EnergyReadPJ: d.energyReadPJ, EnergyWritePJ: d.energyWritePJ,
+		RowBufferHits: d.rowBufferHits, RowBufferMisses: d.rowBufferMisses,
+		LastCompletion: d.lastCompletion,
+	}
+	if len(d.banks) > 0 {
+		s.MinBankWrites = d.banks[0].writes
+	}
+	for i := range d.banks {
+		w := d.banks[i].writes
+		if w > s.MaxBankWrites {
+			s.MaxBankWrites = w
+		}
+		if w < s.MinBankWrites {
+			s.MinBankWrites = w
+		}
+	}
+	return s
+}
+
+// WearImbalance returns max/min per-bank writes, a simple lifetime metric
+// (1.0 is perfectly even wear). Returns 1 when no writes happened.
+func (d *Device) WearImbalance() float64 {
+	s := d.Stats()
+	if s.MinBankWrites == 0 {
+		if s.MaxBankWrites == 0 {
+			return 1
+		}
+		return float64(s.MaxBankWrites)
+	}
+	return float64(s.MaxBankWrites) / float64(s.MinBankWrites)
+}

@@ -1,0 +1,209 @@
+package nvm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/config"
+)
+
+func newPCM(banks int) *Device { return NewDevice(config.PCM(), banks, 64) }
+
+func TestReadCompletionTiming(t *testing.T) {
+	d := newPCM(8)
+	c := d.Schedule(Read, 0, 10, 0)
+	// Cold bank: tRCD + tCCD column access, then burst.
+	want := Cycle(config.PCM().TRCD+config.PCM().TCCD) + d.burstCycles
+	if c.Start != 0 || c.Done != want {
+		t.Fatalf("read completion = %+v, want done %d", c, want)
+	}
+}
+
+func TestWriteSlowerThanRead(t *testing.T) {
+	d := newPCM(8)
+	r := d.Schedule(Read, 0, 1, 0)
+	w := d.Schedule(Write, 1, 1, 0)
+	if w.Done-w.Start <= r.Done-r.Start {
+		t.Fatalf("PCM write (%d) should take longer than read (%d)",
+			w.Done-w.Start, r.Done-r.Start)
+	}
+}
+
+func TestSTTFasterThanPCMWrites(t *testing.T) {
+	p := NewDevice(config.PCM(), 4, 64)
+	s := NewDevice(config.STTRAM(), 4, 64)
+	pw := p.Schedule(Write, 0, 0, 0)
+	sw := s.Schedule(Write, 0, 0, 0)
+	if sw.Done >= pw.Done {
+		t.Fatalf("STT write done %d should beat PCM %d", sw.Done, pw.Done)
+	}
+}
+
+func TestBankSerialization(t *testing.T) {
+	d := newPCM(8)
+	a := d.Schedule(Read, 0, 1, 0)
+	b := d.Schedule(Read, 0, 2, 0) // same bank, different row
+	if b.Start < a.Done {
+		t.Fatalf("second command on same bank started %d before first done %d", b.Start, a.Done)
+	}
+}
+
+func TestRowBufferHitFasterThanMiss(t *testing.T) {
+	d := newPCM(8)
+	miss := d.Schedule(Read, 0, 1, 0)
+	hit := d.Schedule(Read, 0, 1, miss.Done)
+	if hit.Done-hit.Start >= miss.Done-miss.Start {
+		t.Fatalf("row hit latency %d should beat miss %d",
+			hit.Done-hit.Start, miss.Done-miss.Start)
+	}
+	s := d.Stats()
+	if s.RowBufferHits != 1 || s.RowBufferMisses != 1 {
+		t.Fatalf("row buffer accounting: %+v", s)
+	}
+}
+
+func TestBankParallelismBeatsSingleBank(t *testing.T) {
+	// Reading 8 blocks across 8 banks must finish sooner than 8 blocks on
+	// one bank.
+	multi := newPCM(8)
+	var multiDone Cycle
+	for i := 0; i < 8; i++ {
+		c := multi.Schedule(Read, i, int64(i), 0)
+		if c.Done > multiDone {
+			multiDone = c.Done
+		}
+	}
+	single := newPCM(8)
+	var singleDone Cycle
+	for i := 0; i < 8; i++ {
+		c := single.Schedule(Read, 0, int64(i+100), 0)
+		if c.Done > singleDone {
+			singleDone = c.Done
+		}
+	}
+	if multiDone >= singleDone {
+		t.Fatalf("8-bank reads (%d) should beat single-bank (%d)", multiDone, singleDone)
+	}
+}
+
+func TestBusSerializesTransfers(t *testing.T) {
+	// Even across banks, the shared bus limits throughput: n blocks take
+	// at least n*burstCycles.
+	d := newPCM(16)
+	var done Cycle
+	const n = 16
+	for i := 0; i < n; i++ {
+		c := d.Schedule(Read, i, 0, 0)
+		if c.Done > done {
+			done = c.Done
+		}
+	}
+	if done < Cycle(n)*d.burstCycles {
+		t.Fatalf("bus allowed %d blocks in %d cycles (< %d)", n, done, Cycle(n)*d.burstCycles)
+	}
+}
+
+func TestWriteToReadTurnaround(t *testing.T) {
+	d := newPCM(8)
+	w := d.Schedule(Write, 0, 1, 0)
+	r := d.Schedule(Read, 0, 1, w.Done)
+	// Same bank, row hit, but W->R pays tWTR before the column access.
+	minStart := w.Done + Cycle(config.PCM().TWTR)
+	if r.Start < minStart {
+		t.Fatalf("read after write started at %d, want >= %d", r.Start, minStart)
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	d := newPCM(4)
+	for i := 0; i < 5; i++ {
+		d.Schedule(Read, i%4, 0, 0)
+	}
+	for i := 0; i < 3; i++ {
+		d.Schedule(Write, i%4, 0, 0)
+	}
+	s := d.Stats()
+	if s.Reads != 5 || s.Writes != 3 {
+		t.Fatalf("op counts: %+v", s)
+	}
+	if s.BytesRead != 5*64 || s.BytesWritten != 3*64 {
+		t.Fatalf("byte counts: %+v", s)
+	}
+	if s.EnergyWritePJ <= s.EnergyReadPJ {
+		t.Fatalf("write energy (%d) should dominate read energy (%d) here",
+			s.EnergyWritePJ, s.EnergyReadPJ)
+	}
+}
+
+func TestWearTracking(t *testing.T) {
+	d := newPCM(4)
+	// Hammer bank 0.
+	for i := 0; i < 100; i++ {
+		d.Schedule(Write, 0, int64(i), 0)
+	}
+	d.Schedule(Write, 1, 0, 0)
+	if imb := d.WearImbalance(); imb < 50 {
+		t.Fatalf("wear imbalance %f should reflect hot bank", imb)
+	}
+	even := newPCM(4)
+	for i := 0; i < 100; i++ {
+		even.Schedule(Write, i%4, int64(i), 0)
+	}
+	if imb := even.WearImbalance(); imb != 1 {
+		t.Fatalf("even wear imbalance = %f, want 1", imb)
+	}
+}
+
+func TestWearImbalanceNoWrites(t *testing.T) {
+	if imb := newPCM(2).WearImbalance(); imb != 1 {
+		t.Fatalf("no-write imbalance = %f, want 1", imb)
+	}
+}
+
+func TestScheduleRespectsEarliest(t *testing.T) {
+	f := func(e uint32) bool {
+		d := newPCM(2)
+		c := d.Schedule(Read, 0, 0, Cycle(e))
+		return c.Start >= Cycle(e) && c.Done > c.Start
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonotoneCompletionPerBank(t *testing.T) {
+	// Property: successive commands to one bank complete in order.
+	f := func(rows [12]uint8) bool {
+		d := newPCM(4)
+		var prev Cycle
+		for _, r := range rows {
+			c := d.Schedule(Write, 0, int64(r%4), 0)
+			if c.Done <= prev {
+				return false
+			}
+			prev = c.Done
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBankOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	newPCM(2).Schedule(Read, 5, 0, 0)
+}
+
+func TestNewDeviceRejectsZeroBanks(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDevice(config.PCM(), 0, 64)
+}

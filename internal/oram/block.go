@@ -1,0 +1,83 @@
+package oram
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/cryptoeng"
+)
+
+// headerBytes is the plaintext header length: addr(8) + leaf(4) + ver(4).
+const headerBytes = 16
+
+// Slot is one block slot of a bucket as it exists in NVM: two plaintext
+// IVs plus the sealed header and sealed payload (Fletcher et al.: IV1
+// seals the header, IV2 the data). A freshly initialized slot holds a
+// sealed dummy block — on the bus, dummies are indistinguishable from
+// real blocks.
+type Slot struct {
+	IV1, IV2     uint64
+	SealedHeader []byte
+	SealedData   []byte
+}
+
+// Block is a decrypted block as the controller sees it. Ver is a
+// seal-time sequence number carried in the sealed header: when leaf
+// collisions leave several copies of one address that all match the
+// position map (a backup sealed under the block's next leaf, say), the
+// highest version is the fresh one — recovery and path loading use it
+// to resolve the ambiguity deterministically.
+type Block struct {
+	Addr Addr
+	Leaf Leaf
+	Ver  uint32
+	Data []byte
+}
+
+// Dummy reports whether the block carries the reserved dummy address.
+func (b Block) Dummy() bool { return b.Addr == DummyAddr }
+
+// sealHeader packs and seals the header under IV1.
+func sealHeader(e *cryptoeng.Engine, iv1 uint64, addr Addr, leaf Leaf, ver uint32) []byte {
+	var h [headerBytes]byte
+	binary.LittleEndian.PutUint64(h[0:8], uint64(addr))
+	binary.LittleEndian.PutUint32(h[8:12], uint32(leaf))
+	binary.LittleEndian.PutUint32(h[12:16], ver)
+	return e.Seal(iv1, h[:])
+}
+
+// openHeader unseals and unpacks the header.
+func openHeader(e *cryptoeng.Engine, iv1 uint64, sealed []byte) (Addr, Leaf, uint32, error) {
+	if len(sealed) != headerBytes {
+		return 0, 0, 0, fmt.Errorf("oram: sealed header has %d bytes, want %d", len(sealed), headerBytes)
+	}
+	h := e.Open(iv1, sealed)
+	return Addr(binary.LittleEndian.Uint64(h[0:8])),
+		Leaf(binary.LittleEndian.Uint32(h[8:12])),
+		binary.LittleEndian.Uint32(h[12:16]), nil
+}
+
+// SealBlock encrypts b into a Slot using fresh IVs drawn from nextIV.
+func SealBlock(e *cryptoeng.Engine, b Block, nextIV func() uint64) Slot {
+	iv1, iv2 := nextIV(), nextIV()
+	return Slot{
+		IV1:          iv1,
+		IV2:          iv2,
+		SealedHeader: sealHeader(e, iv1, b.Addr, b.Leaf, b.Ver),
+		SealedData:   e.Seal(iv2, b.Data),
+	}
+}
+
+// OpenSlot decrypts a slot back into a Block.
+func OpenSlot(e *cryptoeng.Engine, s Slot) (Block, error) {
+	addr, leaf, ver, err := openHeader(e, s.IV1, s.SealedHeader)
+	if err != nil {
+		return Block{}, err
+	}
+	return Block{Addr: addr, Leaf: leaf, Ver: ver, Data: e.Open(s.IV2, s.SealedData)}, nil
+}
+
+// DummySlot seals a dummy block with throwaway payload of blockBytes.
+func DummySlot(e *cryptoeng.Engine, blockBytes int, nextIV func() uint64) Slot {
+	return SealBlock(e, Block{Addr: DummyAddr, Data: make([]byte, blockBytes)}, nextIV)
+}

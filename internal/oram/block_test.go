@@ -1,0 +1,173 @@
+package oram
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cryptoeng"
+	"repro/internal/rng"
+)
+
+func testEngine() *cryptoeng.Engine {
+	return cryptoeng.MustNew([]byte("0123456789abcdef"))
+}
+
+func testIVs() func() uint64 {
+	return NewIVSource(rng.New(1))
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	e := testEngine()
+	iv := testIVs()
+	b := Block{Addr: 42, Leaf: 7, Data: []byte("sixty-four bytes of payload for the oram block, padded......!!")}
+	slot := SealBlock(e, b, iv)
+	got, err := OpenSlot(e, slot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Addr != b.Addr || got.Leaf != b.Leaf || !bytes.Equal(got.Data, b.Data) {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestSealedSlotHidesContent(t *testing.T) {
+	e := testEngine()
+	iv := testIVs()
+	data := []byte("plaintext secret")
+	slot := SealBlock(e, Block{Addr: 1, Leaf: 2, Data: data}, iv)
+	if bytes.Contains(slot.SealedData, data) {
+		t.Fatal("payload visible in sealed slot")
+	}
+	// The header (addr, leaf) must not be readable either.
+	if bytes.Contains(slot.SealedHeader, []byte{1, 0, 0, 0, 0, 0, 0, 0}) {
+		t.Fatal("address bytes visible in sealed header")
+	}
+}
+
+func TestDummySlotLooksLikeRealSlot(t *testing.T) {
+	e := testEngine()
+	iv := testIVs()
+	d := DummySlot(e, 64, iv)
+	r := SealBlock(e, Block{Addr: 1, Leaf: 2, Data: make([]byte, 64)}, iv)
+	if len(d.SealedData) != len(r.SealedData) || len(d.SealedHeader) != len(r.SealedHeader) {
+		t.Fatal("dummy and real slots differ in shape")
+	}
+	got, err := OpenSlot(e, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Dummy() {
+		t.Fatal("dummy slot decrypts to a real block")
+	}
+}
+
+func TestOpenSlotRejectsCorruptHeader(t *testing.T) {
+	e := testEngine()
+	s := DummySlot(e, 64, testIVs())
+	s.SealedHeader = s.SealedHeader[:4]
+	if _, err := OpenSlot(e, s); err == nil {
+		t.Fatal("short header accepted")
+	}
+}
+
+func TestSealBlockProperty(t *testing.T) {
+	e := testEngine()
+	iv := testIVs()
+	f := func(addr uint64, leaf uint32, payload []byte) bool {
+		b := Block{Addr: Addr(addr), Leaf: Leaf(leaf), Data: payload}
+		got, err := OpenSlot(e, SealBlock(e, b, iv))
+		return err == nil && got.Addr == b.Addr && got.Leaf == b.Leaf && bytes.Equal(got.Data, b.Data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIVSourceUnique(t *testing.T) {
+	iv := NewIVSource(rng.New(9))
+	seen := map[uint64]bool{}
+	for i := 0; i < 100000; i++ {
+		v := iv()
+		if seen[v] {
+			t.Fatal("IV repeated")
+		}
+		seen[v] = true
+	}
+}
+
+func TestImageSetSlotUndo(t *testing.T) {
+	e := testEngine()
+	iv := testIVs()
+	img := NewImage(NewTree(3, 2), e, 64, iv)
+	orig := img.Slot(5, 1)
+	repl := DummySlot(e, 64, iv)
+	undo := img.SetSlot(5, 1, repl)
+	if !bytes.Equal(img.Slot(5, 1).SealedData, repl.SealedData) {
+		t.Fatal("SetSlot did not apply")
+	}
+	undo()
+	if !bytes.Equal(img.Slot(5, 1).SealedData, orig.SealedData) {
+		t.Fatal("undo did not restore")
+	}
+}
+
+func TestImageInitBlocksPlacesOnPath(t *testing.T) {
+	e := testEngine()
+	iv := testIVs()
+	tr := NewTree(4, 4)
+	img := NewImage(tr, e, 64, iv)
+	blocks := []Block{
+		{Addr: 0, Leaf: 3, Data: make([]byte, 64)},
+		{Addr: 1, Leaf: 3, Data: make([]byte, 64)},
+		{Addr: 2, Leaf: 12, Data: make([]byte, 64)},
+	}
+	img.InitBlocks(e, blocks, iv)
+	n, err := img.CountReal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("CountReal = %d", n)
+	}
+	// Each block must sit on its leaf's path.
+	for _, want := range blocks {
+		found := false
+		for _, bucket := range tr.Path(want.Leaf) {
+			got, err := img.ReadBucket(e, bucket)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, b := range got {
+				if b.Addr == want.Addr && b.Leaf == want.Leaf {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("block %d not on path %d", want.Addr, want.Leaf)
+		}
+	}
+}
+
+func TestImageInitBlocksOverflowReturnsUnplaced(t *testing.T) {
+	e := testEngine()
+	iv := testIVs()
+	tr := NewTree(2, 1) // 7 slots, path holds 3
+	img := NewImage(tr, e, 8, iv)
+	var blocks []Block
+	for i := 0; i < 4; i++ { // 4 blocks on the same leaf's 3-slot path
+		blocks = append(blocks, Block{Addr: Addr(i), Leaf: 0, Data: make([]byte, 8)})
+	}
+	unplaced := img.InitBlocks(e, blocks, iv)
+	if len(unplaced) != 1 || unplaced[0].Addr != 3 {
+		t.Fatalf("unplaced = %+v, want the fourth block", unplaced)
+	}
+	n, err := img.CountReal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("placed %d blocks, want 3", n)
+	}
+}

@@ -1,0 +1,116 @@
+package oram
+
+import (
+	"fmt"
+
+	"repro/internal/cryptoeng"
+	"repro/internal/rng"
+)
+
+// Image is the functional NVM image of an ORAM tree: every bucket's
+// sealed slots. It plays the role of the NVM-ORAM tree in the paper's
+// figures; the mem package decides which mutations of it survive a crash.
+type Image struct {
+	Tree    Tree
+	buckets [][]Slot
+	blockB  int
+}
+
+// NewImage allocates an image with every slot sealed as a dummy.
+func NewImage(t Tree, e *cryptoeng.Engine, blockBytes int, nextIV func() uint64) *Image {
+	img := &Image{Tree: t, blockB: blockBytes}
+	img.buckets = make([][]Slot, t.Buckets())
+	for i := range img.buckets {
+		slots := make([]Slot, t.Z)
+		for z := range slots {
+			slots[z] = DummySlot(e, blockBytes, nextIV)
+		}
+		img.buckets[i] = slots
+	}
+	return img
+}
+
+// Slot returns the sealed slot at (bucket, z).
+func (img *Image) Slot(bucket uint64, z int) Slot { return img.buckets[bucket][z] }
+
+// SetSlot overwrites the sealed slot at (bucket, z) and returns an undo
+// closure restoring the previous content (used for crash rollback of
+// in-flight writes).
+func (img *Image) SetSlot(bucket uint64, z int, s Slot) (undo func()) {
+	prev := img.buckets[bucket][z]
+	img.buckets[bucket][z] = s
+	return func() { img.buckets[bucket][z] = prev }
+}
+
+// BlockBytes returns the payload size of each block.
+func (img *Image) BlockBytes() int { return img.blockB }
+
+// InitBlocks seals the given blocks into the tree, each on the path of
+// its leaf, filling from the leaf level upward. It is used to build an
+// initial ORAM state with real resident blocks (plus the already-sealed
+// dummies everywhere else). Blocks whose paths are already full are
+// returned unplaced — at high utilization the controller starts them in
+// the stash, exactly as a real warm-up would.
+func (img *Image) InitBlocks(e *cryptoeng.Engine, blocks []Block, nextIV func() uint64) []Block {
+	t := img.Tree
+	used := make(map[uint64]int) // bucket -> slots consumed
+	var unplaced []Block
+	for _, b := range blocks {
+		placed := false
+		path := t.Path(b.Leaf)
+		for k := t.L; k >= 0 && !placed; k-- {
+			bucket := path[k]
+			if used[bucket] < t.Z {
+				img.buckets[bucket][used[bucket]] = SealBlock(e, b, nextIV)
+				used[bucket]++
+				placed = true
+			}
+		}
+		if !placed {
+			unplaced = append(unplaced, b)
+		}
+	}
+	return unplaced
+}
+
+// ReadBucket opens every slot of a bucket.
+func (img *Image) ReadBucket(e *cryptoeng.Engine, bucket uint64) ([]Block, error) {
+	out := make([]Block, 0, img.Tree.Z)
+	for z := 0; z < img.Tree.Z; z++ {
+		b, err := OpenSlot(e, img.buckets[bucket][z])
+		if err != nil {
+			return nil, fmt.Errorf("oram: bucket %d slot %d: %w", bucket, z, err)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// CountReal returns the number of non-dummy blocks in the whole tree
+// (slow; for tests and consistency checks).
+func (img *Image) CountReal(e *cryptoeng.Engine) (int, error) {
+	n := 0
+	for b := uint64(0); b < img.Tree.Buckets(); b++ {
+		blocks, err := img.ReadBucket(e, b)
+		if err != nil {
+			return 0, err
+		}
+		for _, blk := range blocks {
+			if !blk.Dummy() {
+				n++
+			}
+		}
+	}
+	return n, nil
+}
+
+// NewIVSource returns a monotonically unique IV generator seeded from r.
+// IVs must never repeat under one key; a 64-bit counter starting at a
+// random offset suffices for simulation lifetimes.
+func NewIVSource(r *rng.Rand) func() uint64 {
+	ctr := r.Uint64()
+	return func() uint64 {
+		ctr++
+		return ctr
+	}
+}

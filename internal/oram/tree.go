@@ -1,0 +1,119 @@
+// Package oram implements the functional Path ORAM core: tree geometry,
+// buckets and sealed blocks, the stash, the position map (flat and
+// recursive), and the baseline (non-persistent) access protocol of
+// Stefanov et al. that PS-ORAM extends.
+//
+// "Functional" means value-accurate: blocks carry real (AES-CTR sealed)
+// bytes and the protocol moves them exactly as hardware would, so crash
+// injection and recovery can be checked against real data. Timing is the
+// job of internal/sim; this package owns correctness.
+package oram
+
+import "fmt"
+
+// Leaf is a path identifier: leaves are numbered 0..2^L-1 left to right.
+type Leaf uint32
+
+// Addr is a logical block address (block index, not byte address).
+type Addr uint64
+
+// DummyAddr is the reserved program address ⊥ marking dummy blocks.
+const DummyAddr Addr = ^Addr(0)
+
+// Tree describes the geometry of an ORAM tree of height L (root at level
+// 0, leaves at level L) with Z block slots per bucket. Buckets are
+// numbered heap-style: root is 0, children of i are 2i+1 and 2i+2.
+type Tree struct {
+	L int
+	Z int
+}
+
+// NewTree returns the geometry for the given height and bucket size.
+func NewTree(levels, z int) Tree {
+	if levels < 1 || levels > 30 {
+		panic(fmt.Sprintf("oram: tree height %d out of range [1,30]", levels))
+	}
+	if z < 1 {
+		panic(fmt.Sprintf("oram: Z must be positive, got %d", z))
+	}
+	return Tree{L: levels, Z: z}
+}
+
+// Levels returns L+1, the number of levels.
+func (t Tree) Levels() int { return t.L + 1 }
+
+// Buckets returns the total bucket count, 2^(L+1)-1.
+func (t Tree) Buckets() uint64 { return 1<<(uint(t.L)+1) - 1 }
+
+// Slots returns the total block-slot count.
+func (t Tree) Slots() uint64 { return t.Buckets() * uint64(t.Z) }
+
+// Leaves returns the number of distinct paths, 2^L.
+func (t Tree) Leaves() uint64 { return 1 << uint(t.L) }
+
+// PathBlocks returns Z*(L+1), the slots on one path.
+func (t Tree) PathBlocks() int { return t.Z * (t.L + 1) }
+
+// LeafBucket returns the bucket index of the leaf-level node for l.
+func (t Tree) LeafBucket(l Leaf) uint64 {
+	if uint64(l) >= t.Leaves() {
+		panic(fmt.Sprintf("oram: leaf %d out of range [0,%d)", l, t.Leaves()))
+	}
+	return t.Leaves() - 1 + uint64(l)
+}
+
+// PathNode returns the bucket index of the level-k ancestor (k=0 is the
+// root, k=L the leaf bucket) on the path to leaf l.
+func (t Tree) PathNode(l Leaf, k int) uint64 {
+	if k < 0 || k > t.L {
+		panic(fmt.Sprintf("oram: level %d out of range [0,%d]", k, t.L))
+	}
+	b := t.LeafBucket(l)
+	for i := t.L; i > k; i-- {
+		b = (b - 1) / 2
+	}
+	return b
+}
+
+// Path returns the bucket indices from root to the leaf bucket of l.
+func (t Tree) Path(l Leaf) []uint64 {
+	out := make([]uint64, t.L+1)
+	b := t.LeafBucket(l)
+	for k := t.L; k >= 0; k-- {
+		out[k] = b
+		if b > 0 {
+			b = (b - 1) / 2
+		}
+	}
+	return out
+}
+
+// Level returns the level of bucket b (root is 0).
+func (t Tree) Level(b uint64) int {
+	lvl := 0
+	for b > 0 {
+		b = (b - 1) / 2
+		lvl++
+	}
+	return lvl
+}
+
+// OnPath reports whether bucket b lies on the path to leaf l.
+func (t Tree) OnPath(b uint64, l Leaf) bool {
+	lvl := t.Level(b)
+	return t.PathNode(l, lvl) == b
+}
+
+// IntersectLevel returns the deepest level shared by the paths to a and
+// b: the level of their lowest common ancestor. A block mapped to leaf b
+// may be placed on the path to a at any level <= IntersectLevel(a,b).
+func (t Tree) IntersectLevel(a, b Leaf) int {
+	x, y := t.LeafBucket(a), t.LeafBucket(b)
+	lvl := t.L
+	for x != y {
+		x = (x - 1) / 2
+		y = (y - 1) / 2
+		lvl--
+	}
+	return lvl
+}

@@ -1,0 +1,157 @@
+package oram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTreeGeometry(t *testing.T) {
+	tr := NewTree(3, 2) // the paper's Figure 1 example: 4 levels, Z=2
+	if tr.Levels() != 4 {
+		t.Errorf("Levels = %d, want 4", tr.Levels())
+	}
+	if tr.Buckets() != 15 {
+		t.Errorf("Buckets = %d, want 15", tr.Buckets())
+	}
+	if tr.Leaves() != 8 {
+		t.Errorf("Leaves = %d, want 8", tr.Leaves())
+	}
+	if tr.PathBlocks() != 8 {
+		t.Errorf("PathBlocks = %d, want 8", tr.PathBlocks())
+	}
+	if tr.Slots() != 30 {
+		t.Errorf("Slots = %d, want 30", tr.Slots())
+	}
+}
+
+func TestTable3Geometry(t *testing.T) {
+	tr := NewTree(23, 4)
+	if tr.PathBlocks() != 96 {
+		t.Errorf("Z*(L+1) = %d, want 96 (the paper's WPQ sizing)", tr.PathBlocks())
+	}
+}
+
+func TestPathStartsAtRootEndsAtLeaf(t *testing.T) {
+	tr := NewTree(4, 4)
+	for l := Leaf(0); uint64(l) < tr.Leaves(); l++ {
+		p := tr.Path(l)
+		if len(p) != tr.Levels() {
+			t.Fatalf("path length %d, want %d", len(p), tr.Levels())
+		}
+		if p[0] != 0 {
+			t.Fatalf("path to %d does not start at root: %v", l, p)
+		}
+		if p[tr.L] != tr.LeafBucket(l) {
+			t.Fatalf("path to %d does not end at leaf bucket: %v", l, p)
+		}
+		// Each node must be the parent of the next.
+		for k := 0; k < tr.L; k++ {
+			if (p[k+1]-1)/2 != p[k] {
+				t.Fatalf("path to %d not parent-linked at level %d: %v", l, k, p)
+			}
+		}
+	}
+}
+
+func TestPathNodeAgreesWithPath(t *testing.T) {
+	tr := NewTree(6, 4)
+	f := func(leafSeed uint32, level uint8) bool {
+		l := Leaf(uint64(leafSeed) % tr.Leaves())
+		k := int(level) % tr.Levels()
+		return tr.PathNode(l, k) == tr.Path(l)[k]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevelInversePathNode(t *testing.T) {
+	tr := NewTree(5, 4)
+	for b := uint64(0); b < tr.Buckets(); b++ {
+		lvl := tr.Level(b)
+		if lvl < 0 || lvl > tr.L {
+			t.Fatalf("bucket %d level %d out of range", b, lvl)
+		}
+	}
+	if tr.Level(0) != 0 {
+		t.Fatal("root level must be 0")
+	}
+	if tr.Level(tr.LeafBucket(0)) != tr.L {
+		t.Fatal("leaf bucket level must be L")
+	}
+}
+
+func TestOnPath(t *testing.T) {
+	tr := NewTree(4, 4)
+	for l := Leaf(0); uint64(l) < tr.Leaves(); l++ {
+		for _, b := range tr.Path(l) {
+			if !tr.OnPath(b, l) {
+				t.Fatalf("bucket %d should be on path %d", b, l)
+			}
+		}
+	}
+	// A leaf bucket is on no other leaf's path.
+	if tr.OnPath(tr.LeafBucket(0), 1) {
+		t.Fatal("leaf bucket 0 cannot be on path 1")
+	}
+	// Root is on every path.
+	for l := Leaf(0); uint64(l) < tr.Leaves(); l++ {
+		if !tr.OnPath(0, l) {
+			t.Fatalf("root must be on path %d", l)
+		}
+	}
+}
+
+func TestIntersectLevelProperties(t *testing.T) {
+	tr := NewTree(7, 4)
+	f := func(aSeed, bSeed uint32) bool {
+		a := Leaf(uint64(aSeed) % tr.Leaves())
+		b := Leaf(uint64(bSeed) % tr.Leaves())
+		lvl := tr.IntersectLevel(a, b)
+		if lvl < 0 || lvl > tr.L {
+			return false
+		}
+		// Symmetry.
+		if tr.IntersectLevel(b, a) != lvl {
+			return false
+		}
+		// Self-intersection is the full depth.
+		if a == b && lvl != tr.L {
+			return false
+		}
+		// The bucket at the intersect level is shared; one below is not.
+		if tr.PathNode(a, lvl) != tr.PathNode(b, lvl) {
+			return false
+		}
+		if lvl < tr.L && tr.PathNode(a, lvl+1) == tr.PathNode(b, lvl+1) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeafBucketOutOfRangePanics(t *testing.T) {
+	tr := NewTree(3, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.LeafBucket(Leaf(tr.Leaves()))
+}
+
+func TestNewTreeRejectsBadParams(t *testing.T) {
+	for _, c := range []struct{ l, z int }{{0, 4}, {31, 4}, {5, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewTree(%d,%d) should panic", c.l, c.z)
+				}
+			}()
+			NewTree(c.l, c.z)
+		}()
+	}
+}

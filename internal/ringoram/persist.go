@@ -1,0 +1,251 @@
+package ringoram
+
+import (
+	"fmt"
+
+	"repro/internal/oram"
+)
+
+// This file is the Ring-PS persistence layer: the stash journal, the
+// atomic commit paths, the power-failure model, and recovery.
+//
+// Durability invariant: at every instant, each logical block's latest
+// durable value is reachable as either (a) a live journal entry, or (b)
+// a tree copy whose sealed leaf equals the durable PosMap leaf. Batches
+// preserve the invariant atomically; the crash model simply discards
+// whatever a batch had not committed.
+
+// liveJournal counts live journal entries.
+func (c *Controller) liveJournal() int {
+	n := 0
+	for i := range c.journal {
+		if c.journal[i].live {
+			n++
+		}
+	}
+	return n
+}
+
+// commitAccess persists one access: the journal entry carrying the
+// target's post-access value and fresh leaf enters the PosMap WPQ
+// together with the (already applied, value-neutral) metadata updates,
+// and commits. From this commit on, the access's write is durable.
+func (c *Controller) commitAccess(addr oram.Addr, leaf oram.Leaf, data []byte, touched []uint64) error {
+	batch := c.Mem.BeginBatch()
+	// The journal region lives with the PosMap in trusted NVM; one
+	// constant-size entry per access.
+	c.jseq++
+	seq := c.jseq
+	entry := journalEntry{
+		seq:  seq,
+		addr: addr,
+		leaf: leaf,
+		data: append([]byte(nil), data...),
+		live: true,
+	}
+	batch.AddPosMapBlock(c.Mem.PosMapLocation(1<<20+seq%uint64(c.P.JournalEntries)), func() {
+		// Supersede any older live entry for the same address.
+		for i := range c.journal {
+			if c.journal[i].live && c.journal[i].addr == addr {
+				c.journal[i].live = false
+			}
+		}
+		c.journal = append(c.journal, entry)
+	})
+	// Metadata updates of the touched buckets (invalidations, counters):
+	// small writes to the bucket-metadata region. Their loss is benign
+	// (recovery revalidates — the paper's Case 2), but they ride in the
+	// batch so the traffic is accounted.
+	for _, b := range touched {
+		batch.AddPosMap(c.Mem.PosMapLocation(1<<21+b), nil)
+	}
+	if _, err := batch.Commit(0); err != nil {
+		return fmt.Errorf("ringoram: access batch: %w", err)
+	}
+	c.markDurable(addr, data)
+	c.inc("ring.journal_appends", 1)
+	return nil
+}
+
+// commitEviction persists one EvictPath atomically: the full bucket
+// rewrites, the dirty PosMap entries of evicted pending blocks, and the
+// retirement of their journal entries.
+func (c *Controller) commitEviction(l oram.Leaf, path []uint64, plan [][]oram.Block, evicted []*oram.StashBlock) error {
+	batch := c.Mem.BeginBatch()
+	// Bucket rewrites (sealed up front, applied at commit).
+	newBuckets := make([]bucket, len(path))
+	for k := range path {
+		newBuckets[k] = c.freshBucket(plan[k])
+	}
+	for k, bIdx := range path {
+		k, bIdx := k, bIdx
+		for s := 0; s < c.P.Z+c.P.S; s++ {
+			s := s
+			batch.AddData(c.Mem.TreeBlockLocation(bIdx, s%c.P.Z), func() {
+				c.buckets[bIdx].slots[s] = newBuckets[k].slots[s]
+				c.buckets[bIdx].meta[s] = newBuckets[k].meta[s]
+				c.buckets[bIdx].count = 0
+			})
+		}
+	}
+	// Dirty PosMap entries + journal retirement for evicted blocks.
+	for _, sb := range evicted {
+		sb := sb
+		if !sb.PendingRemap {
+			continue
+		}
+		batch.AddPosMap(c.Mem.PosMapLocation(uint64(sb.Addr)), func() {
+			c.durable.Set(sb.Addr, sb.Leaf)
+			c.posmap.Set(sb.Addr, sb.Leaf)
+			c.Temp.Delete(sb.Addr)
+			for i := range c.journal {
+				if c.journal[i].live && c.journal[i].addr == sb.Addr {
+					c.journal[i].live = false
+				}
+			}
+		})
+	}
+	if _, err := batch.Commit(0); err != nil {
+		return fmt.Errorf("ringoram: eviction batch: %w", err)
+	}
+	// Post-commit: remove evicted blocks from the stash and emit
+	// durability events (the tree copy is now the durable one).
+	for _, sb := range evicted {
+		c.Stash.Remove(sb.Addr)
+		sb.PendingRemap = false
+		if c.durable.Lookup(sb.Addr) == sb.Leaf {
+			c.markDurable(sb.Addr, sb.Data)
+		}
+	}
+	// Blocks that stayed in the stash keep their journal entries (their
+	// durable value remains the journal's).
+	c.inc("ring.evictions", 1)
+	// Compact retired journal entries (the physical region is circular;
+	// this keeps the in-memory mirror bounded).
+	if len(c.journal) > 4*c.P.JournalEntries {
+		kept := c.journal[:0]
+		for _, e := range c.journal {
+			if e.live {
+				kept = append(kept, e)
+			}
+		}
+		c.journal = kept
+	}
+	return nil
+}
+
+// commitReshuffle persists one bucket reshuffle atomically.
+func (c *Controller) commitReshuffle(bIdx uint64, keep []oram.Block) error {
+	batch := c.Mem.BeginBatch()
+	nb := c.freshBucket(keep)
+	for s := 0; s < c.P.Z+c.P.S; s++ {
+		s := s
+		batch.AddData(c.Mem.TreeBlockLocation(bIdx, s%c.P.Z), func() {
+			c.buckets[bIdx].slots[s] = nb.slots[s]
+			c.buckets[bIdx].meta[s] = nb.meta[s]
+			c.buckets[bIdx].count = 0
+		})
+	}
+	if _, err := batch.Commit(0); err != nil {
+		return fmt.Errorf("ringoram: reshuffle batch: %w", err)
+	}
+	return nil
+}
+
+// powerFail models the crash: volatile state (stash, temp posmap,
+// working map deltas) vanishes; an open batch is discarded by mem.
+func (c *Controller) powerFail() {
+	c.crashed = true
+	c.Mem.Crash(0)
+	c.Stash.Clear()
+	c.Temp.Clear()
+	if c.P.Persist {
+		*c.posmap = *c.durable.Clone()
+	}
+	c.inc("ring.crashes", 1)
+}
+
+// CrashNow simulates a power failure between accesses.
+func (c *Controller) CrashNow() {
+	if !c.crashed {
+		c.powerFail()
+	}
+}
+
+// Recover restores the controller after a crash. Persist mode reloads
+// the durable PosMap and replays live journal entries into the stash
+// (re-establishing the temporary PosMap); baseline mode has nothing
+// durable to reload — its working map snaps back to the last durable
+// image, which is the initial one (the corruption the oracle detects).
+func (c *Controller) Recover() error {
+	if !c.crashed {
+		return fmt.Errorf("ringoram: Recover called without a crash")
+	}
+	c.crashed = false
+	if !c.P.Persist {
+		*c.posmap = *c.durable.Clone()
+		return nil
+	}
+	*c.posmap = *c.durable.Clone()
+	// Replay the journal, newest entry per address wins.
+	latest := make(map[oram.Addr]*journalEntry)
+	for i := range c.journal {
+		e := &c.journal[i]
+		if !e.live {
+			continue
+		}
+		if cur, ok := latest[e.addr]; !ok || e.seq > cur.seq {
+			latest[e.addr] = e
+		}
+	}
+	for _, e := range latest {
+		c.Stash.Put(&oram.StashBlock{
+			Addr:         e.addr,
+			Leaf:         e.leaf,
+			Data:         append([]byte(nil), e.data...),
+			Dirty:        true,
+			PendingRemap: true,
+			RemapSeq:     c.Temp.Set(e.addr, e.leaf),
+		})
+		c.inc("ring.journal_replays", 1)
+	}
+	c.inc("ring.recoveries", 1)
+	return nil
+}
+
+// Peek reads a block's current value without a protocol access
+// (diagnostics and the consistency checker).
+func (c *Controller) Peek(addr oram.Addr) ([]byte, error) {
+	if b := c.Stash.Get(addr); b != nil {
+		return append([]byte(nil), b.Data...), nil
+	}
+	l := c.currentLeaf(addr)
+	var best []byte
+	bestVer := uint32(0)
+	found := false
+	for _, bIdx := range c.Tree.Path(l) {
+		b := &c.buckets[bIdx]
+		for i, m := range b.meta {
+			if m.addr != addr {
+				continue
+			}
+			blk, err := oram.OpenSlot(c.Engine, b.slots[i])
+			if err != nil {
+				return nil, err
+			}
+			if blk.Addr == addr && blk.Leaf == l {
+				// Found, possibly invalidated by a consumed read whose
+				// access never committed: the data is authoritative
+				// (recovery revalidates, the paper's Case 2). Among
+				// several matching copies, the highest version wins.
+				if !found || blk.Ver > bestVer {
+					best, bestVer, found = blk.Data, blk.Ver, true
+				}
+			}
+		}
+	}
+	if found {
+		return best, nil
+	}
+	return nil, fmt.Errorf("ringoram: block %d unreachable (mapped to leaf %d)", addr, l)
+}

@@ -1,0 +1,262 @@
+// Package ringoram implements Ring ORAM (Ren et al., USENIX Security'15)
+// — the other mainstream tree ORAM the paper names (§2.2) — and extends
+// it with PS-ORAM-style crash consistency, substantiating the paper's
+// claim that its persistence approach supports "general ORAM protocols
+// on NVM".
+//
+// Ring ORAM differs from Path ORAM in that a read touches ONE block per
+// bucket (the target where present, a fresh dummy elsewhere), metadata
+// tracks which slots were consumed, and write-backs happen on a separate
+// schedule: a full EvictPath every A accesses over reverse-lexicographic
+// paths, plus early reshuffles of buckets that exhaust their dummies.
+//
+// Crash consistency (the Persist mode) follows the PS-ORAM principles,
+// adapted to Ring ORAM's asymmetric schedule:
+//
+//   - a temporary position map defers PosMap updates until the remapped
+//     block is durably evicted (identical to PS-ORAM);
+//   - because a Ring read writes no data blocks, the backup-block trick
+//     has no write-back to ride on. Instead each access appends the
+//     target's current value to a bounded, fixed-location *stash
+//     journal* in the persistence domain (one constant-size entry per
+//     access — oblivious by construction, and bounded by the stash size,
+//     so none of §2.5's unbounded-log objections apply);
+//   - read-path metadata updates (slot invalidations, bucket counters),
+//     the journal append, eviction bucket rewrites, dirty PosMap
+//     entries, and journal retirements all commit through the WPQ's
+//     atomic start/end batches;
+//   - recovery reloads the durable PosMap, then replays live journal
+//     entries into the stash (re-establishing the temporary PosMap),
+//     exactly restoring the pre-crash durable state.
+package ringoram
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/cryptoeng"
+	"repro/internal/mem"
+	"repro/internal/oram"
+	"repro/internal/rng"
+)
+
+// Params configures a Ring ORAM.
+type Params struct {
+	Levels int // tree height L
+	Z      int // real slots per bucket
+	S      int // dummy slots per bucket
+	A      int // accesses between scheduled EvictPath operations
+	// BlockBytes is the payload size.
+	BlockBytes   int
+	StashEntries int
+	NumBlocks    uint64
+	Seed         uint64
+	// Persist enables the crash-consistent (Ring-PS) mode.
+	Persist bool
+	// JournalEntries bounds the persistent stash journal (Persist mode).
+	JournalEntries int
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.Z < 1 || p.S < 1 || p.A < 1 {
+		return fmt.Errorf("ringoram: Z, S, A must be positive (got %d,%d,%d)", p.Z, p.S, p.A)
+	}
+	if p.Levels < 1 || p.Levels > 30 {
+		return fmt.Errorf("ringoram: Levels %d out of range [1,30]", p.Levels)
+	}
+	t := oram.NewTree(p.Levels, p.Z)
+	switch {
+	case p.S < p.A:
+		// Between two scheduled evictions a bucket can be touched up to
+		// A times; S >= A keeps early reshuffles occasional rather than
+		// constant (Ren et al. use S ~ A).
+		return fmt.Errorf("ringoram: S (%d) should be >= A (%d)", p.S, p.A)
+	case p.NumBlocks == 0 || p.NumBlocks > t.Slots()/2:
+		return fmt.Errorf("ringoram: %d blocks exceed 50%% of %d real slots", p.NumBlocks, t.Slots())
+	case p.BlockBytes <= 0:
+		return fmt.Errorf("ringoram: BlockBytes must be positive")
+	case p.StashEntries <= p.Z*(p.Levels+1):
+		return fmt.Errorf("ringoram: stash (%d) must exceed one eviction path (%d)", p.StashEntries, p.Z*(p.Levels+1))
+	case p.Persist && p.JournalEntries < 1:
+		return fmt.Errorf("ringoram: Persist mode needs JournalEntries >= 1")
+	}
+	return nil
+}
+
+// slotMeta is the per-slot bucket metadata: which logical block (or
+// dummy) the sealed slot holds, and whether it is still unread since the
+// bucket's last shuffle.
+type slotMeta struct {
+	addr  oram.Addr // DummyAddr for dummy slots
+	valid bool
+}
+
+// bucket is one Ring ORAM bucket: Z+S sealed slots, their metadata, and
+// the access counter since the last shuffle.
+type bucket struct {
+	slots []oram.Slot
+	meta  []slotMeta
+	count int
+}
+
+// journalEntry is one persistent stash-journal record.
+type journalEntry struct {
+	seq  uint64
+	addr oram.Addr
+	leaf oram.Leaf // the block's post-remap leaf
+	data []byte
+	live bool
+}
+
+// Controller is the Ring ORAM controller.
+type Controller struct {
+	P      Params
+	Tree   oram.Tree
+	Stash  *oram.Stash
+	Temp   *oram.TempPosMap
+	Engine *cryptoeng.Engine
+	Mem    *mem.Controller
+
+	// posmap is the on-chip working map; durable is the NVM copy (only
+	// batch commits move it in Persist mode).
+	posmap  *oram.PosMap
+	durable *oram.PosMap
+
+	buckets []bucket
+	journal []journalEntry
+	jseq    uint64
+
+	r      *rng.Rand
+	nextIV func() uint64
+
+	accesses uint64
+	evictG   uint64 // reverse-lexicographic eviction counter
+	verSeq   uint32 // seal versions (freshness resolution)
+
+	crashed bool
+
+	// OnDurable observes values becoming durable (the crash oracle).
+	OnDurable func(addr oram.Addr, value []byte)
+	// CrashAt injects a power failure at the named points (see
+	// CrashPoint).
+	CrashAt func(CrashPoint) bool
+
+	counters map[string]int64
+}
+
+// CrashPoint identifies a Ring ORAM protocol point for injection.
+type CrashPoint struct {
+	Access uint64
+	// Phase: "read" (after the path read, before the access batch
+	// commits), "evict" (during EvictPath, before its batch commits),
+	// "end" (after the access completed).
+	Phase string
+}
+
+// ErrCrashed reports the injected power failure.
+var ErrCrashed = fmt.Errorf("ringoram: simulated power failure")
+
+// New builds a Ring ORAM with NumBlocks zero-initialized blocks resident.
+func New(p Params, cfg config.Config) (*Controller, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	eng, err := cryptoeng.New(oram.DefaultKey)
+	if err != nil {
+		return nil, err
+	}
+	r := rng.New(p.Seed ^ 0x51a6)
+	t := oram.NewTree(p.Levels, p.Z)
+	c := &Controller{
+		P:        p,
+		Tree:     t,
+		Stash:    oram.NewStash(p.StashEntries),
+		Temp:     oram.NewTempPosMap(maxInt(p.JournalEntries, 8)),
+		Engine:   eng,
+		Mem:      mem.New(cfg),
+		posmap:   oram.NewPosMap(p.NumBlocks, t, r.Split()),
+		r:        r,
+		nextIV:   oram.NewIVSource(r.Split()),
+		counters: make(map[string]int64),
+	}
+	c.durable = c.posmap.Clone()
+
+	// Materialize buckets: dummies everywhere, then place the initial
+	// blocks greedily on their paths.
+	c.buckets = make([]bucket, t.Buckets())
+	for i := range c.buckets {
+		c.buckets[i] = c.freshBucket(nil)
+	}
+	used := make(map[uint64]int)
+	for a := oram.Addr(0); uint64(a) < p.NumBlocks; a++ {
+		leaf := c.posmap.Lookup(a)
+		placed := false
+		path := t.Path(leaf)
+		for k := t.L; k >= 0 && !placed; k-- {
+			b := path[k]
+			if used[b] < p.Z {
+				slot := used[b]
+				used[b]++
+				c.buckets[b].slots[slot] = oram.SealBlock(eng, oram.Block{
+					Addr: a, Leaf: leaf, Data: make([]byte, p.BlockBytes),
+				}, c.nextIV)
+				c.buckets[b].meta[slot] = slotMeta{addr: a, valid: true}
+				placed = true
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("ringoram: no room for block %d during init", a)
+		}
+	}
+	return c, nil
+}
+
+// freshBucket builds a fully valid bucket holding the given real blocks
+// (<= Z) padded with dummies, count reset.
+func (c *Controller) freshBucket(blocks []oram.Block) bucket {
+	n := c.P.Z + c.P.S
+	b := bucket{slots: make([]oram.Slot, n), meta: make([]slotMeta, n)}
+	for i := 0; i < n; i++ {
+		if i < len(blocks) {
+			blk := blocks[i]
+			c.verSeq++
+			blk.Ver = c.verSeq
+			b.slots[i] = oram.SealBlock(c.Engine, blk, c.nextIV)
+			b.meta[i] = slotMeta{addr: blk.Addr, valid: true}
+		} else {
+			b.slots[i] = oram.DummySlot(c.Engine, c.P.BlockBytes, c.nextIV)
+			b.meta[i] = slotMeta{addr: oram.DummyAddr, valid: true}
+		}
+	}
+	return b
+}
+
+// Accesses returns the completed access count.
+func (c *Controller) Accesses() uint64 { return c.accesses }
+
+// Counter returns a named internal counter.
+func (c *Controller) Counter(name string) int64 { return c.counters[name] }
+
+func (c *Controller) inc(name string, d int64) { c.counters[name] += d }
+
+// currentLeaf is the working view: temp overlay over the on-chip map.
+func (c *Controller) currentLeaf(a oram.Addr) oram.Leaf {
+	if l, ok := c.Temp.Lookup(a); ok {
+		return l
+	}
+	return c.posmap.Lookup(a)
+}
+
+func (c *Controller) markDurable(a oram.Addr, v []byte) {
+	if c.OnDurable != nil {
+		c.OnDurable(a, append([]byte(nil), v...))
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

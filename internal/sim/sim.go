@@ -1,0 +1,953 @@
+// Package sim is the full-system timing simulator behind every figure in
+// §5.2: an in-order core driving an ORAM-protected NVM memory system,
+// per evaluated scheme, over the Table 4 workloads.
+//
+// Unlike internal/core (the value-accurate functional simulator used to
+// prove crash consistency), sim runs at the paper's tree scale by
+// tracking protocol state abstractly: block positions and leaf labels
+// without payload bytes. Both layers execute the same protocol — the
+// functional layer validates it, this layer prices it.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/nvm"
+	"repro/internal/oram"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Result aggregates one run.
+type Result struct {
+	Scheme   config.Scheme
+	Workload string
+
+	Cycles   uint64
+	Instrs   uint64
+	Accesses uint64
+
+	// NVM traffic (device commands).
+	Reads, Writes uint64
+	BytesRead     uint64
+	BytesWritten  uint64
+	EnergyPJ      uint64
+
+	// Protocol statistics.
+	DirtyEntries  uint64 // PosMap entries persisted (PS/Naïve)
+	ChainBlocks   uint64 // recursive posmap path blocks touched
+	PendingPeak   int    // max blocks awaiting entry merge
+	DRAMReads     uint64 // tree-top cache hits (§4.5 extension)
+	WearImbalance float64
+
+	// Access latency distribution in core cycles.
+	LatencyMean float64
+	LatencyP50  uint64
+	LatencyP99  uint64
+	LatencyMax  uint64
+}
+
+// Slowdown returns r.Cycles / base.Cycles.
+func (r Result) Slowdown(base Result) float64 {
+	if base.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(base.Cycles)
+}
+
+// System is the assembled timing model for one scheme.
+type System struct {
+	scheme config.Scheme
+	cfg    config.Config
+	tree   oram.Tree
+	memc   *mem.Controller
+	r      *rng.Rand
+
+	// Abstract protocol state.
+	leafOf    map[uint64]oram.Leaf // remapped addresses only
+	counts    []uint8              // tree occupancy per bucket
+	residency map[uint64]uint64    // tracked addr -> bucket
+	inBucket  map[uint64][]uint64  // bucket -> tracked addrs
+	pending   []pendingBlock       // stash blocks awaiting entry merge
+	seedHash  uint64
+
+	// onchipTiming, when non-nil, prices the FullNVM schemes' on-chip
+	// stash/PosMap built from NVM. Ops are modeled as half-pipelined
+	// column accesses: the structure is a dedicated on-chip array (no
+	// bus sharing with main memory), but PCM/STT write pulses only
+	// partially overlap, so each op costs half its column latency.
+	onchipTiming *config.NVMTiming
+	onchipReads  uint64
+	onchipWrites uint64
+
+	// Recursion: level-1 geometry (always accessed) and upper-level
+	// geometry behind the PLB.
+	rec struct {
+		enabled bool
+		l1      oram.Tree
+		l1Seen  map[uint64]bool // level-1 blocks with a known position
+		upper   oram.Tree
+		// upperOnChip: the second posmap level fits the on-chip posmap
+		// budget, terminating the recursion after level 1.
+		upperOnChip bool
+		plb         *cache.Cache
+		entries     uint64 // data entries per posmap block
+	}
+
+	// Ring ORAM timing state (SchemeRing*): per-bucket access counters
+	// since the last shuffle and the reverse-lexicographic eviction
+	// cursor.
+	ringCounts []uint8
+	ringEvictG uint64
+
+	now      mem.Cycle
+	res      Result
+	pendPeak int
+	latHist  stats.Histogram
+}
+
+type pendingBlock struct {
+	addr oram.Addr
+	leaf oram.Leaf
+}
+
+// NewSystem builds the timing model. levels selects the tree height
+// (the paper's Table 3 uses 23; smaller values keep test runs fast
+// without changing any scheme ordering, since every scheme pays the same
+// path length).
+func NewSystem(scheme config.Scheme, cfg config.Config, levels int) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if levels < 4 || levels > 26 {
+		return nil, fmt.Errorf("sim: tree height %d out of range [4,26]", levels)
+	}
+	t := oram.NewTree(levels, cfg.Z)
+	s := &System{
+		scheme:    scheme,
+		cfg:       cfg,
+		tree:      t,
+		memc:      mem.New(cfg),
+		r:         rng.New(cfg.Seed ^ 0x5157),
+		leafOf:    make(map[uint64]oram.Leaf),
+		counts:    make([]uint8, t.Buckets()),
+		residency: make(map[uint64]uint64),
+		inBucket:  make(map[uint64][]uint64),
+		seedHash:  cfg.Seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
+	}
+	s.res.Scheme = scheme
+	switch scheme {
+	case config.SchemeFullNVM:
+		t := config.PCM()
+		s.onchipTiming = &t
+	case config.SchemeFullNVMSTT:
+		t := config.STTRAM()
+		s.onchipTiming = &t
+	}
+	s.initOccupancy()
+	if scheme.Recursive() {
+		s.initRecursion()
+	}
+	if scheme.Ring() {
+		if cfg.RingS < 1 || cfg.RingA < 1 {
+			return nil, fmt.Errorf("sim: Ring schemes need RingS and RingA >= 1")
+		}
+		s.ringCounts = make([]uint8, t.Buckets())
+	}
+	return s, nil
+}
+
+// NumBlocks returns the logical capacity of the simulated tree.
+func (s *System) NumBlocks() uint64 {
+	return uint64(float64(s.tree.Slots()) * s.cfg.Utilization)
+}
+
+// initialLeaf derives the pre-remap leaf of an address.
+func (s *System) initialLeaf(addr uint64) oram.Leaf {
+	h := (addr + 1) * 0x9e3779b97f4a7c15
+	h ^= s.seedHash
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return oram.Leaf(h % s.tree.Leaves())
+}
+
+// initOccupancy seeds the tree with NumBlocks anonymous real blocks,
+// each placed greedily (deepest available) on its initial leaf's path —
+// the same placement the functional layer materializes with real data.
+func (s *System) initOccupancy() {
+	n := s.NumBlocks()
+	for a := uint64(0); a < n; a++ {
+		l := s.initialLeaf(a)
+		b := s.tree.LeafBucket(l)
+		for {
+			if s.counts[b] < uint8(s.cfg.Z) {
+				s.counts[b]++
+				break
+			}
+			if b == 0 {
+				// Root full too: drop (cannot happen below ~100% util).
+				break
+			}
+			b = (b - 1) / 2
+		}
+	}
+}
+
+// initRecursion sizes the posmap chain for the data tree: level 1 maps
+// data addresses (accessed every time, as Rcr-Baseline persists the
+// PosMap on each access); all upper levels sit behind the PLB.
+func (s *System) initRecursion() {
+	s.rec.enabled = true
+	// Posmap blocks use Freecursive's compressed-leaf format: a 64B
+	// block packs 32 labels (the functional layer in internal/oram uses
+	// plain 4-byte entries instead — compression is a timing-side
+	// capacity optimization, not a correctness mechanism).
+	s.rec.entries = uint64(s.cfg.BlockBytes / 2)
+	if s.rec.entries > 32 {
+		s.rec.entries = 32
+	}
+	l1Blocks := (s.NumBlocks() + s.rec.entries - 1) / s.rec.entries
+	s.rec.l1 = treeFor(l1Blocks, s.cfg)
+	upperBlocks := (l1Blocks + s.rec.entries - 1) / s.rec.entries
+	s.rec.upperOnChip = upperBlocks*uint64(s.cfg.BlockBytes) <= uint64(s.cfg.OnChipPosMapBytes)
+	s.rec.upper = treeFor(upperBlocks, s.cfg)
+	s.rec.l1Seen = make(map[uint64]bool)
+	// The PLB holds upper-level posmap blocks; Table 3's C_TPos-class
+	// budget gives it cfg.PLBEntries block slots.
+	s.rec.plb = cache.New("PLB", s.cfg.PLBEntries*s.cfg.BlockBytes, 4, s.cfg.BlockBytes, 1, 1)
+}
+
+func treeFor(blocks uint64, cfg config.Config) oram.Tree {
+	levels := 2
+	for {
+		t := oram.NewTree(levels, cfg.Z)
+		if float64(t.Slots())*cfg.Utilization >= float64(blocks) {
+			return t
+		}
+		levels++
+	}
+}
+
+// Serve implements cpu.Memory: one LLC miss becomes one ORAM access (or
+// one plain NVM access for the NonORAM scheme).
+func (s *System) Serve(addr uint64, write bool) (uint64, error) {
+	addr %= s.NumBlocks()
+	start := s.now
+	if s.scheme == config.SchemeNonORAM {
+		s.plainAccess(addr, write)
+		s.res.Accesses++
+		lat := uint64(s.now - start)
+		s.latHist.Observe(lat)
+		return lat, nil
+	}
+	var err error
+	if s.scheme.Ring() {
+		err = s.ringAccess(addr)
+	} else {
+		err = s.oramAccess(addr, write)
+	}
+	if err != nil {
+		return 0, err
+	}
+	s.res.Accesses++
+	if len(s.pending) > s.pendPeak {
+		s.pendPeak = len(s.pending)
+	}
+	lat := uint64(s.now - start)
+	s.latHist.Observe(lat)
+	return lat, nil
+}
+
+// plainAccess is the non-ORAM reference: a single block read (plus a
+// posted write-back for stores).
+func (s *System) plainAccess(addr uint64, write bool) {
+	bucket := addr / uint64(s.cfg.Z)
+	loc := s.memc.TreeBlockLocation(bucket%s.tree.Buckets(), int(addr%uint64(s.cfg.Z)))
+	done := s.memc.ReadBlock(loc, s.now)
+	if write {
+		s.memc.WriteBlockPosted(loc, done, nil)
+	}
+	s.now = done
+}
+
+// currentLeaf returns the address's live leaf.
+func (s *System) currentLeaf(addr uint64) oram.Leaf {
+	if l, ok := s.leafOf[addr]; ok {
+		return l
+	}
+	return s.initialLeaf(addr)
+}
+
+// oramAccess prices one full ORAM access under the scheme.
+func (s *System) oramAccess(addr uint64, write bool) error {
+	l := s.currentLeaf(addr)
+	lNew := oram.Leaf(s.r.Uint64n(s.tree.Leaves()))
+
+	// Recursive position chain first (the data leaf comes from it).
+	if s.rec.enabled {
+		s.chainAccess(addr)
+	}
+
+	// FullNVM: PosMap lookup + update on the on-chip NVM.
+	if s.onchipTiming != nil {
+		s.onchipOp(nvm.Read)
+		s.onchipOp(nvm.Write)
+	}
+
+	// Step 3: read the path. With the §4.5 tree-top cache extension the
+	// shallow levels hit DRAM (write-through mirror), skipping the NVM
+	// read entirely.
+	path := s.tree.Path(l)
+	var loadDone mem.Cycle
+	for lvl, bucket := range path {
+		if lvl < s.cfg.TreeTopCacheLevels {
+			if d := s.now + mem.Cycle(s.cfg.DRAMReadCycles); d > loadDone {
+				loadDone = d
+			}
+			s.res.DRAMReads += uint64(s.cfg.Z)
+			continue
+		}
+		for z := 0; z < s.cfg.Z; z++ {
+			loc := s.memc.TreeBlockLocation(bucket, z)
+			if d := s.memc.ReadBlock(loc, s.now); d > loadDone {
+				loadDone = d
+			}
+		}
+	}
+	if loadDone > s.now {
+		s.now = loadDone
+	}
+	// FullNVM: every fetched slot is written into the NVM stash ("every
+	// ORAM access needs to transfer massive data from the NVM-ORAM tree
+	// to the on-chip NVM stash", §5.2.2 — this is what makes FullNVM's
+	// write traffic +111%). Stash fills overlap the path read, but the
+	// on-chip array's write bandwidth (half-pipelined write pulses) is
+	// about half the path-read bandwidth, so half the fills serialize
+	// after the load — which is why FullNVM pays so dearly (Fig. 5a).
+	if s.onchipTiming != nil {
+		for i := 0; i < s.tree.PathBlocks(); i++ {
+			if i%2 == 0 {
+				s.onchipOp(nvm.Write) // serialized tail
+			} else {
+				s.onchipWrites++ // overlapped with the path read
+			}
+		}
+	}
+	s.now += 32 // decrypt pipeline fill (Table 3 AES latency)
+
+	// Protocol bookkeeping: blocks on the path.
+	evictedPending, target := s.updateOccupancy(addr, l, lNew, path)
+
+	s.now += 32 // encrypt pipeline fill for the write-back
+
+	// Step 5: write the path back, per the scheme's persistence rules.
+	switch s.scheme {
+	case config.SchemePSORAM, config.SchemeNaivePSORAM, config.SchemeRcrPSORAM:
+		if err := s.persistentEvict(path, evictedPending, target); err != nil {
+			return err
+		}
+	default:
+		s.postedEvict(path)
+		if s.onchipTiming != nil {
+			for i := 0; i < s.tree.PathBlocks()/2; i++ {
+				s.onchipOp(nvm.Read)
+			}
+		}
+	}
+	_ = write
+	return nil
+}
+
+// updateOccupancy moves tracked blocks through the abstract stash for
+// one access and returns (pending blocks evicted this access, whether
+// the target itself evicted).
+func (s *System) updateOccupancy(addr uint64, l, lNew oram.Leaf, path []uint64) (int, bool) {
+	z := uint8(s.cfg.Z)
+	// Tracked blocks on the path come off into the stash.
+	type stashEntry struct {
+		addr    uint64
+		leaf    oram.Leaf
+		origin  bool
+		pending bool
+	}
+	var stash []stashEntry
+	for _, bucket := range path {
+		for _, a := range s.inBucket[bucket] {
+			stash = append(stash, stashEntry{addr: a, leaf: s.currentLeaf(a), origin: true})
+			delete(s.residency, a)
+			if s.counts[bucket] > 0 {
+				s.counts[bucket]--
+			}
+		}
+		delete(s.inBucket, bucket)
+	}
+	// The target: it is now either already in the stash (tracked on this
+	// path), pending from an earlier access, or an anonymous first-touch
+	// copy somewhere on this path (sample the deepest occupied bucket).
+	inStash := false
+	for _, e := range stash {
+		if e.addr == addr {
+			inStash = true
+			break
+		}
+	}
+	if _, resident := s.residency[addr]; !resident && !inStash && !s.isPending(addr) {
+		for i := len(path) - 1; i >= 0; i-- {
+			if s.counts[path[i]] > 0 {
+				s.counts[path[i]]--
+				break
+			}
+		}
+		stash = append(stash, stashEntry{addr: addr, leaf: l, origin: true})
+	}
+	// Pending blocks join the eviction candidates.
+	for _, p := range s.pending {
+		stash = append(stash, stashEntry{addr: uint64(p.addr), leaf: p.leaf, pending: true})
+	}
+	s.pending = s.pending[:0]
+
+	// Remap the target.
+	s.leafOf[addr] = lNew
+	for i := range stash {
+		if stash[i].addr == addr {
+			stash[i].leaf = lNew
+			stash[i].pending = true
+		}
+	}
+
+	// Greedy eviction: origin blocks first (must return), then pending
+	// (oldest first — slice order), deepest placement.
+	place := func(e stashEntry) bool {
+		deepest := s.tree.IntersectLevel(l, e.leaf)
+		for k := deepest; k >= 0; k-- {
+			b := path[k]
+			if s.counts[b] < z {
+				s.counts[b]++
+				s.residency[e.addr] = b
+				s.inBucket[b] = append(s.inBucket[b], e.addr)
+				return true
+			}
+		}
+		return false
+	}
+	evictedPending := 0
+	targetEvicted := false
+	for _, e := range stash {
+		if !e.origin || e.pending {
+			continue
+		}
+		place(e) // origin, clean: geometry guarantees placement
+	}
+	for _, e := range stash {
+		if !e.pending {
+			continue
+		}
+		if place(e) {
+			evictedPending++
+			if e.addr == addr {
+				targetEvicted = true
+			}
+		} else {
+			s.pending = append(s.pending, pendingBlock{addr: oram.Addr(e.addr), leaf: e.leaf})
+		}
+	}
+	return evictedPending, targetEvicted
+}
+
+func (s *System) isPending(addr uint64) bool {
+	for _, p := range s.pending {
+		if uint64(p.addr) == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// postedEvict writes the path through the volatile write buffer.
+func (s *System) postedEvict(path []uint64) {
+	proceed := s.now
+	for _, bucket := range path {
+		for z := 0; z < s.cfg.Z; z++ {
+			loc := s.memc.TreeBlockLocation(bucket, z)
+			if p := s.memc.WriteBlockPosted(loc, s.now, nil); p > proceed {
+				proceed = p
+			}
+		}
+	}
+	s.now = proceed
+}
+
+// persistentEvict pushes the path plus PosMap entries through the WPQ
+// batch (PS-ORAM: dirty entries only; Naïve: one per slot; Rcr-PS: the
+// chain writes were already staged by chainAccess and the +1 backup
+// block is implicit in the full-path write).
+func (s *System) persistentEvict(path []uint64, dirty int, targetEvicted bool) error {
+	// A path larger than the WPQs uses the ordered multi-batch eviction
+	// (§4.2.3): same total work, split into capacity-sized atomic
+	// batches committed in dependency order. The timing model prices it
+	// as sequential batch commits.
+	if s.tree.PathBlocks() > s.cfg.DataWPQEntries {
+		return s.orderedEvict(path, dirty)
+	}
+	batch := s.memc.BeginBatch()
+	for _, bucket := range path {
+		for z := 0; z < s.cfg.Z; z++ {
+			batch.AddData(s.memc.TreeBlockLocation(bucket, z), nil)
+		}
+	}
+	// PosMap entries persist at NVM line granularity (a 4-byte entry
+	// update still costs a 64B device write), so the entry count below
+	// is also the extra write-command count — the write amplification
+	// that makes Naïve so expensive.
+	switch s.scheme {
+	case config.SchemeNaivePSORAM:
+		for i, bucket := range path {
+			for z := 0; z < s.cfg.Z; z++ {
+				batch.AddPosMapBlock(s.memc.PosMapLocation((uint64(bucket)*uint64(s.cfg.Z)+uint64(z)+uint64(i))*16), nil)
+			}
+		}
+		s.res.DirtyEntries += uint64(s.tree.PathBlocks())
+	case config.SchemePSORAM:
+		for i := 0; i < dirty; i++ {
+			batch.AddPosMapBlock(s.memc.PosMapLocation(s.r.Uint64()>>40), nil)
+		}
+		s.res.DirtyEntries += uint64(dirty)
+	case config.SchemeRcrPSORAM:
+		// Dirty entries live inside the level-1 posmap blocks written by
+		// chainAccess. The data batch additionally carries the backup
+		// block of the accessed target (paper §5.2.2: Rcr-PS-ORAM "backs
+		// up the accessed target data blocks every time") and the
+		// Top-map entry that anchors the recovered chain.
+		batch.AddData(s.memc.TreeBlockLocation(path[len(path)-1], 0), nil)
+		batch.AddPosMap(s.memc.PosMapLocation(s.r.Uint64()>>40), nil)
+		s.res.DirtyEntries++
+	}
+	done, err := batch.Commit(s.now)
+	if err != nil {
+		return fmt.Errorf("sim: eviction batch: %w", err)
+	}
+	s.now = done
+	_ = targetEvicted
+	return nil
+}
+
+// ringAccess prices one Ring ORAM access (extension schemes): one block
+// read per bucket on the path plus a metadata touch; a full EvictPath
+// every RingA accesses; early reshuffles of buckets that exhausted
+// their dummies. Ring-PS-ORAM adds the per-access journal append and
+// commits evictions through the WPQ batch.
+func (s *System) ringAccess(addr uint64) error {
+	l := s.currentLeaf(addr)
+	s.leafOf[addr] = oram.Leaf(s.r.Uint64n(s.tree.Leaves()))
+	path := s.tree.Path(l)
+
+	// ReadPath: one slot per bucket.
+	var loadDone mem.Cycle
+	for _, bucket := range path {
+		slot := int(s.r.Uint64n(uint64(s.cfg.Z)))
+		if d := s.memc.ReadBlock(s.memc.TreeBlockLocation(bucket, slot), s.now); d > loadDone {
+			loadDone = d
+		}
+		if s.ringCounts[bucket] < 255 {
+			s.ringCounts[bucket]++
+		}
+	}
+	if loadDone > s.now {
+		s.now = loadDone
+	}
+	s.now += 32 // decrypt
+
+	persist := s.scheme == config.SchemeRingPSORAM
+	if persist {
+		// Journal append + metadata updates, one atomic batch. The
+		// per-bucket metadata (an invalidation bit and a counter) is a
+		// few bits per bucket: the whole path's updates coalesce into
+		// two line writes.
+		batch := s.memc.BeginBatch()
+		batch.AddPosMapBlock(s.memc.PosMapLocation((1<<20)+s.res.Accesses%96), nil)
+		batch.AddPosMapBlock(s.memc.PosMapLocation((1<<21)+uint64(l)), nil)
+		batch.AddPosMapBlock(s.memc.PosMapLocation((1<<21)+uint64(l)+1), nil)
+		done, err := batch.Commit(s.now)
+		if err != nil {
+			return fmt.Errorf("sim: ring access batch: %w", err)
+		}
+		s.now = done
+		s.res.DirtyEntries++
+	}
+
+	// Scheduled EvictPath.
+	if (s.res.Accesses+1)%uint64(s.cfg.RingA) == 0 {
+		g := s.ringEvictG
+		s.ringEvictG++
+		el := oram.Leaf(reverseBits(g, uint(s.tree.L)) % s.tree.Leaves())
+		if err := s.ringEvictPath(el, persist); err != nil {
+			return err
+		}
+	}
+	// Early reshuffles.
+	for _, bucket := range path {
+		if int(s.ringCounts[bucket]) >= s.cfg.RingS {
+			if err := s.ringReshuffle(bucket, persist); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ringEvictPath prices one scheduled eviction: read the valid real
+// blocks (~Z per bucket worst case, Z/2 typical — we charge Z/2+1) and
+// rewrite every bucket fully (Z+RingS slots).
+func (s *System) ringEvictPath(l oram.Leaf, persist bool) error {
+	path := s.tree.Path(l)
+	reads := s.cfg.Z/2 + 1
+	var done mem.Cycle
+	for _, bucket := range path {
+		for i := 0; i < reads; i++ {
+			if d := s.memc.ReadBlock(s.memc.TreeBlockLocation(bucket, i%s.cfg.Z), s.now); d > done {
+				done = d
+			}
+		}
+	}
+	if done > s.now {
+		s.now = done
+	}
+	s.now += 64 // decrypt + re-encrypt
+	if persist {
+		batch := s.memc.BeginBatch()
+		n := 0
+		for _, bucket := range path {
+			for i := 0; i < s.cfg.Z+s.cfg.RingS; i++ {
+				batch.AddData(s.memc.TreeBlockLocation(bucket, i%s.cfg.Z), nil)
+				n++
+				if n == s.cfg.DataWPQEntries {
+					if d, err := batch.Commit(s.now); err == nil && d > s.now {
+						s.now = d
+					}
+					batch = s.memc.BeginBatch()
+					n = 0
+				}
+			}
+		}
+		if d, err := batch.Commit(s.now); err == nil && d > s.now {
+			s.now = d
+		}
+	} else {
+		proceed := s.now
+		for _, bucket := range path {
+			for i := 0; i < s.cfg.Z+s.cfg.RingS; i++ {
+				if p := s.memc.WriteBlockPosted(s.memc.TreeBlockLocation(bucket, i%s.cfg.Z), s.now, nil); p > proceed {
+					proceed = p
+				}
+			}
+		}
+		s.now = proceed
+	}
+	for _, bucket := range path {
+		s.ringCounts[bucket] = 0
+	}
+	return nil
+}
+
+// ringReshuffle prices one early bucket reshuffle.
+func (s *System) ringReshuffle(bucket uint64, persist bool) error {
+	reads := s.cfg.Z/2 + 1
+	var done mem.Cycle
+	for i := 0; i < reads; i++ {
+		if d := s.memc.ReadBlock(s.memc.TreeBlockLocation(bucket, i%s.cfg.Z), s.now); d > done {
+			done = d
+		}
+	}
+	if done > s.now {
+		s.now = done
+	}
+	if persist {
+		batch := s.memc.BeginBatch()
+		for i := 0; i < s.cfg.Z+s.cfg.RingS; i++ {
+			batch.AddData(s.memc.TreeBlockLocation(bucket, i%s.cfg.Z), nil)
+		}
+		if d, err := batch.Commit(s.now); err == nil && d > s.now {
+			s.now = d
+		}
+	} else {
+		proceed := s.now
+		for i := 0; i < s.cfg.Z+s.cfg.RingS; i++ {
+			if p := s.memc.WriteBlockPosted(s.memc.TreeBlockLocation(bucket, i%s.cfg.Z), s.now, nil); p > proceed {
+				proceed = p
+			}
+		}
+		s.now = proceed
+	}
+	s.ringCounts[bucket] = 0
+	return nil
+}
+
+// reverseBits reverses the low `bits` bits of v.
+func reverseBits(v uint64, bits uint) uint64 {
+	var out uint64
+	for i := uint(0); i < bits; i++ {
+		out = out<<1 | (v>>i)&1
+	}
+	return out
+}
+
+// orderedEvict prices the limited-persistence-domain eviction: the path
+// slots (plus PosMap entries) commit in several capacity-bounded atomic
+// batches, strictly in order.
+func (s *System) orderedEvict(path []uint64, dirty int) error {
+	type entry struct {
+		loc    mem.Location
+		posmap bool
+	}
+	var entries []entry
+	for _, bucket := range path {
+		for z := 0; z < s.cfg.Z; z++ {
+			entries = append(entries, entry{loc: s.memc.TreeBlockLocation(bucket, z)})
+		}
+	}
+	nPos := 0
+	switch s.scheme {
+	case config.SchemeNaivePSORAM:
+		nPos = s.tree.PathBlocks()
+	case config.SchemePSORAM:
+		nPos = dirty
+	case config.SchemeRcrPSORAM:
+		nPos = 1
+	}
+	for i := 0; i < nPos; i++ {
+		entries = append(entries, entry{loc: s.memc.PosMapLocation(s.r.Uint64() >> 40), posmap: true})
+	}
+	s.res.DirtyEntries += uint64(nPos)
+	cap := s.cfg.DataWPQEntries
+	if s.cfg.PosMapWPQEntries < cap {
+		cap = s.cfg.PosMapWPQEntries
+	}
+	for start := 0; start < len(entries); start += cap {
+		end := start + cap
+		if end > len(entries) {
+			end = len(entries)
+		}
+		batch := s.memc.BeginBatch()
+		for _, e := range entries[start:end] {
+			if e.posmap {
+				batch.AddPosMapBlock(e.loc, nil)
+			} else {
+				batch.AddData(e.loc, nil)
+			}
+		}
+		done, err := batch.Commit(s.now)
+		if err != nil {
+			return fmt.Errorf("sim: ordered eviction batch: %w", err)
+		}
+		s.now = done
+	}
+	return nil
+}
+
+// chainAccess prices the recursive position-map walk: the level-1 path
+// is read and written every access (that is how Rcr-* persists the
+// PosMap); upper levels are accessed only on PLB misses.
+func (s *System) chainAccess(addr uint64) {
+	e := s.rec.entries
+	l1Block := addr / e
+	upperBlock := l1Block / e
+
+	// Upper level: on-chip when it fits the posmap budget (recursion
+	// terminated), otherwise behind the PLB.
+	if !s.rec.upperOnChip {
+		if r := s.rec.plb.Access(upperBlock, true); !r.Hit {
+			s.chainPath(s.rec.upper, 2, upperBlock)
+		}
+	}
+	// Level 1: always.
+	s.chainPath(s.rec.l1, 1, l1Block)
+}
+
+// chainPath reads and writes one posmap-tree path.
+func (s *System) chainPath(t oram.Tree, region int, block uint64) {
+	leaf := oram.Leaf((block*0x9e3779b97f4a7c15 ^ s.r.Uint64()) % t.Leaves())
+	path := t.Path(leaf)
+	var done mem.Cycle
+	for _, bucket := range path {
+		for z := 0; z < s.cfg.Z; z++ {
+			loc := s.memc.RegionTreeLocation(region, bucket, z)
+			if d := s.memc.ReadBlock(loc, s.now); d > done {
+				done = d
+			}
+		}
+	}
+	if done > s.now {
+		s.now = done
+	}
+	s.res.ChainBlocks += uint64(t.PathBlocks())
+	// Write the path back: Rcr-PS through the PosMap WPQ (batched per
+	// level to respect its capacity), Rcr-Baseline posted.
+	if s.scheme == config.SchemeRcrPSORAM {
+		batch := s.memc.BeginBatch()
+		n := 0
+		for _, bucket := range path {
+			for z := 0; z < s.cfg.Z; z++ {
+				batch.AddPosMapBlock(s.memc.RegionTreeLocation(region, bucket, z), nil)
+				n++
+				if n == s.cfg.PosMapWPQEntries {
+					if d, err := batch.Commit(s.now); err == nil && d > s.now {
+						s.now = d
+					}
+					batch = s.memc.BeginBatch()
+					n = 0
+				}
+			}
+		}
+		if d, err := batch.Commit(s.now); err == nil && d > s.now {
+			s.now = d
+		}
+	} else {
+		proceed := s.now
+		for _, bucket := range path {
+			for z := 0; z < s.cfg.Z; z++ {
+				loc := s.memc.RegionTreeLocation(region, bucket, z)
+				if p := s.memc.WriteBlockPosted(loc, s.now, nil); p > proceed {
+					proceed = p
+				}
+			}
+		}
+		s.now = proceed
+	}
+}
+
+// onchipOp charges one half-pipelined column access on the FullNVM
+// on-chip array and advances the time cursor.
+func (s *System) onchipOp(op nvm.Op) {
+	ratio := mem.Cycle(s.cfg.CoreCyclesPerNVMCycle())
+	var nvmCycles int
+	switch op {
+	case nvm.Read:
+		nvmCycles = (s.onchipTiming.TRCD + s.onchipTiming.TCCD) / 2
+		s.onchipReads++
+	case nvm.Write:
+		nvmCycles = (s.onchipTiming.TCWD + s.onchipTiming.TWP) / 2
+		s.onchipWrites++
+	}
+	s.now += mem.Cycle(nvmCycles) * ratio
+}
+
+// RunThroughCaches drives the system with RAW memory references filtered
+// through the Table 3a cache hierarchy (L1D + L2): the LLC miss stream —
+// and therefore the effective MPKI — emerges from cache behaviour
+// instead of being taken from Table 4. n counts raw references.
+func RunThroughCaches(scheme config.Scheme, cfg config.Config, w trace.Workload, n int, levels int) (Result, error) {
+	sys, err := NewSystem(scheme, cfg, levels)
+	if err != nil {
+		return Result{}, err
+	}
+	gen := trace.NewRawGenerator(w, cfg.Seed, sys.NumBlocks())
+	h := cache.NewHierarchy(cfg.L1SizeBytes, cfg.L1Ways, cfg.L1ReadCycle,
+		cfg.L2SizeBytes, cfg.L2Ways, cfg.L2ReadCycle, cfg.LineBytes)
+	var cycles, instrs uint64
+	for i := 0; i < n; i++ {
+		rec := gen.NextRef()
+		cycles += rec.InstrGap
+		instrs += rec.InstrGap
+		lat, misses := h.Access(rec.Addr, rec.Write)
+		cycles += uint64(lat)
+		for _, m := range misses {
+			l, err := sys.Serve(m.Line, m.Write)
+			if err != nil {
+				return Result{}, fmt.Errorf("sim: %s on %s (through caches), ref %d: %w", scheme, w.Name, i, err)
+			}
+			cycles += l
+		}
+	}
+	res := sys.res
+	res.Workload = w.Name
+	res.Cycles = cycles
+	res.Instrs = instrs
+	finishResult(&res, sys, cfg)
+	return res, nil
+}
+
+// RunTrace drives the system with a pre-recorded LLC-miss trace (the
+// psoram-trace file format) instead of a synthetic generator.
+func RunTrace(scheme config.Scheme, cfg config.Config, name string, recs []trace.Record, levels int) (Result, error) {
+	sys, err := NewSystem(scheme, cfg, levels)
+	if err != nil {
+		return Result{}, err
+	}
+	core := cpu.New(sys)
+	for i, rec := range recs {
+		if err := core.Step(rec.InstrGap, rec.Addr, rec.Write); err != nil {
+			return Result{}, fmt.Errorf("sim: %s on trace %s, record %d: %w", scheme, name, i, err)
+		}
+	}
+	cs := core.Stats()
+	res := sys.res
+	res.Workload = name
+	res.Cycles = cs.Cycles
+	res.Instrs = cs.Instrs
+	finishResult(&res, sys, cfg)
+	return res, nil
+}
+
+// Run drives the system with a workload for n LLC misses and returns
+// aggregated results.
+func Run(scheme config.Scheme, cfg config.Config, w trace.Workload, n int, levels int) (Result, error) {
+	sys, err := NewSystem(scheme, cfg, levels)
+	if err != nil {
+		return Result{}, err
+	}
+	gen := trace.NewGenerator(w, cfg.Seed, sys.NumBlocks())
+	core := cpu.New(sys)
+	for i := 0; i < n; i++ {
+		rec := gen.Next()
+		if err := core.Step(rec.InstrGap, rec.Addr, rec.Write); err != nil {
+			return Result{}, fmt.Errorf("sim: %s on %s, access %d: %w", scheme, w.Name, i, err)
+		}
+	}
+	cs := core.Stats()
+	res := sys.res
+	res.Workload = w.Name
+	res.Cycles = cs.Cycles
+	res.Instrs = cs.Instrs
+	finishResult(&res, sys, cfg)
+	return res, nil
+}
+
+// finishResult folds the device and on-chip statistics into a result.
+func finishResult(res *Result, sys *System, cfg config.Config) {
+	ds := sys.memc.DeviceStats()
+	res.Reads = ds.Reads
+	res.Writes = ds.Writes
+	res.BytesRead = ds.BytesRead
+	res.BytesWritten = ds.BytesWritten
+	res.EnergyPJ = ds.EnergyReadPJ + ds.EnergyWritePJ
+	res.PendingPeak = sys.pendPeak
+	if sys.onchipTiming != nil {
+		// The paper's traffic accounting (Fig. 6): on-chip NVM stash
+		// *writes* count ("the writes to the on-chip NVM is
+		// significant"); its read traffic "remains unchanged", i.e.
+		// stash read-out is not charged as NVM read traffic.
+		bb := uint64(cfg.BlockBytes)
+		res.Writes += sys.onchipWrites
+		res.BytesWritten += sys.onchipWrites * bb
+		res.EnergyPJ += sys.onchipReads*bb*2 + sys.onchipWrites*bb*16
+	}
+	if ds.MinBankWrites > 0 {
+		res.WearImbalance = float64(ds.MaxBankWrites) / float64(ds.MinBankWrites)
+	} else {
+		res.WearImbalance = 1
+	}
+	res.Accesses = sys.res.Accesses
+	res.DirtyEntries = sys.res.DirtyEntries
+	res.ChainBlocks = sys.res.ChainBlocks
+	res.DRAMReads = sys.res.DRAMReads
+	res.LatencyMean = sys.latHist.Mean()
+	res.LatencyP50 = sys.latHist.Quantile(0.5)
+	res.LatencyP99 = sys.latHist.Quantile(0.99)
+	res.LatencyMax = sys.latHist.Max()
+}

@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoadRejectsOrRoundTrips feeds arbitrary bytes to the trace parser:
+// it must never panic, and whatever it accepts must re-serialize to an
+// equivalent record set.
+func FuzzLoadRejectsOrRoundTrips(f *testing.F) {
+	// Seed with a valid file and some near-misses.
+	valid := func(recs []Record) []byte {
+		var buf bytes.Buffer
+		if err := writeAll(&buf, recs); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(valid([]Record{{InstrGap: 10, Addr: 5, Write: true}}))
+	f.Add(valid(nil))
+	f.Add([]byte("PSOT"))
+	f.Add([]byte("garbage that is not a trace"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := readAll(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := writeAll(&buf, recs); err != nil {
+			t.Fatalf("accepted records failed to re-serialize: %v", err)
+		}
+		again, err := readAll(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("round trip changed record count: %d vs %d", len(again), len(recs))
+		}
+		for i := range recs {
+			if again[i] != recs[i] {
+				t.Fatalf("record %d changed: %+v vs %+v", i, again[i], recs[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// This file provides the synthetic access kernels used alongside the
+// SPEC-like workloads: uniform random, Zipf-skewed, sequential scan, and
+// pointer chase. They stress specific corners — the uniform kernel is
+// the worst case for every cache, Zipf exercises the PLB and tree-top
+// cache, the scan exercises row-buffer locality, and the pointer chase
+// serializes everything.
+
+// Kernel identifies a synthetic access pattern.
+type Kernel int
+
+const (
+	// KernelUniform draws addresses uniformly from the footprint.
+	KernelUniform Kernel = iota
+	// KernelZipf draws from a Zipf(s=1.1) distribution: few hot blocks,
+	// long tail.
+	KernelZipf
+	// KernelScan sweeps the footprint sequentially, wrapping around.
+	KernelScan
+	// KernelPointerChase follows a random permutation cycle: each access
+	// depends on the previous one (no spatial or temporal reuse until
+	// the cycle closes).
+	KernelPointerChase
+)
+
+func (k Kernel) String() string {
+	switch k {
+	case KernelUniform:
+		return "uniform"
+	case KernelZipf:
+		return "zipf"
+	case KernelScan:
+		return "scan"
+	case KernelPointerChase:
+		return "pointer-chase"
+	}
+	return "unknown"
+}
+
+// Kernels lists all kernels.
+func Kernels() []Kernel {
+	return []Kernel{KernelUniform, KernelZipf, KernelScan, KernelPointerChase}
+}
+
+// KernelGenerator produces a miss stream from a kernel.
+type KernelGenerator struct {
+	k         Kernel
+	footprint uint64
+	r         *rng.Rand
+	gap       uint64
+	write     float64
+
+	// scan state
+	cursor uint64
+	// pointer-chase state: next[i] is the successor of block i.
+	next []uint64
+	at   uint64
+	// zipf state
+	zipfCDF []float64
+}
+
+// NewKernelGenerator builds a generator over `footprint` blocks with the
+// given fixed instruction gap between misses and store fraction.
+func NewKernelGenerator(k Kernel, footprint uint64, gap uint64, writeRatio float64, seed uint64) *KernelGenerator {
+	if footprint == 0 {
+		footprint = 1
+	}
+	g := &KernelGenerator{
+		k: k, footprint: footprint,
+		r: rng.New(seed ^ 0xbeefcafe), gap: gap, write: writeRatio,
+	}
+	switch k {
+	case KernelPointerChase:
+		// A single random cycle over the footprint (Sattolo's algorithm).
+		g.next = make([]uint64, footprint)
+		perm := g.r.Perm(int(footprint))
+		for i := 0; i < len(perm); i++ {
+			g.next[perm[i]] = uint64(perm[(i+1)%len(perm)])
+		}
+		g.at = uint64(perm[0])
+	case KernelZipf:
+		// CDF over min(footprint, 4096) ranks; the tail beyond maps
+		// uniformly.
+		n := footprint
+		if n > 4096 {
+			n = 4096
+		}
+		cdf := make([]float64, n)
+		sum := 0.0
+		for i := uint64(0); i < n; i++ {
+			sum += 1 / math.Pow(float64(i+1), 1.1)
+			cdf[i] = sum
+		}
+		for i := range cdf {
+			cdf[i] /= sum
+		}
+		g.zipfCDF = cdf
+	}
+	return g
+}
+
+// Next returns the next miss record.
+func (g *KernelGenerator) Next() Record {
+	var addr uint64
+	switch g.k {
+	case KernelUniform:
+		addr = g.r.Uint64n(g.footprint)
+	case KernelZipf:
+		u := g.r.Float64()
+		lo, hi := 0, len(g.zipfCDF)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if g.zipfCDF[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		// Rank lo maps to a fixed random block (hash the rank).
+		addr = (uint64(lo) * 0x9e3779b97f4a7c15) % g.footprint
+	case KernelScan:
+		addr = g.cursor
+		g.cursor = (g.cursor + 1) % g.footprint
+	case KernelPointerChase:
+		addr = g.at
+		g.at = g.next[g.at]
+	}
+	return Record{InstrGap: g.gap, Addr: addr, Write: g.r.Bool(g.write)}
+}
+
+// Generate returns n records.
+func (g *KernelGenerator) Generate(n int) []Record {
+	out := make([]Record, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}

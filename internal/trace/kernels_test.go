@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"testing"
+)
+
+func TestKernelNames(t *testing.T) {
+	for _, k := range Kernels() {
+		if k.String() == "unknown" {
+			t.Errorf("kernel %d unnamed", int(k))
+		}
+	}
+	if Kernel(99).String() != "unknown" {
+		t.Error("bad kernel should be unknown")
+	}
+}
+
+func TestKernelAddressesInFootprint(t *testing.T) {
+	for _, k := range Kernels() {
+		g := NewKernelGenerator(k, 500, 10, 0.3, 1)
+		for i := 0; i < 3000; i++ {
+			if r := g.Next(); r.Addr >= 500 {
+				t.Fatalf("%v: address %d out of footprint", k, r.Addr)
+			}
+		}
+	}
+}
+
+func TestScanIsSequential(t *testing.T) {
+	g := NewKernelGenerator(KernelScan, 100, 1, 0, 2)
+	for i := 0; i < 250; i++ {
+		if got := g.Next().Addr; got != uint64(i%100) {
+			t.Fatalf("scan position %d = %d", i, got)
+		}
+	}
+}
+
+func TestPointerChaseVisitsEverything(t *testing.T) {
+	// A Sattolo cycle visits every block exactly once per footprint
+	// accesses.
+	const n = 200
+	g := NewKernelGenerator(KernelPointerChase, n, 1, 0, 3)
+	seen := map[uint64]int{}
+	for i := 0; i < n; i++ {
+		seen[g.Next().Addr]++
+	}
+	if len(seen) != n {
+		t.Fatalf("cycle visited %d/%d blocks", len(seen), n)
+	}
+	for a, c := range seen {
+		if c != 1 {
+			t.Fatalf("block %d visited %d times in one lap", a, c)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := NewKernelGenerator(KernelZipf, 10000, 1, 0, 4)
+	counts := map[uint64]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Addr]++
+	}
+	// The hottest block should dominate: far above the uniform share.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max) < 20*float64(n)/10000 {
+		t.Fatalf("hottest block hit %d times; zipf skew missing", max)
+	}
+	// And the stream must still have breadth.
+	if len(counts) < 100 {
+		t.Fatalf("only %d distinct blocks touched", len(counts))
+	}
+}
+
+func TestUniformBreadth(t *testing.T) {
+	g := NewKernelGenerator(KernelUniform, 1000, 1, 0, 5)
+	counts := map[uint64]int{}
+	for i := 0; i < 10000; i++ {
+		counts[g.Next().Addr]++
+	}
+	if len(counts) < 900 {
+		t.Fatalf("uniform kernel touched only %d/1000 blocks", len(counts))
+	}
+}
+
+func TestKernelGapAndWrites(t *testing.T) {
+	g := NewKernelGenerator(KernelUniform, 100, 42, 1.0, 6)
+	r := g.Next()
+	if r.InstrGap != 42 || !r.Write {
+		t.Fatalf("gap/write wrong: %+v", r)
+	}
+}
+
+func TestKernelZeroFootprint(t *testing.T) {
+	g := NewKernelGenerator(KernelUniform, 0, 1, 0, 7)
+	if g.Next().Addr != 0 {
+		t.Fatal("zero footprint should clamp to one block")
+	}
+}
+
+func TestKernelThroughSimulatorCompat(t *testing.T) {
+	// Kernel records must satisfy the trace.Record contract end to end.
+	g := NewKernelGenerator(KernelZipf, 1000, 5, 0.5, 8)
+	recs := g.Generate(100)
+	if MeasuredMPKI(recs) <= 0 {
+		t.Fatal("kernel trace has no measurable MPKI")
+	}
+}

@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestTable4HasFourteenWorkloads(t *testing.T) {
+	ws := Table4()
+	if len(ws) != 14 {
+		t.Fatalf("Table 4 lists 14 workloads, got %d", len(ws))
+	}
+	names := map[string]bool{}
+	for _, w := range ws {
+		if names[w.Name] {
+			t.Fatalf("duplicate workload %q", w.Name)
+		}
+		names[w.Name] = true
+		if w.MPKI <= 0 || w.Footprint == 0 || w.Locality < 0 || w.Locality > 1 {
+			t.Fatalf("workload %q has nonsense parameters: %+v", w.Name, w)
+		}
+	}
+	// Spot-check the paper's MPKIs.
+	for _, c := range []struct {
+		name string
+		mpki float64
+	}{
+		{"458.sjeng", 110.99}, {"401.bzip2", 61.16}, {"403.gcc", 1.19}, {"470.lbm", 18.38},
+	} {
+		w, err := ByName(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.MPKI != c.mpki {
+			t.Errorf("%s MPKI = %v, want %v", c.name, w.MPKI, c.mpki)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("999.nothere"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestGeneratorMatchesMPKI(t *testing.T) {
+	for _, w := range Table4() {
+		g := NewGenerator(w, 1, 0)
+		recs := g.Generate(20000)
+		got := MeasuredMPKI(recs)
+		if math.Abs(got-w.MPKI)/w.MPKI > 0.10 {
+			t.Errorf("%s: measured MPKI %.2f, want %.2f ±10%%", w.Name, got, w.MPKI)
+		}
+	}
+}
+
+func TestGeneratorRespectsFootprintClamp(t *testing.T) {
+	w, _ := ByName("429.mcf")
+	g := NewGenerator(w, 2, 1000)
+	for i := 0; i < 5000; i++ {
+		if r := g.Next(); r.Addr >= 1000 {
+			t.Fatalf("address %d outside clamped footprint", r.Addr)
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	w, _ := ByName("456.hmmer")
+	a := NewGenerator(w, 7, 0).Generate(500)
+	b := NewGenerator(w, 7, 0).Generate(500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("records diverge at %d", i)
+		}
+	}
+	c := NewGenerator(w, 8, 0).Generate(500)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestLocalityShapesReuse(t *testing.T) {
+	// High-locality workloads revisit a small hot set; low-locality ones
+	// spread out. Compare distinct-address counts at equal footprint.
+	gcc, _ := ByName("403.gcc") // locality 0.75
+	lbm, _ := ByName("470.lbm") // locality 0.10
+	gcc.Footprint = 1 << 16
+	lbm.Footprint = 1 << 16
+	distinct := func(w Workload) int {
+		g := NewGenerator(w, 3, 0)
+		seen := map[uint64]bool{}
+		for i := 0; i < 5000; i++ {
+			seen[g.Next().Addr] = true
+		}
+		return len(seen)
+	}
+	if d1, d2 := distinct(gcc), distinct(lbm); d1 >= d2 {
+		t.Errorf("gcc (%d distinct) should reuse more than lbm (%d)", d1, d2)
+	}
+}
+
+func TestWriteRatio(t *testing.T) {
+	w, _ := ByName("470.lbm") // write ratio 0.48
+	g := NewGenerator(w, 4, 0)
+	writes := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if g.Next().Write {
+			writes++
+		}
+	}
+	got := float64(writes) / n
+	if math.Abs(got-0.48) > 0.02 {
+		t.Errorf("write ratio %.3f, want 0.48", got)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	w, _ := ByName("444.namd")
+	recs := NewGenerator(w, 5, 0).Generate(1000)
+	path := filepath.Join(t.TempDir(), "namd.psot")
+	if err := Save(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("loaded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestSaveLoadProperty(t *testing.T) {
+	dir := t.TempDir()
+	i := 0
+	f := func(gaps []uint16, addrs []uint32, writes []bool) bool {
+		n := len(gaps)
+		if len(addrs) < n {
+			n = len(addrs)
+		}
+		if len(writes) < n {
+			n = len(writes)
+		}
+		recs := make([]Record, n)
+		for j := 0; j < n; j++ {
+			recs[j] = Record{InstrGap: uint64(gaps[j]), Addr: uint64(addrs[j]), Write: writes[j]}
+		}
+		i++
+		path := filepath.Join(dir, "t", "..", "prop.psot")
+		if err := Save(path, recs); err != nil {
+			return false
+		}
+		got, err := Load(path)
+		if err != nil || len(got) != n {
+			return false
+		}
+		for j := range got {
+			if got[j] != recs[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.psot")
+	if err := os.WriteFile(path, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("garbage file accepted")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.psot")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestMeasuredMPKIEmpty(t *testing.T) {
+	if MeasuredMPKI(nil) != 0 {
+		t.Fatal("empty trace should have MPKI 0")
+	}
+}

@@ -1,0 +1,138 @@
+package psoram
+
+import (
+	"errors"
+
+	"repro/internal/config"
+	"repro/internal/oram"
+	"repro/internal/ringoram"
+)
+
+// RingStoreOptions configures a Ring ORAM store (the repository's
+// "general ORAM protocols" extension: PS-ORAM's crash-consistency
+// principles applied to Ring ORAM).
+type RingStoreOptions struct {
+	// NumBlocks is the logical block count (required).
+	NumBlocks uint64
+	// Persist selects the crash-consistent Ring-PS mode (default true
+	// when constructed via NewRingStore with Persist unset is false —
+	// set explicitly).
+	Persist bool
+	// Z, S, A are Ring ORAM's bucket geometry and eviction rate; zero
+	// values select Z=4, S=4, A=3.
+	Z, S, A int
+	// JournalEntries bounds the persistent stash journal (default 96,
+	// matching C_TPos).
+	JournalEntries int
+	// Config supplies block size, stash size, and NVM parameters.
+	Config *Config
+	Seed   uint64
+}
+
+// RingStore is a Ring ORAM block store, optionally crash consistent.
+type RingStore struct {
+	ctl *ringoram.Controller
+}
+
+// ErrRingCrashed reports an injected power failure in a RingStore.
+var ErrRingCrashed = ringoram.ErrCrashed
+
+// NewRingStore builds a Ring ORAM store with NumBlocks zero-initialized
+// blocks.
+func NewRingStore(opts RingStoreOptions) (*RingStore, error) {
+	if opts.NumBlocks == 0 {
+		return nil, errors.New("psoram: RingStoreOptions.NumBlocks is required")
+	}
+	cfg := config.Default()
+	if opts.Config != nil {
+		cfg = *opts.Config
+	}
+	z, s, a := opts.Z, opts.S, opts.A
+	if z == 0 {
+		z = 4
+	}
+	if s == 0 {
+		s = 4
+	}
+	if a == 0 {
+		a = 3
+	}
+	j := opts.JournalEntries
+	if j == 0 {
+		j = 96
+	}
+	levels := 3
+	for {
+		t := oram.NewTree(levels, z)
+		if t.Slots()/2 >= opts.NumBlocks {
+			break
+		}
+		levels++
+	}
+	stash := cfg.StashEntries
+	if stash <= z*(levels+1) {
+		stash = z*(levels+1)*3 + 8
+	}
+	ctl, err := ringoram.New(ringoram.Params{
+		Levels:         levels,
+		Z:              z,
+		S:              s,
+		A:              a,
+		BlockBytes:     cfg.BlockBytes,
+		StashEntries:   stash,
+		NumBlocks:      opts.NumBlocks,
+		Seed:           cfg.Seed ^ opts.Seed,
+		Persist:        opts.Persist,
+		JournalEntries: j,
+	}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &RingStore{ctl: ctl}, nil
+}
+
+// BlockSize returns the payload size in bytes.
+func (s *RingStore) BlockSize() int { return s.ctl.P.BlockBytes }
+
+// NumBlocks returns the logical block count.
+func (s *RingStore) NumBlocks() uint64 { return s.ctl.P.NumBlocks }
+
+// Read performs one Ring ORAM access returning the block's value.
+func (s *RingStore) Read(addr uint64) ([]byte, error) {
+	return s.ctl.Access(oram.OpRead, oram.Addr(addr), nil)
+}
+
+// Write performs one Ring ORAM access replacing the block's value.
+func (s *RingStore) Write(addr uint64, data []byte) error {
+	_, err := s.ctl.Access(oram.OpWrite, oram.Addr(addr), data)
+	return err
+}
+
+// CrashNow simulates a power failure between accesses.
+func (s *RingStore) CrashNow() { s.ctl.CrashNow() }
+
+// Recover restores the store after a crash (journal replay in Persist
+// mode).
+func (s *RingStore) Recover() error { return s.ctl.Recover() }
+
+// Accesses returns the completed access count.
+func (s *RingStore) Accesses() uint64 { return s.ctl.Accesses() }
+
+// Counter exposes the protocol counters ("ring.evictions",
+// "ring.journal_appends", "ring.early_reshuffles", ...) and the memory
+// controller's ("nvm.reads", "nvm.writes", "wpq.batches", ...).
+func (s *RingStore) Counter(name string) int64 {
+	if v := s.ctl.Counter(name); v != 0 {
+		return v
+	}
+	return s.ctl.Mem.Counters().Get(name)
+}
+
+// OnDurable registers the durability observer (see Store.OnDurable).
+func (s *RingStore) OnDurable(f func(addr uint64, value []byte)) {
+	if f == nil {
+		s.ctl.OnDurable = nil
+		return
+	}
+	s.ctl.OnDurable = func(a oram.Addr, v []byte) { f(uint64(a), v) }
+}

@@ -1,0 +1,93 @@
+package psoram
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRingStoreRoundTrip(t *testing.T) {
+	s, err := NewRingStore(RingStoreOptions{NumBlocks: 200, Persist: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, s.BlockSize())
+	copy(data, "ring oram value")
+	if err := s.Write(17, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read %q", got)
+	}
+	if s.NumBlocks() != 200 || s.Accesses() != 2 {
+		t.Fatalf("metadata: %d blocks, %d accesses", s.NumBlocks(), s.Accesses())
+	}
+}
+
+func TestRingStoreCrashRecover(t *testing.T) {
+	s, err := NewRingStore(RingStoreOptions{NumBlocks: 100, Persist: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, s.BlockSize())
+	copy(data, "survives power loss")
+	if err := s.Write(3, data); err != nil {
+		t.Fatal(err)
+	}
+	s.CrashNow()
+	if _, err := s.Read(3); err == nil {
+		t.Fatal("read after crash without Recover accepted")
+	}
+	if err := s.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("write lost across crash: %q", got)
+	}
+	if s.Counter("ring.journal_appends") == 0 {
+		t.Fatal("persist mode journaled nothing")
+	}
+}
+
+func TestRingStoreDefaultsAndValidation(t *testing.T) {
+	if _, err := NewRingStore(RingStoreOptions{}); err == nil {
+		t.Fatal("NumBlocks unset accepted")
+	}
+	s, err := NewRingStore(RingStoreOptions{NumBlocks: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.BlockSize() != 64 {
+		t.Fatalf("block size %d", s.BlockSize())
+	}
+}
+
+func TestRingStoreDurabilityObserver(t *testing.T) {
+	s, err := NewRingStore(RingStoreOptions{NumBlocks: 64, Persist: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := false
+	s.OnDurable(func(addr uint64, v []byte) {
+		if addr == 9 {
+			seen = true
+		}
+	})
+	if err := s.Write(9, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if !seen {
+		t.Fatal("durability event not observed")
+	}
+	s.OnDurable(nil)
+	if _, err := s.Read(9); err != nil {
+		t.Fatal(err)
+	}
+}
