@@ -1,0 +1,46 @@
+GO ?= go
+
+.PHONY: all build vet test race check sweep-smoke crash-matrix bless-golden clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the pre-commit gate: build, vet, and the full suite under the
+# race detector. -short shrinks the sweep grid cells (see
+# internal/sweep.testGrid) so the parallel engine is still exercised
+# end-to-end without multi-minute cells.
+check: build vet
+	$(GO) test -short -race ./...
+
+# sweep-smoke regenerates the acceptance grid (3 schemes x 2 workloads x
+# 2 channel counts) through the CLI on 4 workers, printing the summary
+# table and the achieved parallel speedup.
+sweep-smoke: build
+	$(GO) run ./cmd/psoram-sweep \
+		-schemes Baseline,PS-ORAM,Naive-PS-ORAM \
+		-workloads 401.bzip2,429.mcf \
+		-channels 1,2 -accesses 400 -levels 10 -workers 4
+
+# crash-matrix reproduces the crash-consistency verdict table
+# (paper Table 5) through the parallel pool.
+crash-matrix: build
+	$(GO) run ./cmd/psoram-sweep -crash -workers 4
+
+# bless-golden re-pins the golden metrics after a deliberate behaviour
+# change. Justify the new numbers in the commit that re-blesses.
+bless-golden:
+	$(GO) test ./internal/sweep -run TestGoldenMetrics -update
+
+clean:
+	$(GO) clean ./...

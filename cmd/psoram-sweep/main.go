@@ -1,0 +1,216 @@
+// Command psoram-sweep regenerates whole evaluation grids — every
+// (scheme × workload × channel-count × seed) cell — in one invocation,
+// fanned out across a worker pool, replacing the serial per-cell
+// psoram-sim loop. It can also run the crash-torture matrix the same
+// way (-crash).
+//
+// Usage:
+//
+//	psoram-sweep -schemes Baseline,PS-ORAM -workloads 401.bzip2,429.mcf -channels 1,2 -workers 4
+//	psoram-sweep -schemes all -workloads all -accesses 3000 -levels 16 -csv results.csv
+//	psoram-sweep -crash
+//	psoram-sweep -list
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/sweep"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		schemesFlag   = flag.String("schemes", "all", "comma-separated schemes, or \"all\" (see -list)")
+		workloadsFlag = flag.String("workloads", "all", "comma-separated Table 4 workloads, or \"all\" (see -list)")
+		channelsFlag  = flag.String("channels", "1", "comma-separated memory channel counts (1, 2, 4 or 8)")
+		seeds         = flag.Int("seeds", 1, "seed replicas per grid point")
+		rootSeed      = flag.Uint64("seed", 1, "root seed for per-cell seed derivation")
+		accesses      = flag.Int("accesses", 3000, "LLC misses simulated per cell")
+		levels        = flag.Int("levels", 16, "ORAM tree height L (paper: 23)")
+		workers       = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent cells (default GOMAXPROCS)")
+		jsonPath      = flag.String("json", "", "write full results as JSON to this path (\"-\" = stdout)")
+		csvPath       = flag.String("csv", "", "write per-cell results as CSV to this path (\"-\" = stdout)")
+		crashMode     = flag.Bool("crash", false, "run the crash-torture matrix instead of the timing grid")
+		quiet         = flag.Bool("quiet", false, "suppress live progress output")
+		list          = flag.Bool("list", false, "list schemes and workloads, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Schemes:")
+		for _, s := range config.Schemes() {
+			fmt.Printf("  %s\n", s)
+		}
+		fmt.Println("Workloads (Table 4):")
+		for _, w := range trace.Table4() {
+			fmt.Printf("  %s\n", w.Name)
+		}
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opt := sweep.Options{Workers: *workers}
+	if !*quiet {
+		opt.OnResult = func(done, total int, r sweep.CellResult) {
+			status := ""
+			if r.Err != nil {
+				status = "  FAILED"
+			}
+			fmt.Fprintf(os.Stderr, "\r\033[K[%d/%d] %s%s", done, total, r.Cell, status)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	if *crashMode {
+		runCrash(ctx, opt)
+		return
+	}
+
+	schemes, err := parseSchemes(*schemesFlag)
+	if err != nil {
+		fatal(err)
+	}
+	workloads, err := parseWorkloads(*workloadsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	channels, err := parseChannels(*channelsFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	grid := sweep.Grid{
+		Schemes:   schemes,
+		Workloads: workloads,
+		Channels:  channels,
+		Seeds:     *seeds,
+		RootSeed:  *rootSeed,
+		Accesses:  *accesses,
+		Levels:    *levels,
+	}
+	res, err := sweep.Run(ctx, grid, opt)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Keep stdout machine-parseable when an emitter writes to it.
+	summary := io.Writer(os.Stdout)
+	if *jsonPath == "-" || *csvPath == "-" {
+		summary = os.Stderr
+	}
+	fmt.Fprintln(summary, sweep.SummaryTable(res))
+	fmt.Fprintf(summary, "grid: %d cells on %d workers in %v (aggregate cell time %v, %.2fx parallel speedup)\n",
+		len(res.Cells), res.Workers, res.Wall.Round(1e6), res.CellTime.Round(1e6), res.Speedup())
+
+	if *jsonPath != "" {
+		if err := emit(*jsonPath, res, sweep.WriteJSON); err != nil {
+			fatal(err)
+		}
+	}
+	if *csvPath != "" {
+		if err := emit(*csvPath, res, sweep.WriteCSV); err != nil {
+			fatal(err)
+		}
+	}
+	if failed := res.Failed(); len(failed) > 0 {
+		for _, f := range failed {
+			fmt.Fprintf(os.Stderr, "psoram-sweep: cell %s: %v\n", f.Cell, f.Err)
+		}
+		os.Exit(1)
+	}
+}
+
+func runCrash(ctx context.Context, opt sweep.Options) {
+	m := sweep.DefaultCrashMatrix()
+	results, err := sweep.RunCrashMatrix(ctx, m, opt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(sweep.CrashTable(results))
+}
+
+func emit(path string, res *sweep.Results, write func(w io.Writer, r *sweep.Results) error) error {
+	if path == "-" {
+		return write(os.Stdout, res)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f, res); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func parseSchemes(s string) ([]config.Scheme, error) {
+	if s == "all" {
+		return config.Schemes(), nil
+	}
+	var out []config.Scheme
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for _, sc := range config.Schemes() {
+			if sc.String() == name {
+				out = append(out, sc)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown scheme %q (try -list)", name)
+		}
+	}
+	return out, nil
+}
+
+func parseWorkloads(s string) ([]trace.Workload, error) {
+	if s == "all" {
+		return trace.Table4(), nil
+	}
+	var out []trace.Workload
+	for _, name := range strings.Split(s, ",") {
+		w, err := trace.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+func parseChannels(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		ch, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad channel count %q", part)
+		}
+		out = append(out, ch)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no channel counts given")
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "psoram-sweep: %v\n", err)
+	os.Exit(1)
+}

@@ -108,6 +108,39 @@ func TestValidateCatchesBadConfigs(t *testing.T) {
 	}
 }
 
+// TestValidateErrorMessages pins the message text for the error paths
+// that surface through the sweep CLI's flag parsing, so a bad -channels
+// or -levels value produces a diagnosable message rather than a generic
+// failure.
+func TestValidateErrorMessages(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"channels 3", func(c *Config) { c.Channels = 3 }, "config: Channels must be 1, 2, 4 or 8, got 3"},
+		{"channels 0", func(c *Config) { c.Channels = 0 }, "config: Channels must be 1, 2, 4 or 8, got 0"},
+		{"channels 16", func(c *Config) { c.Channels = 16 }, "config: Channels must be 1, 2, 4 or 8, got 16"},
+		{"block 65", func(c *Config) { c.BlockBytes = 65 }, "config: BlockBytes 65 must be a positive power of two"},
+		{"utilization 0", func(c *Config) { c.Utilization = 0 }, "config: Utilization must be in (0,1], got 0.000000"},
+		{"utilization 2", func(c *Config) { c.Utilization = 2 }, "config: Utilization must be in (0,1], got 2.000000"},
+		{"zero Z", func(c *Config) { c.Z = 0 }, "config: Z must be positive, got 0"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cfg := Default()
+			c.mut(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted invalid config")
+			}
+			if err.Error() != c.want {
+				t.Errorf("error = %q, want %q", err.Error(), c.want)
+			}
+		})
+	}
+}
+
 func TestTreeLevelsForMonotonic(t *testing.T) {
 	c := Default()
 	prev := 0

@@ -229,9 +229,16 @@ func (c *Controller) accessRecursive(op oram.Op, addr oram.Addr, data []byte) (R
 		// reachable through the durable chain.
 		c.markDurable(addr, blk.Data)
 	} else {
-		// Rcr-Baseline: posted writes, no atomicity.
+		// Rcr-Baseline: posted writes, no atomicity. Crash points between
+		// slot writes model a power failure mid-write-back, losing whatever
+		// still sits in the volatile buffer (same exposure as evictPosted).
 		proceed := c.now
+		slotIdx := 0
+		crashedMid := false
 		evicted = c.ORAM.ApplyEviction(l, plan, func(bucket uint64, z int, s oram.Slot, b *oram.StashBlock) {
+			if crashedMid {
+				return
+			}
 			img := c.ORAM.Image
 			p := c.Mem.WriteBlockPosted(c.Mem.TreeBlockLocation(bucket, z), c.now, func() func() {
 				return img.SetSlot(bucket, z, s)
@@ -239,7 +246,12 @@ func (c *Controller) accessRecursive(op oram.Op, addr oram.Addr, data []byte) (R
 			if p > proceed {
 				proceed = p
 			}
+			crashedMid = c.maybeCrash(5, slotIdx)
+			slotIdx++
 		})
+		if crashedMid {
+			return Result{}, ErrCrashed
+		}
 		c.now = proceed
 	}
 	if c.ORAM.Stash.Overflowed() {

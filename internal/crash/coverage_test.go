@@ -1,0 +1,85 @@
+package crash
+
+import (
+	"testing"
+
+	"repro/internal/config"
+)
+
+// TestEveryDeclaredPointFires asserts the torture harness actually
+// reaches every declared injection step at least once per scheme: a new
+// protocol step added without a maybeCrash hook (or a scheme that skips
+// one) would shrink crash coverage silently, and this is the tripwire.
+func TestEveryDeclaredPointFires(t *testing.T) {
+	r := runner()
+	w := workload()
+	schemes := []config.Scheme{
+		config.SchemeBaseline, config.SchemeFullNVM, config.SchemeFullNVMSTT,
+		config.SchemeNaivePSORAM, config.SchemePSORAM,
+		config.SchemeRcrBaseline, config.SchemeRcrPSORAM,
+		config.SchemeEADRORAM,
+	}
+	for _, s := range schemes {
+		counts, err := r.ObservePoints(s, w)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		for _, step := range DeclaredStepsFor(s) {
+			if counts[step] == 0 {
+				t.Errorf("%v: declared crash step %d never offered over %d accesses (coverage hole)",
+					s, step, w.Accesses)
+			}
+		}
+		for step := range counts {
+			declared := false
+			for _, d := range DeclaredStepsFor(s) {
+				if step == d {
+					declared = true
+				}
+			}
+			if !declared {
+				t.Errorf("%v: undeclared crash step %d fired — add it to DeclaredStepsFor and the sweeps",
+					s, step)
+			}
+		}
+	}
+}
+
+// TestSweepPointsCoverDeclaredSteps checks the hand-picked sweep set
+// itself touches every declared step, so the consistency sweeps in this
+// package and report.CrashMatrix cannot drop a step by accident.
+func TestSweepPointsCoverDeclaredSteps(t *testing.T) {
+	seen := make(map[int]bool)
+	for _, p := range SweepPoints(50, 5) {
+		seen[p.Step] = true
+	}
+	for _, step := range DeclaredSteps() {
+		if !seen[step] {
+			t.Errorf("SweepPoints covers no point at declared step %d", step)
+		}
+	}
+}
+
+// TestObservePointsDeterministic pins the probe itself: identical
+// workloads must offer identical point counts, or coverage assertions
+// would flap.
+func TestObservePointsDeterministic(t *testing.T) {
+	r := runner()
+	w := workload()
+	a, err := r.ObservePoints(config.SchemePSORAM, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.ObservePoints(config.SchemePSORAM, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("probe nondeterministic: %v vs %v", a, b)
+	}
+	for step, n := range a {
+		if b[step] != n {
+			t.Fatalf("probe nondeterministic at step %d: %d vs %d", step, n, b[step])
+		}
+	}
+}

@@ -211,6 +211,64 @@ func strictScheme(s config.Scheme) bool {
 	return true
 }
 
+// DeclaredSteps lists the protocol steps every scheme's access path
+// declares as crash-injection points (§2.2.2/§4.2.1 numbering): 2 =
+// PosMap lookup/remap, 3 = path load (per-bucket sub-steps), 4 = stash
+// update, 5 = write-back (per-slot/per-batch sub-steps), 6 = access
+// complete. The coverage test asserts the torture harness reaches every
+// one of them, so a new protocol step cannot silently go untested.
+func DeclaredSteps() []int { return []int{2, 3, 4, 5, 6} }
+
+// DeclaredStepsFor narrows DeclaredSteps to the steps a scheme actually
+// exposes. eADR-ORAM has no step-5 point: its persistence domain covers
+// the write buffers, so a power failure mid-write-back drains the
+// remaining eviction and is indistinguishable from a crash after step 5
+// (core.maybeCrash filters it for the same reason).
+func DeclaredStepsFor(s config.Scheme) []int {
+	if s == config.SchemeEADRORAM {
+		return []int{2, 3, 4, 6}
+	}
+	return DeclaredSteps()
+}
+
+// ObservePoints runs the workload with a non-firing injector and returns
+// how many times each protocol step was offered as a crash point. It is
+// the coverage probe for the torture harness: a declared step that never
+// appears here can never be crash-tested.
+func (r Runner) ObservePoints(scheme config.Scheme, w Workload) (map[int]int, error) {
+	ctl, err := core.New(scheme, r.Cfg, core.Options{NumBlocks: r.Blocks, Levels: r.Levels})
+	if err != nil {
+		return nil, err
+	}
+	counts := make(map[int]int)
+	ctl.CrashAt = func(p core.CrashPoint) bool {
+		counts[p.Step]++
+		return false
+	}
+	rng := w.Seed*2862933555777941757 + 3037000493
+	next := func(n int) int {
+		rng = rng*2862933555777941757 + 3037000493
+		return int((rng >> 33) % uint64(n))
+	}
+	version := 0
+	for i := 0; i < w.Accesses; i++ {
+		addr := oram.Addr(next(int(w.NumBlocks)))
+		var op oram.Op
+		var data []byte
+		if float64(next(1000))/1000 < w.WriteRatio {
+			op = oram.OpWrite
+			version++
+			data = value(addr, version, r.Cfg.BlockBytes)
+		} else {
+			op = oram.OpRead
+		}
+		if _, err := ctl.Access(op, addr, data); err != nil {
+			return nil, fmt.Errorf("access %d: %w", i, err)
+		}
+	}
+	return counts, nil
+}
+
 // SweepPoints enumerates a representative set of crash points for a
 // workload of the given length and tree height: every protocol step,
 // several path-load sub-steps, write-back sub-steps, and between-access

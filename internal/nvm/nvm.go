@@ -7,6 +7,11 @@
 // (what bytes live where) are owned by the ORAM layer; this package
 // answers "when does this block read/write complete" and "how much
 // traffic/energy/wear did the run cost".
+//
+// A Device is not safe for concurrent use (it models one channel driven
+// by one controller), but holds no package-level state: independent
+// Devices never interact, so concurrent simulator instances (see
+// internal/sweep) are race-free.
 package nvm
 
 import (

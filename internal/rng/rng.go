@@ -109,3 +109,41 @@ func (r *Rand) Perm(n int) []int {
 func (r *Rand) Split() *Rand {
 	return New(r.Uint64() ^ 0xa5a5a5a5deadbeef)
 }
+
+// DeriveSeed deterministically derives an independent seed from a root
+// seed and a sequence of coordinate values (e.g. the grid coordinates of
+// one sweep cell). Each run of a parallel experiment sweep seeds its own
+// generators from the derived value, never from shared RNG state, so
+// results are identical regardless of worker count or execution order.
+//
+// The derivation is a splitmix64 fold: distinct coordinate tuples give
+// well-separated seeds, and it is position-sensitive — DeriveSeed(r, 1, 2)
+// and DeriveSeed(r, 2, 1) differ, as do tuples of different lengths.
+func DeriveSeed(root uint64, coords ...uint64) uint64 {
+	h := root ^ 0x8f1bbcdcbfa53e0b
+	mix := func(v uint64) {
+		h += v ^ 0x9e3779b97f4a7c15
+		h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+		h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	mix(uint64(len(coords)))
+	for _, c := range coords {
+		mix(c)
+	}
+	if h == 0 {
+		h = 0x9e3779b97f4a7c15
+	}
+	return h
+}
+
+// HashString folds a string into a uint64 (FNV-1a) for use as a
+// DeriveSeed coordinate, e.g. a workload name.
+func HashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -7,6 +7,15 @@
 // tracking protocol state abstractly: block positions and leaf labels
 // without payload bytes. Both layers execute the same protocol — the
 // functional layer validates it, this layer prices it.
+//
+// Concurrency: a System is single-threaded (it models one memory
+// controller), but independent Systems share no mutable state — Run,
+// RunTrace, and RunThroughCaches construct every stateful component
+// (tree maps, memory controller, NVM devices, RNG, trace generator)
+// per call, and the packages below (mem, nvm, cache, rng, trace) keep
+// all state per instance. internal/sweep relies on this to fan grids of
+// runs across goroutines; the determinism tests there and `go test
+// -race` guard the property.
 package sim
 
 import (

@@ -1,0 +1,103 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/trace"
+)
+
+var update = flag.Bool("update", false, "re-bless the golden metrics file")
+
+// goldenCell pins the headline metrics of one cell. Any drift in these
+// is a behaviour change in the simulator stack and must be deliberate:
+// re-bless with `go test ./internal/sweep -run TestGoldenMetrics -update`
+// and justify the new numbers in the commit.
+type goldenCell struct {
+	Scheme   string `json:"scheme"`
+	Workload string `json:"workload"`
+	Cycles   uint64 `json:"cycles"`
+	Reads    uint64 `json:"reads"`
+	Writes   uint64 `json:"writes"`
+	EnergyPJ uint64 `json:"energy_pj"`
+}
+
+const goldenPath = "testdata/golden.json"
+
+// goldenGrid is the pinned grid: 3 schemes × 2 workloads, levels=12,
+// single channel, fixed root seed.
+func goldenGrid() Grid {
+	ws := trace.Table4()
+	return Grid{
+		Schemes:   []config.Scheme{config.SchemeBaseline, config.SchemePSORAM, config.SchemeNaivePSORAM},
+		Workloads: []trace.Workload{ws[0], ws[2]}, // 401.bzip2, 429.mcf
+		Channels:  []int{1},
+		RootSeed:  1,
+		Accesses:  600,
+		Levels:    12,
+	}
+}
+
+// TestGoldenMetrics fails on any drift of (Cycles, Reads, Writes,
+// EnergyPJ) for the pinned grid — the regression net under every future
+// perf PR.
+func TestGoldenMetrics(t *testing.T) {
+	res, err := Run(context.Background(), goldenGrid(), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]goldenCell, 0, len(res.Cells))
+	for _, c := range res.Cells {
+		got = append(got, goldenCell{
+			Scheme:   c.Cell.Scheme.String(),
+			Workload: c.Cell.Workload.Name,
+			Cycles:   c.Result.Cycles,
+			Reads:    c.Result.Reads,
+			Writes:   c.Result.Writes,
+			EnergyPJ: c.Result.EnergyPJ,
+		})
+	}
+
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("re-blessed %s with %d cells", goldenPath, len(got))
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to bless): %v", err)
+	}
+	var want []goldenCell
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("corrupt golden file: %v", err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("golden file has %d cells, run produced %d (grid changed? re-bless with -update)", len(want), len(got))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if w != g {
+			t.Errorf("golden drift at %s/%s:\n  pinned:  cycles=%d reads=%d writes=%d energy_pj=%d\n  current: cycles=%d reads=%d writes=%d energy_pj=%d",
+				w.Scheme, w.Workload, w.Cycles, w.Reads, w.Writes, w.EnergyPJ,
+				g.Cycles, g.Reads, g.Writes, g.EnergyPJ)
+		}
+	}
+}

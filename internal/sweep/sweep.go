@@ -1,0 +1,312 @@
+// Package sweep is the parallel experiment engine behind the §5.2
+// evaluation grids: it fans a full (scheme × workload × channels × seed)
+// grid out across a bounded pool of goroutines, one independent timing
+// simulator per cell, and aggregates the per-cell sim.Results.
+//
+// Determinism is the design center. Every cell derives its own seed from
+// the grid's root seed and the cell's coordinates (rng.DeriveSeed) —
+// never from shared RNG state — so a sweep produces byte-identical
+// results on 1 worker and on N, and a single cell re-run in isolation
+// reproduces its in-grid result exactly. The simulator stack
+// (internal/sim, internal/mem, internal/nvm, internal/rng, internal/trace)
+// keeps all mutable state per instance, which is what makes the fan-out
+// race-free; TestConcurrentSystemsAreIndependent and `go test -race`
+// guard that property.
+//
+// One bad cell must not kill a 400-cell sweep: panics inside a cell are
+// captured into that cell's result, errors are recorded per cell, and
+// context cancellation stops feeding new cells while letting in-flight
+// ones finish.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Grid describes a full experiment grid. The cross product of Schemes ×
+// Workloads × Channels × Seeds is one sweep.
+type Grid struct {
+	Schemes   []config.Scheme
+	Workloads []trace.Workload
+	// Channels lists the memory-channel counts to sweep (default {1}).
+	Channels []int
+	// Seeds is the number of seed replicas per point (default 1).
+	Seeds int
+	// RootSeed anchors per-cell seed derivation (default 1).
+	RootSeed uint64
+	// Accesses is the LLC-miss count per cell (default 3000).
+	Accesses int
+	// Levels is the simulated tree height (default 16).
+	Levels int
+	// Cfg is the base configuration; Channels and Seed are overridden per
+	// cell. Zero value means config.Default().
+	Cfg config.Config
+	// cfgSet distinguishes an explicitly provided Cfg from the zero value.
+	cfgSet bool
+}
+
+// WithConfig returns a copy of g using cfg as the base configuration.
+func (g Grid) WithConfig(cfg config.Config) Grid {
+	g.Cfg = cfg
+	g.cfgSet = true
+	return g
+}
+
+// withDefaults fills unset fields.
+func (g Grid) withDefaults() Grid {
+	if len(g.Channels) == 0 {
+		g.Channels = []int{1}
+	}
+	if g.Seeds <= 0 {
+		g.Seeds = 1
+	}
+	if g.RootSeed == 0 {
+		g.RootSeed = 1
+	}
+	if g.Accesses <= 0 {
+		g.Accesses = 3000
+	}
+	if g.Levels == 0 {
+		g.Levels = 16
+	}
+	if !g.cfgSet && g.Cfg.BlockBytes == 0 {
+		g.Cfg = config.Default()
+	}
+	return g
+}
+
+// Validate checks the grid before any cell runs, surfacing the same
+// messages the per-cell constructors would (unknown workloads are caught
+// earlier, by trace.ByName, in callers that parse names).
+func (g Grid) Validate() error {
+	if len(g.Schemes) == 0 {
+		return fmt.Errorf("sweep: grid has no schemes")
+	}
+	if len(g.Workloads) == 0 {
+		return fmt.Errorf("sweep: grid has no workloads")
+	}
+	if g.Levels < 4 || g.Levels > 26 {
+		return fmt.Errorf("sim: tree height %d out of range [4,26]", g.Levels)
+	}
+	for _, ch := range g.Channels {
+		cfg := g.Cfg
+		cfg.Channels = ch
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Cell is one grid point: the coordinates plus the derived seed.
+type Cell struct {
+	Scheme    config.Scheme
+	Workload  trace.Workload
+	Channels  int
+	SeedIndex int
+	// Seed is derived from the grid's root seed and this cell's
+	// coordinates; it is independent of the grid's shape, so the same
+	// cell re-run alone reproduces its in-grid result.
+	Seed uint64
+}
+
+func (c Cell) String() string {
+	return fmt.Sprintf("%s/%s/ch%d/s%d", c.Scheme, c.Workload.Name, c.Channels, c.SeedIndex)
+}
+
+// CellSeed derives the deterministic per-run seed for a cell. The scheme
+// enum value, workload name hash, channel count, and seed index all feed
+// the derivation, so no two cells of any grid share a seed stream.
+func CellSeed(root uint64, scheme config.Scheme, workload string, channels, seedIndex int) uint64 {
+	return rng.DeriveSeed(root,
+		uint64(scheme), rng.HashString(workload), uint64(channels), uint64(seedIndex))
+}
+
+// Cells enumerates the grid in deterministic scheme-major order.
+func (g Grid) Cells() []Cell {
+	g = g.withDefaults()
+	out := make([]Cell, 0, len(g.Schemes)*len(g.Workloads)*len(g.Channels)*g.Seeds)
+	for _, s := range g.Schemes {
+		for _, w := range g.Workloads {
+			for _, ch := range g.Channels {
+				for si := 0; si < g.Seeds; si++ {
+					out = append(out, Cell{
+						Scheme: s, Workload: w, Channels: ch, SeedIndex: si,
+						Seed: CellSeed(g.RootSeed, s, w.Name, ch, si),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CellResult is the outcome of one cell.
+type CellResult struct {
+	Cell   Cell
+	Result sim.Result
+	// Err records a simulator error or a captured panic; Skipped marks
+	// cells never started because the context was cancelled.
+	Err     error
+	Panic   string
+	Skipped bool
+	Wall    time.Duration
+}
+
+// Options tunes a sweep run.
+type Options struct {
+	// Workers bounds concurrency; <=0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// OnResult, when non-nil, observes each completed cell. Calls are
+	// serialized and `done` is monotonic, but completion order across
+	// workers is nondeterministic — only the aggregated Results order is.
+	OnResult func(done, total int, r CellResult)
+}
+
+// Results aggregates a sweep. Cells is in Grid.Cells order regardless of
+// execution interleaving.
+type Results struct {
+	Grid    Grid
+	Workers int
+	Cells   []CellResult
+	// Wall is the sweep's elapsed time; CellTime the sum of per-cell
+	// times. CellTime/Wall estimates the achieved parallel speedup.
+	Wall     time.Duration
+	CellTime time.Duration
+}
+
+// Speedup returns the achieved parallelism: aggregate cell time over
+// sweep wall time (≈1 on a serial run, →Workers when cells dominate).
+func (r *Results) Speedup() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.CellTime) / float64(r.Wall)
+}
+
+// Failed returns the cells that errored, panicked, or were skipped.
+func (r *Results) Failed() []CellResult {
+	var out []CellResult
+	for _, c := range r.Cells {
+		if c.Err != nil || c.Skipped {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// FirstError returns the first failed cell's error, or nil.
+func (r *Results) FirstError() error {
+	for _, c := range r.Cells {
+		if c.Err != nil {
+			return fmt.Errorf("sweep: cell %s: %w", c.Cell, c.Err)
+		}
+		if c.Skipped {
+			return fmt.Errorf("sweep: cell %s skipped (cancelled)", c.Cell)
+		}
+	}
+	return nil
+}
+
+// Run executes the grid across a bounded worker pool. Per-cell failures
+// (errors and panics) land in the corresponding CellResult; Run itself
+// errors only on an invalid grid or a cancelled context (returning the
+// partial results alongside the error).
+func Run(ctx context.Context, g Grid, opt Options) (*Results, error) {
+	g = g.withDefaults()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	cells := g.Cells()
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	res := &Results{Grid: g, Workers: workers, Cells: make([]CellResult, len(cells))}
+	started := make([]bool, len(cells))
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex // serializes OnResult and the done counter
+		done      int
+		cellNanos int64
+	)
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				cr := runCell(g, cells[i])
+				res.Cells[i] = cr
+				atomic.AddInt64(&cellNanos, int64(cr.Wall))
+				mu.Lock()
+				done++
+				if opt.OnResult != nil {
+					opt.OnResult(done, len(cells), cr)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	start := time.Now()
+feed:
+	for i := range cells {
+		select {
+		case idx <- i:
+			started[i] = true
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	res.Wall = time.Since(start)
+	res.CellTime = time.Duration(atomic.LoadInt64(&cellNanos))
+	for i := range cells {
+		if !started[i] {
+			res.Cells[i] = CellResult{Cell: cells[i], Skipped: true}
+		}
+	}
+	return res, ctx.Err()
+}
+
+// runCell executes one independent simulation.
+func runCell(g Grid, c Cell) CellResult {
+	return runProtected(c, func() (sim.Result, error) {
+		cfg := g.Cfg
+		cfg.Channels = c.Channels
+		cfg.Seed = c.Seed
+		return sim.Run(c.Scheme, cfg, c.Workload, g.Accesses, g.Levels)
+	})
+}
+
+// runProtected wraps one cell's work with timing and panic capture, so a
+// bad cell cannot take the whole sweep down.
+func runProtected(c Cell, fn func() (sim.Result, error)) (cr CellResult) {
+	cr.Cell = c
+	start := time.Now()
+	defer func() {
+		cr.Wall = time.Since(start)
+		if p := recover(); p != nil {
+			cr.Panic = fmt.Sprintf("%v\n%s", p, debug.Stack())
+			cr.Err = fmt.Errorf("sweep: panic in cell %s: %v", c, p)
+		}
+	}()
+	cr.Result, cr.Err = fn()
+	return cr
+}

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
@@ -43,6 +44,44 @@ func TestTable4HasFourteenWorkloads(t *testing.T) {
 func TestByNameUnknown(t *testing.T) {
 	if _, err := ByName("999.nothere"); err == nil {
 		t.Fatal("expected error")
+	}
+}
+
+// TestByNameErrorPaths pins the failure mode CLI flag parsing relies on:
+// every bad name errors, and the message names the offending workload so
+// a typo in a -workloads list is diagnosable.
+func TestByNameErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"typo", "401.bzip"},
+		{"case mismatch", "401.BZIP2"},
+		{"surrounding space", " 401.bzip2"},
+		{"numeric only", "429"},
+		{"made up", "999.nothere"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ByName(c.in)
+			if err == nil {
+				t.Fatalf("ByName(%q) accepted an unknown workload", c.in)
+			}
+			want := fmt.Sprintf("trace: unknown workload %q", c.in)
+			if err.Error() != want {
+				t.Errorf("error = %q, want %q", err.Error(), want)
+			}
+		})
+	}
+	// And the happy path: every Table 4 name must round-trip.
+	for _, w := range Table4() {
+		got, err := ByName(w.Name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", w.Name, err)
+		} else if got != w {
+			t.Errorf("ByName(%q) = %+v, want %+v", w.Name, got, w)
+		}
 	}
 }
 
