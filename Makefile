@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check sweep-smoke crash-matrix bless-golden clean
+.PHONY: all build vet test race check sweep-smoke crash-matrix oracle-smoke fuzz-smoke bench-oracle bless-golden clean
 
 all: check
 
@@ -36,6 +36,26 @@ sweep-smoke: build
 # (paper Table 5) through the parallel pool.
 crash-matrix: build
 	$(GO) run ./cmd/psoram-sweep -crash -workers 4
+
+# oracle-smoke runs the differential oracle and the crash-linearizability
+# torture harness over every scheme (see EXPERIMENTS.md, "Validating a
+# refactor with psoram-oracle").
+oracle-smoke: build
+	$(GO) run ./cmd/psoram-oracle -crash
+
+# fuzz-smoke gives each oracle fuzz target a short coverage-guided run
+# (the CI budget; raise FUZZTIME locally for a deeper session).
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzOracleAccessSequence$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzStashEviction$$' -fuzztime $(FUZZTIME) .
+
+# bench-oracle measures the per-cell cost of oracle validation and pins
+# it into BENCH_oracle.json (tracked; regenerate when the oracle or the
+# sweep engine changes).
+bench-oracle:
+	$(GO) test -run '^$$' -bench BenchmarkOracleOverhead -benchmem -json ./internal/sweep > BENCH_oracle.json
+	@grep -o '"Output":"[^"]*ns/op[^"]*' BENCH_oracle.json | sed 's/"Output":"//;s/\\t/  /g;s/\\n//'
 
 # bless-golden re-pins the golden metrics after a deliberate behaviour
 # change. Justify the new numbers in the commit that re-blesses.

@@ -1,0 +1,224 @@
+// Command psoram-oracle runs the differential oracle and the
+// crash-linearizability torture harness (internal/oracle) over any set
+// of schemes: every access is diffed against a plain-map reference,
+// structural invariants are checked at deep-check boundaries, the leaf
+// sequence is tested for uniformity, and (with -crash) every declared
+// crash-injection step is fired and the recovered store checked against
+// the reference prefix replays.
+//
+// Usage:
+//
+//	psoram-oracle                                   # all schemes, 3 workloads, level 10
+//	psoram-oracle -schemes PS-ORAM,Ring-PS-ORAM -levels 10,12 -crash
+//	psoram-oracle -workloads all -ops 256 -json report.json
+//	psoram-oracle -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/crash"
+	"repro/internal/oracle"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		schemesFlag   = flag.String("schemes", "all", "comma-separated schemes, or \"all\" (see -list)")
+		workloadsFlag = flag.String("workloads", "uniform,write-heavy,hotspot", "comma-separated oracle workloads, or \"all\" (see -list)")
+		levelsFlag    = flag.String("levels", "10", "comma-separated tree heights")
+		ops           = flag.Int("ops", 96, "ops per (scheme, workload, level) cell")
+		blocks        = flag.Uint64("blocks", 256, "logical blocks in the functional tree")
+		seed          = flag.Uint64("seed", 1, "root seed for deterministic op generation")
+		crashMode     = flag.Bool("crash", false, "also run crash-linearizability for the persistent schemes")
+		jsonPath      = flag.String("json", "", "write full reports as JSON to this path (\"-\" = stdout)")
+		list          = flag.Bool("list", false, "list schemes and workloads, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Schemes:")
+		for _, s := range config.Schemes() {
+			p := ""
+			if s.Persistent() {
+				p = "  (persistent: -crash applies)"
+			}
+			fmt.Printf("  %s%s\n", s, p)
+		}
+		fmt.Println("Workloads:")
+		for _, w := range oracle.Workloads() {
+			fmt.Printf("  %s\n", w.Name)
+		}
+		return
+	}
+
+	schemes, err := parseSchemes(*schemesFlag)
+	if err != nil {
+		fatal(err)
+	}
+	workloads, err := parseWorkloads(*workloadsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	levels, err := parseLevels(*levelsFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	type cellReport struct {
+		Scheme   string              `json:"scheme"`
+		Workload string              `json:"workload"`
+		Levels   int                 `json:"levels"`
+		Report   *oracle.Report      `json:"report"`
+		Crash    *oracle.CrashReport `json:"crash,omitempty"`
+	}
+	var (
+		cells      []cellReport
+		violations int
+	)
+
+	tab := stats.NewTable("Differential oracle",
+		"Scheme", "Workload", "L", "Ops", "Violations", "Chi2 p", "Crash steps")
+	bb := config.Default().BlockBytes
+	for _, s := range schemes {
+		for _, lv := range levels {
+			for _, w := range workloads {
+				genOps := oracle.GenOps(w, *blocks, bb, *ops, *seed)
+				p := oracle.Params{Scheme: s, NumBlocks: *blocks, Levels: lv, Seed: *seed}
+				rep, err := oracle.CheckScheme(p, genOps, oracle.Options{})
+				if err != nil {
+					fatal(err)
+				}
+				violations += len(rep.Violations)
+				cell := cellReport{Scheme: s.String(), Workload: w.Name, Levels: lv, Report: rep}
+
+				crashCol := "-"
+				if *crashMode && s.Persistent() {
+					crep, err := oracle.CheckCrash(p, genOps, oracle.CrashOptions{})
+					if err != nil {
+						fatal(err)
+					}
+					violations += len(crep.Violations)
+					cell.Crash = crep
+					fired := 0
+					for _, step := range crash.DeclaredStepsFor(s) {
+						if crep.StepsFired[step] > 0 {
+							fired++
+						}
+					}
+					crashCol = fmt.Sprintf("%d/%d", fired, len(crash.DeclaredStepsFor(s)))
+				}
+
+				chiCol := "skip"
+				if !rep.Chi2Skipped {
+					chiCol = fmt.Sprintf("%.3g", rep.Chi2P)
+				}
+				tab.AddRow(cell.Scheme, cell.Workload, strconv.Itoa(lv),
+					strconv.Itoa(rep.Ops), strconv.Itoa(len(rep.Violations)), chiCol, crashCol)
+				cells = append(cells, cell)
+
+				for _, v := range rep.Violations {
+					fmt.Fprintf(os.Stderr, "psoram-oracle: %s/%s/L%d: %s\n", s, w.Name, lv, v)
+				}
+				if cell.Crash != nil {
+					for _, v := range cell.Crash.Violations {
+						fmt.Fprintf(os.Stderr, "psoram-oracle: %s/%s/L%d: %s\n", s, w.Name, lv, v)
+					}
+				}
+			}
+		}
+	}
+
+	out := os.Stdout
+	if *jsonPath == "-" {
+		out = os.Stderr
+	}
+	fmt.Fprintln(out, tab)
+	if *jsonPath != "" {
+		if err := emitJSON(*jsonPath, cells); err != nil {
+			fatal(err)
+		}
+	}
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "psoram-oracle: %d violation(s)\n", violations)
+		os.Exit(1)
+	}
+}
+
+func emitJSON(path string, v any) error {
+	f := os.Stdout
+	if path != "-" {
+		var err error
+		f, err = os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func parseSchemes(s string) ([]config.Scheme, error) {
+	if s == "all" {
+		return config.Schemes(), nil
+	}
+	var out []config.Scheme
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for _, sc := range config.Schemes() {
+			if sc.String() == name {
+				out = append(out, sc)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown scheme %q (try -list)", name)
+		}
+	}
+	return out, nil
+}
+
+func parseWorkloads(s string) ([]oracle.Workload, error) {
+	if s == "all" {
+		return oracle.Workloads(), nil
+	}
+	var out []oracle.Workload
+	for _, name := range strings.Split(s, ",") {
+		w, err := oracle.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+func parseLevels(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		lv, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad tree height %q", part)
+		}
+		out = append(out, lv)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no tree heights given")
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "psoram-oracle: %v\n", err)
+	os.Exit(1)
+}

@@ -41,6 +41,7 @@ func main() {
 		jsonPath      = flag.String("json", "", "write full results as JSON to this path (\"-\" = stdout)")
 		csvPath       = flag.String("csv", "", "write per-cell results as CSV to this path (\"-\" = stdout)")
 		crashMode     = flag.Bool("crash", false, "run the crash-torture matrix instead of the timing grid")
+		oracleMode    = flag.Bool("oracle", false, "validate every cell with the functional oracle (internal/oracle)")
 		quiet         = flag.Bool("quiet", false, "suppress live progress output")
 		list          = flag.Bool("list", false, "list schemes and workloads, then exit")
 	)
@@ -101,6 +102,7 @@ func main() {
 		RootSeed:  *rootSeed,
 		Accesses:  *accesses,
 		Levels:    *levels,
+		Oracle:    *oracleMode,
 	}
 	res, err := sweep.Run(ctx, grid, opt)
 	if err != nil {

@@ -1,0 +1,126 @@
+package psoram
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/oracle"
+	"repro/internal/oram"
+)
+
+// fuzzSchemes are the schemes the access-sequence fuzzer rotates
+// through: the two persistent flagships, the naive variant, eADR, and
+// the volatile baseline as a control.
+var fuzzSchemes = []config.Scheme{
+	config.SchemePSORAM,
+	config.SchemeNaivePSORAM,
+	config.SchemeEADRORAM,
+	config.SchemeRingPSORAM,
+	config.SchemeBaseline,
+}
+
+// FuzzOracleAccessSequence decodes an arbitrary op sequence from the
+// fuzz input and pushes it through the differential oracle: value
+// mismatches against the plain-map reference and structural-invariant
+// breaches fail the run. The obliviousness probe is deliberately off —
+// a coverage-guided fuzzer can steer any statistical test below any
+// threshold, so it would only manufacture false positives here.
+func FuzzOracleAccessSequence(f *testing.F) {
+	f.Add(uint8(0), []byte{0, 1, 2, 3, 4, 5})
+	f.Add(uint8(1), []byte{9, 0, 9, 1, 9, 2, 9, 3})
+	f.Add(uint8(3), bytes.Repeat([]byte{31, 8}, 30))
+
+	bb := config.Default().BlockBytes
+	f.Fuzz(func(t *testing.T, sel uint8, raw []byte) {
+		if len(raw) > 160 {
+			raw = raw[:160]
+		}
+		scheme := fuzzSchemes[int(sel)%len(fuzzSchemes)]
+		const blocks = 32
+		var ops []oracle.Op
+		version := 0
+		for i := 0; i+1 < len(raw); i += 2 {
+			addr := uint64(raw[i]) % blocks
+			if raw[i+1]%2 == 1 {
+				version++
+				ops = append(ops, oracle.Op{Write: true, Addr: addr, Data: oracle.Value(addr, version, bb)})
+			} else {
+				ops = append(ops, oracle.Op{Addr: addr})
+			}
+		}
+		rep, err := oracle.CheckScheme(
+			oracle.Params{Scheme: scheme, NumBlocks: blocks, Levels: 4, Seed: 11},
+			ops, oracle.Options{SkipObliviousness: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range rep.Violations {
+			t.Errorf("%s: %s", scheme, v)
+		}
+	})
+}
+
+// FuzzStashEviction drives a small functional ORAM through
+// fuzzer-chosen accesses, then checks the eviction planner on a
+// fuzzer-chosen leaf: the plan plus the unplaced remainder must be
+// exactly the ordered input (nothing dropped, nothing duplicated), and
+// every placed block must land at a level on the path to its own
+// target leaf.
+func FuzzStashEviction(f *testing.F) {
+	f.Add(uint16(0), []byte{1, 2, 3})
+	f.Add(uint16(7), []byte{20, 0, 20, 1, 20, 2})
+	f.Add(uint16(512), bytes.Repeat([]byte{5, 13, 21}, 10))
+
+	f.Fuzz(func(t *testing.T, leafSel uint16, raw []byte) {
+		if len(raw) > 96 {
+			raw = raw[:96]
+		}
+		c, err := oram.New(oram.Params{
+			Levels: 4, Z: 4, BlockBytes: 16, StashEntries: 64, NumBlocks: 24, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range raw {
+			if _, _, err := c.Access(oram.OpRead, oram.Addr(uint64(b)%c.NumBlocks()), nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		l := oram.Leaf(uint64(leafSel) % c.Tree.Leaves())
+		ordered := c.DefaultEvictionOrder(l)
+		plan, unplaced := c.PlanEviction(l, ordered)
+
+		// Multiset equality via pointer counts: plan ∪ unplaced == ordered.
+		want := make(map[*oram.StashBlock]int, len(ordered))
+		for _, b := range ordered {
+			want[b]++
+		}
+		for k, lvl := range plan {
+			for _, b := range lvl {
+				if b == nil {
+					continue
+				}
+				want[b]--
+				if want[b] < 0 {
+					t.Fatalf("block %d placed more times than it appears in the order", b.Addr)
+				}
+				if deepest := c.Tree.IntersectLevel(l, b.TargetLeaf()); k > deepest {
+					t.Fatalf("block %d (target leaf %d) placed at level %d below its deepest legal level %d",
+						b.Addr, b.TargetLeaf(), k, deepest)
+				}
+			}
+		}
+		for _, b := range unplaced {
+			want[b]--
+			if want[b] < 0 {
+				t.Fatalf("block %d appears in unplaced more times than in the order", b.Addr)
+			}
+		}
+		for b, n := range want {
+			if n != 0 {
+				t.Fatalf("block %d dropped by the planner (%d unaccounted)", b.Addr, n)
+			}
+		}
+	})
+}

@@ -255,7 +255,7 @@ func (c *Controller) accessRecursive(op oram.Op, addr oram.Addr, data []byte) (R
 		c.now = proceed
 	}
 	if c.ORAM.Stash.Overflowed() {
-		return Result{}, fmt.Errorf("core: stash overflow (%d > %d)", c.ORAM.Stash.Len(), c.ORAM.Stash.Capacity())
+		return Result{}, fmt.Errorf("core: %w (%d > %d)", oram.ErrStashOverflow, c.ORAM.Stash.Len(), c.ORAM.Stash.Capacity())
 	}
 	if c.maybeCrash(6, -1) {
 		return Result{}, ErrCrashed

@@ -1,6 +1,9 @@
 package energy
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 func TestTable1Constants(t *testing.T) {
 	m := Table1()
@@ -72,5 +75,119 @@ func TestMonotoneInWPQSize(t *testing.T) {
 func TestRatioZeroDenominator(t *testing.T) {
 	if Ratio(Cost{EnergyJ: 1}, Cost{}) != 0 {
 		t.Fatal("zero denominator should yield 0")
+	}
+}
+
+// TestZeroFootprintTable pins the degenerate case for every design:
+// nothing to drain costs nothing, in both energy and time.
+func TestZeroFootprintTable(t *testing.T) {
+	m := Table1()
+	for _, tc := range []struct {
+		name string
+		fn   func(Footprint) Cost
+	}{
+		{"eADR-ORAM", m.EADRORAM},
+		{"eADR-cache", m.EADRCache},
+		{"PS-ORAM", m.PSORAM},
+	} {
+		if c := tc.fn(Footprint{}); c.EnergyJ != 0 || c.TimeS != 0 {
+			t.Errorf("%s on an empty footprint: %+v, want zero cost", tc.name, c)
+		}
+	}
+}
+
+// TestComponentAttributionTable feeds single-component footprints
+// through each design and checks exact arithmetic: which bytes each
+// column counts, and at which Table 1 rate.
+func TestComponentAttributionTable(t *testing.T) {
+	m := Table1()
+	const gb = 1_000_000_000 // 1e9 B at n nJ/B → exactly n J
+	cases := []struct {
+		name  string
+		f     Footprint
+		fn    func(Footprint) Cost
+		wantJ float64
+		wantS float64
+	}{
+		{"eADR-ORAM counts L1 at the L1 rate", Footprint{L1Bytes: gb}, m.EADRORAM, 11.839, gb / drainBandwidthBytesPerSec},
+		{"eADR-ORAM counts L2 at the L2 rate", Footprint{L2Bytes: gb}, m.EADRORAM, 11.228, gb / drainBandwidthBytesPerSec},
+		{"eADR-ORAM counts cache bytes", Footprint{CacheBytes: gb}, m.EADRORAM, 11.228, gb / drainBandwidthBytesPerSec},
+		{"eADR-ORAM counts the PosMap", Footprint{PosMapBytes: gb}, m.EADRORAM, 11.228, gb / drainBandwidthBytesPerSec},
+		{"eADR-ORAM ignores the WPQs", Footprint{WPQBytes: gb}, m.EADRORAM, 0, 0},
+		{"eADR-cache counts the stash", Footprint{StashBytes: gb}, m.EADRCache, 11.228, gb / drainBandwidthBytesPerSec},
+		{"eADR-cache ignores the PosMap", Footprint{PosMapBytes: gb}, m.EADRCache, 0, 0},
+		{"eADR-cache ignores cache bytes", Footprint{CacheBytes: gb}, m.EADRCache, 0, 0},
+		{"PS-ORAM counts only the WPQs", Footprint{WPQBytes: gb}, m.PSORAM, 11.228, gb / drainBandwidthBytesPerSec},
+		{"PS-ORAM ignores the hierarchy", Footprint{L1Bytes: gb, L2Bytes: gb, StashBytes: gb, PosMapBytes: gb, CacheBytes: gb}, m.PSORAM, 0, 0},
+	}
+	for _, tc := range cases {
+		c := tc.fn(tc.f)
+		if math.Abs(c.EnergyJ-tc.wantJ) > 1e-9 {
+			t.Errorf("%s: energy %.6f J, want %.6f J", tc.name, c.EnergyJ, tc.wantJ)
+		}
+		if math.Abs(c.TimeS-tc.wantS) > 1e-12 {
+			t.Errorf("%s: time %.6g s, want %.6g s", tc.name, c.TimeS, tc.wantS)
+		}
+	}
+}
+
+// TestTable2FootprintArithmetic pins the §4.2.4 byte sizing exactly,
+// including the 64B-data / 7B-posmap WPQ entry split.
+func TestTable2FootprintArithmetic(t *testing.T) {
+	for _, tc := range []struct {
+		data, pos int
+		wantWPQ   uint64
+	}{
+		{96, 96, 96*64 + 96*7},
+		{4, 4, 4*64 + 4*7},
+		{0, 0, 0},
+		{96, 4, 96*64 + 4*7},
+	} {
+		f := Table2Footprint(tc.data, tc.pos)
+		if f.WPQBytes != tc.wantWPQ {
+			t.Errorf("Table2Footprint(%d,%d).WPQBytes = %d, want %d", tc.data, tc.pos, f.WPQBytes, tc.wantWPQ)
+		}
+		if f.L1Bytes != 64*1024 || f.L2Bytes != 1<<20 || f.StashBytes != 200*64 ||
+			f.PosMapBytes != 96*64+96*7 || f.CacheBytes != 192<<20 {
+			t.Errorf("Table2Footprint(%d,%d) fixed components diverge: %+v", tc.data, tc.pos, f)
+		}
+	}
+}
+
+// TestDesignOrderingTable checks the paper's qualitative claim at
+// several WPQ sizings: draining the whole hierarchy costs more than
+// draining caches alone, which costs more than flushing the WPQs.
+func TestDesignOrderingTable(t *testing.T) {
+	m := Table1()
+	for _, entries := range []int{1, 4, 96, 256} {
+		f := Table2Footprint(entries, entries)
+		oramC, cacheC, psC := m.EADRORAM(f), m.EADRCache(f), m.PSORAM(f)
+		if !(oramC.EnergyJ > cacheC.EnergyJ && cacheC.EnergyJ > psC.EnergyJ) {
+			t.Errorf("%d entries: energy ordering violated: eADR-ORAM %.3g, eADR-cache %.3g, PS-ORAM %.3g",
+				entries, oramC.EnergyJ, cacheC.EnergyJ, psC.EnergyJ)
+		}
+		if !(oramC.TimeS > cacheC.TimeS && cacheC.TimeS > psC.TimeS) {
+			t.Errorf("%d entries: time ordering violated: eADR-ORAM %.3g, eADR-cache %.3g, PS-ORAM %.3g",
+				entries, oramC.TimeS, cacheC.TimeS, psC.TimeS)
+		}
+	}
+}
+
+// TestRatioTable covers Ratio's edge cases alongside the normal path.
+func TestRatioTable(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		a, b Cost
+		want float64
+	}{
+		{"normal", Cost{EnergyJ: 10}, Cost{EnergyJ: 2}, 5},
+		{"zero numerator", Cost{}, Cost{EnergyJ: 3}, 0},
+		{"zero denominator", Cost{EnergyJ: 7}, Cost{}, 0},
+		{"both zero", Cost{}, Cost{}, 0},
+		{"identity", Cost{EnergyJ: 1.5}, Cost{EnergyJ: 1.5}, 1},
+	} {
+		if got := Ratio(tc.a, tc.b); got != tc.want {
+			t.Errorf("%s: Ratio = %v, want %v", tc.name, got, tc.want)
+		}
 	}
 }

@@ -1,0 +1,278 @@
+package oracle
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/crash"
+	"repro/internal/oram"
+)
+
+// Crash linearizability, as this harness defines it: for a crash
+// injected while op i is in flight, the recovered store must equal the
+// reference replay of the first k ops for some prefix boundary k — and
+// for the persistent schemes (config.Scheme.Persistent) the protocol's
+// atomic-batch guarantee pins k to {i, i+1}: either the in-flight op's
+// durable batch committed entirely (k = i+1) or it was abandoned
+// entirely (k = i). Non-persistent baselines make no such promise;
+// for them the harness falls back to the crash package's weaker
+// per-address check: every recovered value must be some version that
+// address historically held (no fabricated bytes).
+
+// CrashOptions tunes a CheckCrash run.
+type CrashOptions struct {
+	// Steps to inject at; nil means crash.DeclaredStepsFor(scheme).
+	Steps []int
+	// AccessIndices are the access counts after which each step fires
+	// (one trial per step × index); nil derives {1, n/2, n-2}.
+	AccessIndices []uint64
+	// PostRecover, if set, runs after every successful recovery and
+	// before the state comparison — the mutation-testing hook: sabotage
+	// the recovered state here and the harness must object.
+	PostRecover func(Target)
+	// MaxViolations caps recorded violations (0 = 32).
+	MaxViolations int
+}
+
+func (o CrashOptions) maxViolations() int {
+	if o.MaxViolations == 0 {
+		return 32
+	}
+	return o.MaxViolations
+}
+
+// CrashTrial records one injection trial.
+type CrashTrial struct {
+	Step       int    `json:"step"`
+	After      uint64 `json:"after"` // fire at the first offer of Step with Access >= After
+	Fired      bool   `json:"fired"`
+	OpsStarted int    `json:"ops_started"`       // op index in flight when the crash fired (-1 if it never fired)
+	Matched    []int  `json:"matched,omitempty"` // prefix boundaries k whose replay equals the recovered store
+}
+
+// CrashReport is the outcome of one CheckCrash run.
+type CrashReport struct {
+	Scheme     string       `json:"scheme"`
+	Trials     []CrashTrial `json:"trials"`
+	StepsFired map[int]int  `json:"steps_fired"` // step -> number of trials in which it fired
+	Violations []Violation  `json:"violations,omitempty"`
+}
+
+// OK reports whether the run found no violations.
+func (r *CrashReport) OK() bool { return len(r.Violations) == 0 }
+
+func (r *CrashReport) add(o CrashOptions, v Violation) {
+	if len(r.Violations) < o.maxViolations() {
+		r.Violations = append(r.Violations, v)
+	}
+}
+
+// CheckCrash tortures the scheme with crash injection: for every
+// requested (step, access-index) pair it builds a fresh system, drives
+// ops until the injected power failure fires, recovers, and checks the
+// recovered store against the reference prefix replays. Every requested
+// step must fire at least once across the run, so a protocol change
+// that stops exposing a declared point is itself a violation.
+func CheckCrash(p Params, ops []Op, copts CrashOptions) (*CrashReport, error) {
+	if len(ops) < 2 {
+		return nil, fmt.Errorf("oracle: CheckCrash needs at least 2 ops, got %d", len(ops))
+	}
+	steps := copts.Steps
+	if steps == nil {
+		steps = crash.DeclaredStepsFor(p.Scheme)
+	}
+	afters := copts.AccessIndices
+	if afters == nil {
+		n := uint64(len(ops))
+		afters = dedupSorted([]uint64{1, n / 2, n - 2})
+	}
+
+	// Prefix replays: prefixes[k] = reference store after the first k ops.
+	bb := p.config().BlockBytes
+	ref := newRefStore(bb)
+	prefixes := make([]map[uint64][]byte, len(ops)+1)
+	prefixes[0] = map[uint64][]byte{}
+	for i, op := range ops {
+		ref.apply(op)
+		snap := make(map[uint64][]byte, len(ref.m))
+		for a, v := range ref.m {
+			snap[a] = v
+		}
+		prefixes[i+1] = snap
+	}
+
+	rep := &CrashReport{Scheme: p.Scheme.String(), StepsFired: make(map[int]int)}
+	strict := p.Scheme.Persistent()
+	zero := make([]byte, bb)
+
+	for _, step := range steps {
+		for _, after := range afters {
+			trial := CrashTrial{Step: step, After: after, OpsStarted: -1}
+			tgt, err := NewTarget(p)
+			if err != nil {
+				return nil, err
+			}
+			ct, ok := tgt.(CrashTarget)
+			if !ok {
+				return nil, fmt.Errorf("oracle: scheme %s does not support crash injection", p.Scheme)
+			}
+			fired := false
+			ct.Arm(func(cs CrashSpec) bool {
+				if fired || cs.Step != step || cs.Access < after {
+					return false
+				}
+				fired = true
+				return true
+			})
+
+			abandon := false
+			for i, op := range ops {
+				kind, data := oram.OpRead, []byte(nil)
+				if op.Write {
+					kind, data = oram.OpWrite, op.Data
+				}
+				if _, _, err := ct.Access(kind, oram.Addr(op.Addr), data); err != nil {
+					if errors.Is(err, ErrCrashed) {
+						trial.OpsStarted = i
+						break
+					}
+					rep.add(copts, Violation{Kind: "access", Op: i, Addr: op.Addr,
+						Detail: fmt.Sprintf("step %d after %d: %v", step, after, err)})
+					abandon = true
+					break
+				}
+			}
+			trial.Fired = fired
+			if fired {
+				rep.StepsFired[step]++
+			}
+			if abandon || !fired {
+				rep.Trials = append(rep.Trials, trial)
+				continue
+			}
+
+			if err := ct.Recover(); err != nil {
+				rep.add(copts, Violation{Kind: "crash", Op: trial.OpsStarted,
+					Detail: fmt.Sprintf("step %d after %d: recovery failed: %v", step, after, err)})
+				rep.Trials = append(rep.Trials, trial)
+				continue
+			}
+			if copts.PostRecover != nil {
+				copts.PostRecover(ct)
+			}
+
+			// recovered[a] == nil marks an address lost in the crash: a
+			// violation under the persistent schemes' guarantee, expected
+			// data loss under the baselines'.
+			recovered := make([][]byte, p.NumBlocks)
+			sweepOK := true
+			for a := uint64(0); a < p.NumBlocks; a++ {
+				v, err := ct.Peek(oram.Addr(a))
+				if err != nil {
+					if strict {
+						rep.add(copts, Violation{Kind: "crash", Op: trial.OpsStarted, Addr: a,
+							Detail: fmt.Sprintf("step %d after %d: post-recovery peek failed: %v", step, after, err)})
+						sweepOK = false
+						break
+					}
+					continue
+				}
+				recovered[a] = v
+			}
+			if !sweepOK {
+				rep.Trials = append(rep.Trials, trial)
+				continue
+			}
+
+			// Which prefix boundaries does the recovered store equal?
+			for k := 0; k <= trial.OpsStarted+1; k++ {
+				if storeEquals(recovered, prefixes[k], zero) {
+					trial.Matched = append(trial.Matched, k)
+				}
+			}
+
+			i := trial.OpsStarted
+			if strict {
+				if !containsInt(trial.Matched, i) && !containsInt(trial.Matched, i+1) {
+					detail := fmt.Sprintf("step %d after %d: crash during op %d; recovered state matches no prefix of the history", step, after, i)
+					if len(trial.Matched) > 0 {
+						detail = fmt.Sprintf("step %d after %d: crash during op %d; recovered state matches only stale prefix(es) %v — durable writes were lost", step, after, i, trial.Matched)
+					}
+					rep.add(copts, Violation{Kind: "crash", Op: i, Detail: detail})
+				}
+			} else {
+				// Weak check: every recovered value is some version the
+				// address held during the first i+1 ops (or zero).
+				for a := uint64(0); a < p.NumBlocks; a++ {
+					if recovered[a] == nil {
+						continue // lost in the crash — permitted for baselines
+					}
+					if !knownVersion(ops[:i+1], a, recovered[a], zero) {
+						rep.add(copts, Violation{Kind: "crash", Op: i, Addr: a,
+							Detail: fmt.Sprintf("step %d after %d: recovered value %.16q was never written to addr %d", step, after, recovered[a], a)})
+					}
+				}
+			}
+			rep.Trials = append(rep.Trials, trial)
+		}
+	}
+
+	for _, step := range steps {
+		if rep.StepsFired[step] == 0 {
+			rep.add(copts, Violation{Kind: "crash", Op: -1,
+				Detail: fmt.Sprintf("declared step %d never fired in any trial", step)})
+		}
+	}
+	return rep, nil
+}
+
+// storeEquals compares a dense recovered store against a sparse prefix
+// snapshot (missing keys read as zero blocks).
+func storeEquals(recovered [][]byte, prefix map[uint64][]byte, zero []byte) bool {
+	for a, got := range recovered {
+		want, ok := prefix[uint64(a)]
+		if !ok {
+			want = zero
+		}
+		if !bytes.Equal(got, want) {
+			return false
+		}
+	}
+	return true
+}
+
+// knownVersion reports whether v is zero or some value written to a in
+// the given op history.
+func knownVersion(ops []Op, a uint64, v, zero []byte) bool {
+	if bytes.Equal(v, zero) {
+		return true
+	}
+	for _, op := range ops {
+		if op.Write && op.Addr == a && bytes.Equal(op.Data, v) {
+			return true
+		}
+	}
+	return false
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, y := range xs {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}
+
+func dedupSorted(xs []uint64) []uint64 {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -136,7 +136,7 @@ func New(p Params) (*Controller, error) {
 		c.Stash.Put(&StashBlock{Addr: b.Addr, Leaf: b.Leaf, Data: b.Data, Dirty: true})
 	}
 	if c.Stash.Overflowed() {
-		return nil, fmt.Errorf("oram: initial placement overflowed the stash (%d blocks); utilization too high", c.Stash.Len())
+		return nil, fmt.Errorf("oram: initial placement overflowed the stash (%d blocks; utilization too high): %w", c.Stash.Len(), ErrStashOverflow)
 	}
 	return c, nil
 }
@@ -216,7 +216,7 @@ func (c *Controller) Access(op Op, addr Addr, data []byte) ([]byte, AccessTrace,
 	evicted := c.evictPath(l, nil)
 
 	if c.Stash.Overflowed() {
-		return nil, AccessTrace{}, fmt.Errorf("oram: stash overflow (%d > %d)", c.Stash.Len(), c.Stash.Capacity())
+		return nil, AccessTrace{}, fmt.Errorf("oram: %w (%d > %d)", ErrStashOverflow, c.Stash.Len(), c.Stash.Capacity())
 	}
 	return prev, AccessTrace{
 		PathLeaf:   l,
@@ -250,7 +250,7 @@ func (c *Controller) AccessRMW(addr Addr, mutate func(data []byte) bool) (Access
 	blk.Leaf = lNew
 	evicted := c.evictPath(l, nil)
 	if c.Stash.Overflowed() {
-		return AccessTrace{}, fmt.Errorf("oram: stash overflow (%d > %d)", c.Stash.Len(), c.Stash.Capacity())
+		return AccessTrace{}, fmt.Errorf("oram: %w (%d > %d)", ErrStashOverflow, c.Stash.Len(), c.Stash.Capacity())
 	}
 	return AccessTrace{PathLeaf: l, Evicted: evicted, StashAfter: c.Stash.Len()}, nil
 }

@@ -303,7 +303,7 @@ func (c *Controller) accessRMWForcedLeaf(addr Addr, forced Leaf, mutate func([]b
 	blk.Leaf = forced
 	evicted := c.evictPath(l, nil)
 	if c.Stash.Overflowed() {
-		return AccessTrace{}, fmt.Errorf("oram: stash overflow (%d > %d)", c.Stash.Len(), c.Stash.Capacity())
+		return AccessTrace{}, fmt.Errorf("oram: %w (%d > %d)", ErrStashOverflow, c.Stash.Len(), c.Stash.Capacity())
 	}
 	return AccessTrace{PathLeaf: l, Evicted: evicted, StashAfter: c.Stash.Len()}, nil
 }

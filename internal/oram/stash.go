@@ -1,6 +1,16 @@
 package oram
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrStashOverflow is the typed error every access path surfaces (wrapped
+// with context via %w) when an access or initial placement leaves the
+// stash above its configured capacity. The protocols treat overflow as
+// fatal rather than silently growing the stash; callers detect it with
+// errors.Is(err, ErrStashOverflow).
+var ErrStashOverflow = errors.New("stash overflow")
 
 // StashBlock is a block buffered in the on-chip stash, with the
 // bookkeeping the (PS-)ORAM protocols need.

@@ -84,7 +84,7 @@ func (c *Controller) Access(op oram.Op, addr oram.Addr, data []byte) ([]byte, er
 		}
 	}
 	if c.Stash.Overflowed() {
-		return nil, fmt.Errorf("ringoram: stash overflow (%d > %d)", c.Stash.Len(), c.Stash.Capacity())
+		return nil, fmt.Errorf("ringoram: %w (%d > %d)", oram.ErrStashOverflow, c.Stash.Len(), c.Stash.Capacity())
 	}
 	if c.maybeCrash("end") {
 		return nil, ErrCrashed

@@ -1,0 +1,41 @@
+package ringoram
+
+import "repro/internal/oram"
+
+// This file exposes read-only views of the controller's internal state
+// for the differential oracle (internal/oracle): the working position
+// map, the logical geometry, and a whole-tree slot scan. None of these
+// are protocol operations — real hardware has no such interface — but
+// the invariant checker needs to see where every sealed block sits.
+
+// CurrentLeaf returns addr's working-map leaf (the temporary PosMap
+// overlaying the on-chip map) — the leaf the next Access would read.
+func (c *Controller) CurrentLeaf(a oram.Addr) oram.Leaf { return c.currentLeaf(a) }
+
+// NumBlocks returns the logical block count.
+func (c *Controller) NumBlocks() uint64 { return c.posmap.Len() }
+
+// DurableLeaf returns addr's leaf in the durable (NVM) position map.
+func (c *Controller) DurableLeaf(a oram.Addr) oram.Leaf { return c.durable.Lookup(a) }
+
+// ScanBlocks decrypts every bucket slot and calls fn for each non-dummy
+// sealed block with its location, the metadata's address for that slot,
+// and the slot's validity bit. Scanning stops at the first error from fn.
+func (c *Controller) ScanBlocks(fn func(bucket uint64, slot int, blk oram.Block, metaAddr oram.Addr, valid bool) error) error {
+	for bIdx := range c.buckets {
+		b := &c.buckets[bIdx]
+		for i := range b.slots {
+			blk, err := oram.OpenSlot(c.Engine, b.slots[i])
+			if err != nil {
+				return err
+			}
+			if blk.Dummy() {
+				continue
+			}
+			if err := fn(uint64(bIdx), i, blk, b.meta[i].addr, b.meta[i].valid); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -118,6 +118,29 @@ type System struct {
 	res      Result
 	pendPeak int
 	latHist  stats.Histogram
+
+	// obs, when non-nil, observes protocol events (see Observer).
+	obs *Observer
+}
+
+// Observer receives protocol events from a running System. It exists for
+// the correctness harness in internal/oracle: the obliviousness probe
+// needs the sequence of path leaves the timing layer actually read. Hooks
+// fire after the observed value is computed and must not mutate anything;
+// a nil Observer (or hook) costs nothing.
+type Observer struct {
+	// OnPathLeaf fires once per ORAM data-tree read path with the leaf
+	// whose path is about to be loaded. Deterministic eviction paths
+	// (Ring ORAM's reverse-lexicographic EvictPath) and posmap-tree paths
+	// are deliberately not reported: only the access-driven read sequence
+	// carries the obliviousness claim.
+	OnPathLeaf func(l oram.Leaf)
+}
+
+func (s *System) observeLeaf(l oram.Leaf) {
+	if s.obs != nil && s.obs.OnPathLeaf != nil {
+		s.obs.OnPathLeaf(l)
+	}
 }
 
 type pendingBlock struct {
@@ -297,6 +320,7 @@ func (s *System) currentLeaf(addr uint64) oram.Leaf {
 func (s *System) oramAccess(addr uint64, write bool) error {
 	l := s.currentLeaf(addr)
 	lNew := oram.Leaf(s.r.Uint64n(s.tree.Leaves()))
+	s.observeLeaf(l)
 
 	// Recursive position chain first (the data leaf comes from it).
 	if s.rec.enabled {
@@ -554,6 +578,7 @@ func (s *System) persistentEvict(path []uint64, dirty int, targetEvicted bool) e
 func (s *System) ringAccess(addr uint64) error {
 	l := s.currentLeaf(addr)
 	s.leafOf[addr] = oram.Leaf(s.r.Uint64n(s.tree.Leaves()))
+	s.observeLeaf(l)
 	path := s.tree.Path(l)
 
 	// ReadPath: one slot per bucket.
@@ -906,10 +931,19 @@ func RunTrace(scheme config.Scheme, cfg config.Config, name string, recs []trace
 // Run drives the system with a workload for n LLC misses and returns
 // aggregated results.
 func Run(scheme config.Scheme, cfg config.Config, w trace.Workload, n int, levels int) (Result, error) {
+	return RunObserved(scheme, cfg, w, n, levels, nil)
+}
+
+// RunObserved is Run with an Observer attached for the duration of the
+// run. The observer only reads values already computed, so a run is
+// byte-identical with and without one (the golden-metrics suite pins
+// this indirectly).
+func RunObserved(scheme config.Scheme, cfg config.Config, w trace.Workload, n int, levels int, obs *Observer) (Result, error) {
 	sys, err := NewSystem(scheme, cfg, levels)
 	if err != nil {
 		return Result{}, err
 	}
+	sys.obs = obs
 	gen := trace.NewGenerator(w, cfg.Seed, sys.NumBlocks())
 	core := cpu.New(sys)
 	for i := 0; i < n; i++ {

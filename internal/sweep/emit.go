@@ -35,6 +35,8 @@ type jsonCell struct {
 	Panic     string      `json:"panic,omitempty"`
 	Skipped   bool        `json:"skipped,omitempty"`
 	WallNS    int64       `json:"wall_ns"`
+	// Oracle is the per-cell functional-validation outcome (Grid.Oracle).
+	Oracle *OracleOutcome `json:"oracle,omitempty"`
 }
 
 // jsonResults is the full serialized sweep.
@@ -77,6 +79,7 @@ func WriteJSON(w io.Writer, r *Results) error {
 			Seed:      c.Cell.Seed,
 			Skipped:   c.Skipped,
 			WallNS:    c.Wall.Nanoseconds(),
+			Oracle:    c.Oracle,
 		}
 		if c.Err != nil {
 			jc.Error = c.Err.Error()

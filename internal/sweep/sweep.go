@@ -29,6 +29,8 @@ import (
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/oracle"
+	"repro/internal/oram"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -54,6 +56,19 @@ type Grid struct {
 	Cfg config.Config
 	// cfgSet distinguishes an explicitly provided Cfg from the zero value.
 	cfgSet bool
+
+	// Oracle opts each cell into functional validation: the timing run's
+	// leaf trace is tested for uniformity, and a small functional system
+	// of the same scheme is driven through the differential oracle
+	// (internal/oracle) under the cell's derived seed. Violations fail
+	// the cell. NonORAM cells record a skipped outcome.
+	Oracle bool
+	// OracleOps is the functional op count per cell (default 64).
+	OracleOps int
+	// OracleBlocks sizes the functional tree (default 128 blocks).
+	OracleBlocks uint64
+	// OracleLevels is the functional tree height (default 6).
+	OracleLevels int
 }
 
 // WithConfig returns a copy of g using cfg as the base configuration.
@@ -82,6 +97,15 @@ func (g Grid) withDefaults() Grid {
 	}
 	if !g.cfgSet && g.Cfg.BlockBytes == 0 {
 		g.Cfg = config.Default()
+	}
+	if g.OracleOps <= 0 {
+		g.OracleOps = 64
+	}
+	if g.OracleBlocks == 0 {
+		g.OracleBlocks = 128
+	}
+	if g.OracleLevels == 0 {
+		g.OracleLevels = 6
 	}
 	return g
 }
@@ -152,6 +176,21 @@ func (g Grid) Cells() []Cell {
 	return out
 }
 
+// OracleOutcome summarizes a cell's functional validation (Grid.Oracle).
+type OracleOutcome struct {
+	// Ops is the functional op count driven through the oracle.
+	Ops int `json:"ops"`
+	// Violations counts oracle violations (timing-layer leaf-skew plus
+	// functional); First carries the first one's description.
+	Violations int    `json:"violations"`
+	First      string `json:"first,omitempty"`
+	// Chi2/Chi2P are the functional run's obliviousness-probe statistics.
+	Chi2  float64 `json:"chi2"`
+	Chi2P float64 `json:"chi2_p"`
+	// Skipped marks cells with nothing to validate (NonORAM).
+	Skipped bool `json:"skipped,omitempty"`
+}
+
 // CellResult is the outcome of one cell.
 type CellResult struct {
 	Cell   Cell
@@ -162,6 +201,8 @@ type CellResult struct {
 	Panic   string
 	Skipped bool
 	Wall    time.Duration
+	// Oracle is the functional validation outcome (nil unless Grid.Oracle).
+	Oracle *OracleOutcome
 }
 
 // Options tunes a sweep run.
@@ -285,14 +326,84 @@ feed:
 	return res, ctx.Err()
 }
 
-// runCell executes one independent simulation.
+// runCell executes one independent simulation, plus the opt-in
+// functional validation when the grid enables it.
 func runCell(g Grid, c Cell) CellResult {
-	return runProtected(c, func() (sim.Result, error) {
+	var leaves []oram.Leaf
+	cr := runProtected(c, func() (sim.Result, error) {
 		cfg := g.Cfg
 		cfg.Channels = c.Channels
 		cfg.Seed = c.Seed
-		return sim.Run(c.Scheme, cfg, c.Workload, g.Accesses, g.Levels)
+		var obs *sim.Observer
+		if g.Oracle && c.Scheme != config.SchemeNonORAM {
+			obs = &sim.Observer{OnPathLeaf: func(l oram.Leaf) { leaves = append(leaves, l) }}
+		}
+		return sim.RunObserved(c.Scheme, cfg, c.Workload, g.Accesses, g.Levels, obs)
 	})
+	if g.Oracle && cr.Err == nil && !cr.Skipped {
+		validateCell(g, c, &cr, leaves)
+	}
+	return cr
+}
+
+// oracleAlpha is the leaf-uniformity significance level for per-cell
+// validation: extreme, because every stream is deterministic and a
+// false positive would fail a green sweep.
+const oracleAlpha = 1e-9
+
+// validateCell runs the two-layer validator behind Grid.Oracle: a
+// chi-square uniformity probe over the timing simulator's observed leaf
+// trace, then a functional differential run (value oracle, structural
+// invariants, obliviousness) of the same scheme under the same derived
+// seed. Any violation fails the cell.
+func validateCell(g Grid, c Cell, cr *CellResult, leaves []oram.Leaf) {
+	if c.Scheme == config.SchemeNonORAM {
+		cr.Oracle = &OracleOutcome{Skipped: true}
+		return
+	}
+	out := &OracleOutcome{}
+	cr.Oracle = out
+
+	// Layer 1: the timing simulator's own access trace must read
+	// uniformly distributed paths.
+	nLeaves := oram.NewTree(g.Levels, g.Cfg.Z).Leaves()
+	if chi2, p, bins, ok := oracle.LeafUniformity(leaves, nLeaves); ok && p < oracleAlpha {
+		out.Violations++
+		out.First = fmt.Sprintf("timing leaf trace rejects uniformity: chi2=%.2f over %d bins, p=%.3g", chi2, bins, p)
+	}
+
+	// Layer 2: a functional twin of the cell — same scheme, same derived
+	// seed, workload shape carried over — diffed against the plain-map
+	// reference with invariants checked.
+	w := oracle.Workload{
+		Name:        c.Workload.Name,
+		WriteRatio:  c.Workload.WriteRatio,
+		HotFraction: c.Workload.HotFraction,
+	}
+	if w.HotFraction > 0 {
+		w.HotBias = 0.8
+	}
+	ops := oracle.GenOps(w, g.OracleBlocks, g.Cfg.BlockBytes, g.OracleOps, c.Seed)
+	rep, err := oracle.CheckScheme(oracle.Params{
+		Scheme: c.Scheme, NumBlocks: g.OracleBlocks, Levels: g.OracleLevels, Seed: c.Seed,
+	}, ops, oracle.Options{})
+	if err != nil {
+		cr.Err = fmt.Errorf("sweep: oracle validation: %w", err)
+		return
+	}
+	out.Ops = rep.Ops
+	out.Chi2, out.Chi2P = rep.Chi2, rep.Chi2P
+	out.Violations += len(rep.Violations)
+	if out.First == "" && len(rep.Violations) > 0 {
+		out.First = rep.Violations[0].String()
+	}
+	if out.Violations > 0 {
+		if rep.HasKind("overflow") {
+			cr.Err = fmt.Errorf("sweep: oracle found %d violation(s), first: %s: %w", out.Violations, out.First, oram.ErrStashOverflow)
+		} else {
+			cr.Err = fmt.Errorf("sweep: oracle found %d violation(s), first: %s", out.Violations, out.First)
+		}
+	}
 }
 
 // runProtected wraps one cell's work with timing and panic capture, so a
