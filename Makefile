@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check sweep-smoke crash-matrix oracle-smoke fuzz-smoke bench-oracle bless-golden clean
+.PHONY: all build vet test race check sweep-smoke crash-matrix oracle-smoke fuzz-smoke bench-oracle bench-sim profile perf-smoke bless-golden clean
 
 all: check
 
@@ -56,6 +56,30 @@ fuzz-smoke:
 bench-oracle:
 	$(GO) test -run '^$$' -bench BenchmarkOracleOverhead -benchmem -json ./internal/sweep > BENCH_oracle.json
 	@grep -o '"Output":"[^"]*ns/op[^"]*' BENCH_oracle.json | sed 's/"Output":"//;s/\\t/  /g;s/\\n//'
+
+# bench-sim measures steady-state cost per simulated access for the
+# headline schemes and pins it into BENCH_sim.json (tracked; regenerate
+# when sim/mem/oram hot paths change). Compare two checkouts with
+# benchstat: see EXPERIMENTS.md, "Profiling the simulator".
+bench-sim:
+	$(GO) test -run '^$$' -bench BenchmarkSim -benchmem -benchtime=2s -json ./internal/sim > BENCH_sim.json
+	@grep -o '"Output":"[^"]*ns/op[^"]*' BENCH_sim.json | sed 's/"Output":"//;s/\\t/  /g;s/\\n//'
+
+# profile captures CPU + heap pprof for a representative sweep via the
+# psoram-sweep -profile flag; inspect with `go tool pprof profiles/cpu.pprof`.
+PROFILE_DIR ?= profiles
+profile: build
+	$(GO) run ./cmd/psoram-sweep \
+		-schemes Baseline,PS-ORAM,Naive-PS-ORAM -workloads 401.bzip2,429.mcf \
+		-channels 1 -accesses 2000 -levels 14 -workers 1 -quiet \
+		-profile $(PROFILE_DIR)
+
+# perf-smoke is the CI perf job: the zero-allocation guards, the golden
+# determinism regression, and one pass of every BenchmarkSim* with
+# -benchtime=1x (harness correctness, not timing).
+perf-smoke:
+	$(GO) test ./internal/sim -run 'TestSteadyStateZeroAllocs|TestGoldenDeterminismRegression' -v
+	$(GO) test -run '^$$' -bench BenchmarkSim -benchtime=1x -benchmem ./internal/sim
 
 # bless-golden re-pins the golden metrics after a deliberate behaviour
 # change. Justify the new numbers in the commit that re-blesses.

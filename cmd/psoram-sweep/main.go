@@ -19,7 +19,9 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -44,6 +46,7 @@ func main() {
 		oracleMode    = flag.Bool("oracle", false, "validate every cell with the functional oracle (internal/oracle)")
 		quiet         = flag.Bool("quiet", false, "suppress live progress output")
 		list          = flag.Bool("list", false, "list schemes and workloads, then exit")
+		profileDir    = flag.String("profile", "", "write cpu.pprof + heap.pprof for the run into this directory (see EXPERIMENTS.md)")
 	)
 	flag.Parse()
 
@@ -61,6 +64,11 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if err := startProfiles(*profileDir); err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 
 	opt := sweep.Options{Workers: *workers}
 	if !*quiet {
@@ -132,8 +140,53 @@ func main() {
 		for _, f := range failed {
 			fmt.Fprintf(os.Stderr, "psoram-sweep: cell %s: %v\n", f.Cell, f.Err)
 		}
+		stopProfiles() // os.Exit skips defers; flush the profiles first
 		os.Exit(1)
 	}
+}
+
+// stopProfiles flushes any active pprof capture. It is replaced by
+// startProfiles and must be invoked on every exit path (os.Exit skips
+// deferred calls).
+var stopProfiles = func() {}
+
+// startProfiles begins a CPU profile in dir and arranges for a heap
+// snapshot when stopProfiles runs, mirroring `go test -cpuprofile
+// -memprofile` for whole-sweep runs.
+func startProfiles(dir string) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	cpuPath := filepath.Join(dir, "cpu.pprof")
+	cpuFile, err := os.Create(cpuPath)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(cpuFile); err != nil {
+		cpuFile.Close()
+		return err
+	}
+	heapPath := filepath.Join(dir, "heap.pprof")
+	stopProfiles = func() {
+		stopProfiles = func() {}
+		pprof.StopCPUProfile()
+		cpuFile.Close()
+		heapFile, err := os.Create(heapPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "psoram-sweep: heap profile: %v\n", err)
+			return
+		}
+		runtime.GC() // flush unreachable objects so in-use stats are accurate
+		if err := pprof.WriteHeapProfile(heapFile); err != nil {
+			fmt.Fprintf(os.Stderr, "psoram-sweep: heap profile: %v\n", err)
+		}
+		heapFile.Close()
+		fmt.Fprintf(os.Stderr, "profiles written: %s, %s\n", cpuPath, heapPath)
+	}
+	return nil
 }
 
 func runCrash(ctx context.Context, opt sweep.Options) {
@@ -214,5 +267,6 @@ func parseChannels(s string) ([]int, error) {
 
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "psoram-sweep: %v\n", err)
+	stopProfiles() // os.Exit skips defers
 	os.Exit(1)
 }

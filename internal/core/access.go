@@ -419,10 +419,11 @@ func (c *Controller) evictTimed(l oram.Leaf) (int, int, error) {
 // and any other stash blocks fill the remaining slots greedily.
 func (c *Controller) planIdentity(l oram.Leaf) ([][]*oram.StashBlock, []*oram.StashBlock) {
 	t := c.ORAM.Tree
-	path := t.Path(l)
-	levelOf := make(map[uint64]int, len(path))
-	for k, b := range path {
-		levelOf[b] = k
+	// On-path test via the shared path-index table: a bucket is on the
+	// path to l iff the level-of-bucket lookup maps back to it.
+	onPathLevel := func(bucket uint64) (int, bool) {
+		k := c.pathIdx.LevelOf(bucket)
+		return k, k <= t.L && c.pathIdx.Bucket(l, k) == bucket
 	}
 	plan := make([][]*oram.StashBlock, t.L+1)
 	for k := range plan {
@@ -436,7 +437,7 @@ func (c *Controller) planIdentity(l oram.Leaf) ([][]*oram.StashBlock, []*oram.St
 	var looseBackups []*oram.StashBlock
 	for _, b := range c.ORAM.Stash.Backups() {
 		if b.OriginEpoch == c.epoch && c.epoch != 0 {
-			k, ok := levelOf[b.OriginBucket]
+			k, ok := onPathLevel(b.OriginBucket)
 			if ok && b.OriginSlot < t.Z && plan[k][b.OriginSlot] == nil {
 				plan[k][b.OriginSlot] = b
 				continue
@@ -446,7 +447,7 @@ func (c *Controller) planIdentity(l oram.Leaf) ([][]*oram.StashBlock, []*oram.St
 	}
 	for _, b := range c.ORAM.Stash.Live() {
 		if b.OriginEpoch == c.epoch && c.epoch != 0 && !b.PendingRemap {
-			k, ok := levelOf[b.OriginBucket]
+			k, ok := onPathLevel(b.OriginBucket)
 			if ok && b.OriginSlot < t.Z && plan[k][b.OriginSlot] == nil {
 				plan[k][b.OriginSlot] = b
 				continue

@@ -55,6 +55,11 @@ type Controller struct {
 	ORAM *oram.Controller // stash, tree image, engine, working PosMap
 	Mem  *mem.Controller  // NVM timing + durability
 
+	// pathIdx is the precomputed path-index table for the data tree,
+	// shared by the eviction planners (on-path tests and slot->level
+	// arithmetic without per-call maps).
+	pathIdx *oram.PathIndex
+
 	// durable is the NVM ground truth of the position map: what recovery
 	// reads. For PS-ORAM it is only mutated through committed WPQ
 	// batches; for FullNVM it is mutated synchronously at step 2; for
@@ -162,6 +167,7 @@ func New(scheme config.Scheme, cfg config.Config, opts Options) (*Controller, er
 		Cfg:     cfg,
 		ORAM:    oc,
 		Mem:     mem.New(cfg),
+		pathIdx: oram.NewPathIndex(oc.Tree),
 		durable: oc.PosMap.Clone(),
 		Temp:    oram.NewTempPosMap(cfg.TempPosMapSize),
 	}

@@ -30,12 +30,9 @@ import (
 // to come after the member's final placement.
 func (c *Controller) evictOrdered(l oram.Leaf, slots []plannedSlot) (int, int, error) {
 	t := c.ORAM.Tree
-	path := t.Path(l)
-	levelOf := make(map[int]int, len(slots)) // slot index -> path level
-	for i := range slots {
-		levelOf[i] = i / t.Z
-	}
-	_ = path
+	// Slot index -> path level is pure arithmetic (slots are laid out
+	// root-to-leaf, Z per bucket); no per-call map needed.
+	levelOf := func(i int) int { return i / t.Z }
 
 	// Locate the live durable copies currently on the path.
 	oldLiveAt := make(map[int]oram.Addr)
@@ -150,7 +147,7 @@ func (c *Controller) evictOrdered(l oram.Leaf, slots []plannedSlot) (int, int, e
 				maxLevel := t.IntersectLevel(l, member.TargetLeaf())
 				dst := -1
 				for cand, s := range slots {
-					if s.block == nil && !usedDummy[cand] && levelOf[cand] <= maxLevel {
+					if s.block == nil && !usedDummy[cand] && levelOf(cand) <= maxLevel {
 						dst = cand
 						break
 					}

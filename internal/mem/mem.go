@@ -20,7 +20,6 @@
 package mem
 
 import (
-	"container/heap"
 	"fmt"
 	"math/bits"
 
@@ -51,6 +50,7 @@ type Controller struct {
 	postedCap  int
 	inFlight   []inFlightWrite // journal for crash undo
 	openBatch  *Batch
+	batchPool  Batch // reused by BeginBatch: one batch open at a time
 	numBatches uint64
 
 	// WPQ occupancy model: completion cycles of entries still draining.
@@ -63,19 +63,76 @@ type inFlightWrite struct {
 	undo func()
 }
 
-// postedHeap is a min-heap of completion cycles.
+// postedHeap is a typed min-heap of completion cycles. container/heap
+// would box every Cycle into an interface value on Push/Pop — an
+// allocation per queue operation on the hot path — so the sift
+// primitives are implemented directly on the slice.
 type postedHeap []Cycle
 
-func (h postedHeap) Len() int            { return len(h) }
-func (h postedHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h postedHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *postedHeap) Push(x interface{}) { *h = append(*h, x.(Cycle)) }
-func (h *postedHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
+func (h postedHeap) Len() int { return len(h) }
+
+func (h *postedHeap) push(x Cycle) {
+	q := append(*h, x)
+	*h = q
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q[parent] <= q[i] {
+			break
+		}
+		q[parent], q[i] = q[i], q[parent]
+		i = parent
+	}
+}
+
+func (h *postedHeap) pop() Cycle {
+	q := *h
+	n := len(q) - 1
+	x := q[0]
+	q[0] = q[n]
+	*h = q[:n]
+	q[:n].siftDown(0)
 	return x
+}
+
+func (h postedHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h[r] < h[l] {
+			m = r
+		}
+		if h[i] <= h[m] {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// reap removes every entry with completion <= now: a linear partition
+// of the survivors followed by an O(n) heapify, instead of popping the
+// expired entries one at a time (O(k log n)). The surviving multiset —
+// and therefore every later pop — is identical either way.
+func (h *postedHeap) reap(now Cycle) {
+	q := *h
+	if len(q) == 0 || q[0] > now {
+		return
+	}
+	kept := q[:0]
+	for _, x := range q {
+		if x > now {
+			kept = append(kept, x)
+		}
+	}
+	for i := len(kept)/2 - 1; i >= 0; i-- {
+		kept.siftDown(i)
+	}
+	*h = kept
 }
 
 // New creates a controller with cfg.Channels devices.
@@ -84,6 +141,9 @@ func New(cfg config.Config) *Controller {
 		cfg:       cfg,
 		ratio:     Cycle(cfg.CoreCyclesPerNVMCycle()),
 		postedCap: cfg.WriteBufferEntries,
+		posted:    make(postedHeap, 0, cfg.WriteBufferEntries),
+		dataWPQ:   make(postedHeap, 0, cfg.DataWPQEntries),
+		posMapWPQ: make(postedHeap, 0, cfg.PosMapWPQEntries),
 	}
 	for i := 0; i < cfg.Channels; i++ {
 		c.devices = append(c.devices, nvm.NewDevice(cfg.NVM, cfg.BanksPerChannel, cfg.BlockBytes))
@@ -207,14 +267,14 @@ func (c *Controller) WriteBlockPosted(loc Location, earliest Cycle, apply func()
 	// draining at `earliest`.
 	c.reapPosted(earliest)
 	for c.posted.Len() >= c.postedCap {
-		oldest := heap.Pop(&c.posted).(Cycle)
+		oldest := c.posted.pop()
 		if oldest > proceed {
 			proceed = oldest
 		}
 	}
 	comp := c.devices[loc.Channel].Schedule(nvm.Write, loc.Bank, loc.Row, c.toNVM(proceed))
 	done := c.toCore(comp.Done)
-	heap.Push(&c.posted, done)
+	c.posted.push(done)
 	c.counters.Inc("nvm.writes")
 	if apply != nil {
 		undo := apply()
@@ -250,9 +310,7 @@ func (c *Controller) WriteBytesSync(loc Location, earliest Cycle, bytes int, app
 }
 
 func (c *Controller) reapPosted(now Cycle) {
-	for c.posted.Len() > 0 && c.posted[0] <= now {
-		heap.Pop(&c.posted)
-	}
+	c.posted.reap(now)
 	// Drop journal entries whose writes have completed; they are durable.
 	kept := c.inFlight[:0]
 	for _, w := range c.inFlight {
@@ -299,12 +357,18 @@ type Batch struct {
 }
 
 // BeginBatch starts a new atomic WPQ batch (the drainer's "start"
-// signal). Only one batch may be open at a time.
+// signal). Only one batch may be open at a time, which is what lets the
+// controller hand out its single reusable Batch (and its entry slice)
+// instead of allocating one per eviction round. Callers must not retain
+// a Batch past its Commit/Abandon.
 func (c *Controller) BeginBatch() *Batch {
 	if c.openBatch != nil && !c.openBatch.done {
 		panic("mem: batch already open")
 	}
-	b := &Batch{c: c}
+	b := &c.batchPool
+	b.c = c
+	b.entries = b.entries[:0]
+	b.done = false
 	c.openBatch = b
 	return b
 }
@@ -406,12 +470,11 @@ func (b *Batch) Commit(earliest Cycle) (Cycle, error) {
 			q, capacity = &b.c.posMapWPQ, b.c.cfg.PosMapWPQEntries
 			b.c.counters.Inc("wpq.posmap.entries")
 		}
-		// Free a slot if the queue is full: wait for the oldest drain.
-		for q.Len() > 0 && (*q)[0] <= proceed {
-			heap.Pop(q)
-		}
+		// Reap entries already drained, then free a slot if the queue
+		// is still full: wait for the oldest drain.
+		q.reap(proceed)
 		for q.Len() >= capacity {
-			oldest := heap.Pop(q).(Cycle)
+			oldest := q.pop()
 			if oldest > proceed {
 				proceed = oldest
 			}
@@ -420,7 +483,7 @@ func (b *Batch) Commit(earliest Cycle) (Cycle, error) {
 		var comp nvm.Completion
 		dev := b.c.devices[e.loc.Channel]
 		comp = dev.ScheduleBytes(nvm.Write, e.loc.Bank, e.loc.Row, b.c.toNVM(proceed), e.bytes)
-		heap.Push(q, b.c.toCore(comp.Done))
+		q.push(b.c.toCore(comp.Done))
 		b.c.counters.Inc("nvm.writes")
 	}
 	// Durability point: "end" signal received by both WPQs.
@@ -462,8 +525,8 @@ func (b *Batch) Abandon() {
 // drains to NVM (its functional apply stands), and an open batch's
 // staged entries are likewise flushed and applied. Contrast with Crash.
 func (c *Controller) DrainAll() {
-	c.inFlight = nil
-	c.posted = nil
+	c.inFlight = c.inFlight[:0]
+	c.posted = c.posted[:0]
 	if c.openBatch != nil {
 		for _, e := range c.openBatch.entries {
 			if e.apply != nil {
@@ -473,8 +536,8 @@ func (c *Controller) DrainAll() {
 		c.openBatch.Abandon()
 		c.counters.Inc("crash.drained_batches")
 	}
-	c.dataWPQ = nil
-	c.posMapWPQ = nil
+	c.dataWPQ = c.dataWPQ[:0]
+	c.posMapWPQ = c.posMapWPQ[:0]
 }
 
 // Crash simulates a power failure at cycle `now`: posted writes whose
@@ -492,12 +555,12 @@ func (c *Controller) Crash(now Cycle) {
 			c.counters.Inc("crash.lost_posted_writes")
 		}
 	}
-	c.inFlight = nil
-	c.posted = nil
+	c.inFlight = c.inFlight[:0]
+	c.posted = c.posted[:0]
 	if c.openBatch != nil {
 		c.openBatch.Abandon()
 		c.counters.Inc("crash.discarded_batches")
 	}
-	c.dataWPQ = nil
-	c.posMapWPQ = nil
+	c.dataWPQ = c.dataWPQ[:0]
+	c.posMapWPQ = c.posMapWPQ[:0]
 }

@@ -1,0 +1,62 @@
+package oram
+
+import "math/bits"
+
+// PathIndex is the precomputed path-index table for one tree geometry:
+// the bucket id of the level-k node on the path to leaf l is
+// base[k] + (l >> shift[k]). Materialising the full per-leaf table
+// (2^L x (L+1) bucket ids) would cost megabytes at evaluation scale;
+// the per-level row {base, shift} encodes the identical lookup in
+// O(L) memory because heap numbering makes every level an arithmetic
+// progression over the leaf index. The timing simulator, the
+// functional controller, and Tree itself share this table so path
+// walks are table lookups instead of parent-chasing loops.
+type PathIndex struct {
+	L     int
+	base  []uint64 // base[k] = 2^k - 1, first bucket id of level k
+	shift []uint   // shift[k] = L - k, leaf bits below level k
+}
+
+// NewPathIndex builds the table for t.
+func NewPathIndex(t Tree) *PathIndex {
+	p := &PathIndex{
+		L:     t.L,
+		base:  make([]uint64, t.L+1),
+		shift: make([]uint, t.L+1),
+	}
+	for k := 0; k <= t.L; k++ {
+		p.base[k] = uint64(1)<<uint(k) - 1
+		p.shift[k] = uint(t.L - k)
+	}
+	return p
+}
+
+// Bucket returns the bucket id of the level-k node on the path to l.
+// Callers pass k in [0,L]; out-of-range levels fail the slice bounds
+// check.
+func (p *PathIndex) Bucket(l Leaf, k int) uint64 {
+	return p.base[k] + uint64(l)>>p.shift[k]
+}
+
+// AppendPath appends the root-to-leaf bucket ids for l onto dst[:0]
+// and returns the filled slice; with cap(dst) >= L+1 it does not
+// allocate.
+func (p *PathIndex) AppendPath(dst []uint64, l Leaf) []uint64 {
+	dst = dst[:0]
+	for k := 0; k <= p.L; k++ {
+		dst = append(dst, p.base[k]+uint64(l)>>p.shift[k])
+	}
+	return dst
+}
+
+// LevelOf returns the level of bucket b (root is 0).
+func (p *PathIndex) LevelOf(b uint64) int {
+	return bits.Len64(b+1) - 1
+}
+
+// OnPath reports whether bucket b lies on the path to leaf l, treating
+// buckets outside the tree as off-path.
+func (p *PathIndex) OnPath(b uint64, l Leaf) bool {
+	k := p.LevelOf(b)
+	return k <= p.L && p.Bucket(l, k) == b
+}

@@ -127,6 +127,10 @@ func (t *TempPosMap) Oldest() (Addr, bool) {
 }
 
 // Clear empties the map (crash: it is volatile).
-func (t *TempPosMap) Clear() {
-	t.entries = make(map[Addr]tempEntry)
+func (t *TempPosMap) Clear() { t.Reset() }
+
+// Reset empties the map while keeping its backing storage for reuse,
+// so a steady-state clear/refill cycle does not allocate.
+func (t *TempPosMap) Reset() {
+	clear(t.entries)
 }

@@ -123,7 +123,12 @@ func (s *Stash) Live() []*StashBlock {
 func (s *Stash) Backups() []*StashBlock { return s.backups }
 
 // Clear empties the stash (crash: the volatile stash is lost).
-func (s *Stash) Clear() {
-	s.blocks = make(map[Addr]*StashBlock)
-	s.backups = nil
+func (s *Stash) Clear() { s.Reset() }
+
+// Reset empties the stash while keeping the backing storage of the
+// block map and the backup slice for reuse, so a steady-state
+// clear/refill cycle does not allocate.
+func (s *Stash) Reset() {
+	clear(s.blocks)
+	s.backups = s.backups[:0]
 }

@@ -9,7 +9,10 @@
 // job of internal/sim; this package owns correctness.
 package oram
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Leaf is a path identifier: leaves are numbered 0..2^L-1 left to right.
 type Leaf uint32
@@ -63,39 +66,43 @@ func (t Tree) LeafBucket(l Leaf) uint64 {
 }
 
 // PathNode returns the bucket index of the level-k ancestor (k=0 is the
-// root, k=L the leaf bucket) on the path to leaf l.
+// root, k=L the leaf bucket) on the path to leaf l. In heap numbering
+// the level-k ancestor of leaf l is (2^k - 1) + (l >> (L-k)): the level
+// base plus the leaf index with the lower L-k bits shaved off.
 func (t Tree) PathNode(l Leaf, k int) uint64 {
 	if k < 0 || k > t.L {
 		panic(fmt.Sprintf("oram: level %d out of range [0,%d]", k, t.L))
 	}
-	b := t.LeafBucket(l)
-	for i := t.L; i > k; i-- {
-		b = (b - 1) / 2
+	if uint64(l) >= t.Leaves() {
+		panic(fmt.Sprintf("oram: leaf %d out of range [0,%d)", l, t.Leaves()))
 	}
-	return b
+	return (uint64(1)<<uint(k) - 1) + uint64(l)>>uint(t.L-k)
 }
 
 // Path returns the bucket indices from root to the leaf bucket of l.
+// Allocates; hot paths use PathInto with a reused buffer instead.
 func (t Tree) Path(l Leaf) []uint64 {
-	out := make([]uint64, t.L+1)
-	b := t.LeafBucket(l)
-	for k := t.L; k >= 0; k-- {
-		out[k] = b
-		if b > 0 {
-			b = (b - 1) / 2
-		}
-	}
-	return out
+	return t.PathInto(make([]uint64, 0, t.L+1), l)
 }
 
-// Level returns the level of bucket b (root is 0).
-func (t Tree) Level(b uint64) int {
-	lvl := 0
-	for b > 0 {
-		b = (b - 1) / 2
-		lvl++
+// PathInto writes the root-to-leaf bucket indices for l into dst[:0]
+// and returns the filled slice, growing dst only when cap(dst) < L+1.
+func (t Tree) PathInto(dst []uint64, l Leaf) []uint64 {
+	if uint64(l) >= t.Leaves() {
+		panic(fmt.Sprintf("oram: leaf %d out of range [0,%d)", l, t.Leaves()))
 	}
-	return lvl
+	dst = dst[:0]
+	for k := 0; k <= t.L; k++ {
+		dst = append(dst, (uint64(1)<<uint(k)-1)+uint64(l)>>uint(t.L-k))
+	}
+	return dst
+}
+
+// Level returns the level of bucket b (root is 0). Adding 1 to a
+// heap-numbered bucket yields its 1-based index, whose bit length is
+// level+1.
+func (t Tree) Level(b uint64) int {
+	return bits.Len64(b+1) - 1
 }
 
 // OnPath reports whether bucket b lies on the path to leaf l.
@@ -107,13 +114,11 @@ func (t Tree) OnPath(b uint64, l Leaf) bool {
 // IntersectLevel returns the deepest level shared by the paths to a and
 // b: the level of their lowest common ancestor. A block mapped to leaf b
 // may be placed on the path to a at any level <= IntersectLevel(a,b).
+// Two paths diverge exactly at the highest bit where the leaf indices
+// differ, so the shared depth is L minus the bit length of a XOR b.
 func (t Tree) IntersectLevel(a, b Leaf) int {
-	x, y := t.LeafBucket(a), t.LeafBucket(b)
-	lvl := t.L
-	for x != y {
-		x = (x - 1) / 2
-		y = (y - 1) / 2
-		lvl--
+	if uint64(a) >= t.Leaves() || uint64(b) >= t.Leaves() {
+		panic(fmt.Sprintf("oram: leaf out of range [0,%d)", t.Leaves()))
 	}
-	return lvl
+	return t.L - bits.Len64(uint64(a)^uint64(b))
 }

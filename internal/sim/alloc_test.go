@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/cpu"
+	"repro/internal/trace"
+)
+
+// TestSteadyStateZeroAllocs pins the tentpole property of the dense
+// simulator state: after warm-up, serving an LLC miss allocates
+// nothing. The warm-up lets the reusable buffers (path scratch, stash
+// working set, pending queue, posted-write heaps, batch entry slice)
+// grow to their steady-state capacity; from then on every access must
+// run entirely on preallocated storage.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	for _, scheme := range []config.Scheme{config.SchemeBaseline, config.SchemePSORAM} {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			cfg := config.Default()
+			cfg.Seed = 1
+			w, err := trace.ByName("464.h264ref")
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys, err := NewSystem(scheme, cfg, benchLevels)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen := trace.NewGenerator(w, cfg.Seed, sys.NumBlocks())
+			core := cpu.New(sys)
+			for i := 0; i < benchWarmup; i++ {
+				rec := gen.Next()
+				if err := core.Step(rec.InstrGap, rec.Addr, rec.Write); err != nil {
+					t.Fatal(err)
+				}
+			}
+			avg := testing.AllocsPerRun(2000, func() {
+				rec := gen.Next()
+				if err := core.Step(rec.InstrGap, rec.Addr, rec.Write); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if avg != 0 {
+				t.Errorf("%s: %v allocs per steady-state access, want 0", scheme, avg)
+			}
+		})
+	}
+}

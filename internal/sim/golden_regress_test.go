@@ -1,0 +1,83 @@
+// Golden determinism regression: the optimized simulator, driven
+// directly (no sweep pool), must still reproduce every cell pinned in
+// internal/sweep/testdata/golden.json bit-for-bit. This complements
+// sweep.TestGoldenMetrics by taking the worker pool and result
+// plumbing out of the loop: a drift here is a behaviour change inside
+// sim/mem/nvm/oram itself, which a perf refactor must never cause.
+package sim_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+	"repro/internal/trace"
+)
+
+// goldenCell mirrors the sweep golden file's schema.
+type goldenCell struct {
+	Scheme   string `json:"scheme"`
+	Workload string `json:"workload"`
+	Cycles   uint64 `json:"cycles"`
+	Reads    uint64 `json:"reads"`
+	Writes   uint64 `json:"writes"`
+	EnergyPJ uint64 `json:"energy_pj"`
+}
+
+// Pinned grid parameters of the golden file (see sweep.goldenGrid).
+const (
+	goldenRootSeed = 1
+	goldenChannels = 1
+	goldenAccesses = 600
+	goldenLevels   = 12
+)
+
+func TestGoldenDeterminismRegression(t *testing.T) {
+	data, err := os.ReadFile("../sweep/testdata/golden.json")
+	if err != nil {
+		t.Fatalf("reading golden file: %v", err)
+	}
+	var want []goldenCell
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("corrupt golden file: %v", err)
+	}
+	if len(want) == 0 {
+		t.Fatal("golden file is empty")
+	}
+	for _, cell := range want {
+		cell := cell
+		t.Run(cell.Scheme+"/"+cell.Workload, func(t *testing.T) {
+			var scheme config.Scheme
+			found := false
+			for _, s := range config.Schemes() {
+				if s.String() == cell.Scheme {
+					scheme, found = s, true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("golden file names unknown scheme %q", cell.Scheme)
+			}
+			w, err := trace.ByName(cell.Workload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := config.Default()
+			cfg.Channels = goldenChannels
+			cfg.Seed = sweep.CellSeed(goldenRootSeed, scheme, w.Name, goldenChannels, 0)
+			res, err := sim.Run(scheme, cfg, w, goldenAccesses, goldenLevels)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Cycles != cell.Cycles || res.Reads != cell.Reads ||
+				res.Writes != cell.Writes || res.EnergyPJ != cell.EnergyPJ {
+				t.Errorf("metric drift vs pinned golden:\n  pinned:  cycles=%d reads=%d writes=%d energy_pj=%d\n  current: cycles=%d reads=%d writes=%d energy_pj=%d",
+					cell.Cycles, cell.Reads, cell.Writes, cell.EnergyPJ,
+					res.Cycles, res.Reads, res.Writes, res.EnergyPJ)
+			}
+		})
+	}
+}

@@ -69,6 +69,11 @@ func (r Result) Slowdown(base Result) float64 {
 	return float64(r.Cycles) / float64(base.Cycles)
 }
 
+// leafUnset marks an address that has never been remapped; its live
+// leaf is still initialLeaf(addr). Tree heights are capped at 26, so
+// no valid leaf collides with it.
+const leafUnset = ^oram.Leaf(0)
+
 // System is the assembled timing model for one scheme.
 type System struct {
 	scheme config.Scheme
@@ -77,13 +82,29 @@ type System struct {
 	memc   *mem.Controller
 	r      *rng.Rand
 
-	// Abstract protocol state.
-	leafOf    map[uint64]oram.Leaf // remapped addresses only
-	counts    []uint8              // tree occupancy per bucket
-	residency map[uint64]uint64    // tracked addr -> bucket
-	inBucket  map[uint64][]uint64  // bucket -> tracked addrs
-	pending   []pendingBlock       // stash blocks awaiting entry merge
-	seedHash  uint64
+	// Abstract protocol state, dense-indexed: Serve reduces addresses
+	// mod NumBlocks and buckets are heap-numbered 0..Buckets-1, so flat
+	// slices replace per-access map churn on the hot path.
+	leafOf    []oram.Leaf // per addr: live leaf, leafUnset if unmapped
+	counts    []uint8     // tree occupancy per bucket
+	residency []int32     // per addr: bucket tracking it, -1 = none
+	// Tracked blocks per bucket as intrusive FIFO lists. Traversal
+	// order equals the former map-of-slices append order, which the
+	// greedy eviction (and therefore the golden metrics) depends on.
+	bucketHead   []int32        // per bucket: first tracked addr, -1 = empty
+	bucketTail   []int32        // per bucket: last tracked addr
+	nextInBucket []int32        // per addr: next addr in its bucket list, -1 = end
+	pending      []pendingBlock // stash blocks awaiting entry merge
+	seedHash     uint64
+	numBlocks    uint64
+
+	// Reused per-access scratch and the precomputed path-index table:
+	// steady-state accesses must not allocate.
+	pathIdx    *oram.PathIndex
+	pathBuf    []uint64     // path of the access being served
+	auxPathBuf []uint64     // eviction path (may overlap pathBuf's use)
+	stashBuf   []stashEntry // updateOccupancy working set
+	evictBuf   []evictEntry // orderedEvict working set
 
 	// onchipTiming, when non-nil, prices the FullNVM schemes' on-chip
 	// stash/PosMap built from NVM. Ops are modeled as half-pipelined
@@ -97,10 +118,12 @@ type System struct {
 	// Recursion: level-1 geometry (always accessed) and upper-level
 	// geometry behind the PLB.
 	rec struct {
-		enabled bool
-		l1      oram.Tree
-		l1Seen  map[uint64]bool // level-1 blocks with a known position
-		upper   oram.Tree
+		enabled  bool
+		l1       oram.Tree
+		l1Idx    *oram.PathIndex
+		l1Seen   []bool // per level-1 block: position known
+		upper    oram.Tree
+		upperIdx *oram.PathIndex
 		// upperOnChip: the second posmap level fits the on-chip posmap
 		// budget, terminating the recursion after level 1.
 		upperOnChip bool
@@ -148,6 +171,23 @@ type pendingBlock struct {
 	leaf oram.Leaf
 }
 
+// stashEntry is one block in updateOccupancy's abstract stash; the
+// working slice lives on the System (stashBuf) and is reused across
+// accesses.
+type stashEntry struct {
+	addr    uint64
+	leaf    oram.Leaf
+	origin  bool
+	pending bool
+}
+
+// evictEntry is one staged write in orderedEvict's working set
+// (evictBuf, reused across accesses).
+type evictEntry struct {
+	loc    mem.Location
+	posmap bool
+}
+
 // NewSystem builds the timing model. levels selects the tree height
 // (the paper's Table 3 uses 23; smaller values keep test runs fast
 // without changing any scheme ordering, since every scheme pays the same
@@ -161,16 +201,35 @@ func NewSystem(scheme config.Scheme, cfg config.Config, levels int) (*System, er
 	}
 	t := oram.NewTree(levels, cfg.Z)
 	s := &System{
-		scheme:    scheme,
-		cfg:       cfg,
-		tree:      t,
-		memc:      mem.New(cfg),
-		r:         rng.New(cfg.Seed ^ 0x5157),
-		leafOf:    make(map[uint64]oram.Leaf),
-		counts:    make([]uint8, t.Buckets()),
-		residency: make(map[uint64]uint64),
-		inBucket:  make(map[uint64][]uint64),
-		seedHash:  cfg.Seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
+		scheme:   scheme,
+		cfg:      cfg,
+		tree:     t,
+		memc:     mem.New(cfg),
+		r:        rng.New(cfg.Seed ^ 0x5157),
+		counts:   make([]uint8, t.Buckets()),
+		seedHash: cfg.Seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
+		pathIdx:  oram.NewPathIndex(t),
+		pathBuf:  make([]uint64, 0, t.L+1),
+	}
+	s.numBlocks = uint64(float64(t.Slots()) * cfg.Utilization)
+	// The dense per-address state is indexed by int32 list links; the
+	// levels cap above keeps NumBlocks far below that, but guard anyway.
+	if s.numBlocks >= 1<<31 {
+		return nil, fmt.Errorf("sim: %d blocks exceed dense-index range", s.numBlocks)
+	}
+	s.leafOf = make([]oram.Leaf, s.numBlocks)
+	s.residency = make([]int32, s.numBlocks)
+	s.nextInBucket = make([]int32, s.numBlocks)
+	for i := range s.leafOf {
+		s.leafOf[i] = leafUnset
+		s.residency[i] = -1
+		s.nextInBucket[i] = -1
+	}
+	s.bucketHead = make([]int32, t.Buckets())
+	s.bucketTail = make([]int32, t.Buckets())
+	for i := range s.bucketHead {
+		s.bucketHead[i] = -1
+		s.bucketTail[i] = -1
 	}
 	s.res.Scheme = scheme
 	switch scheme {
@@ -195,9 +254,7 @@ func NewSystem(scheme config.Scheme, cfg config.Config, levels int) (*System, er
 }
 
 // NumBlocks returns the logical capacity of the simulated tree.
-func (s *System) NumBlocks() uint64 {
-	return uint64(float64(s.tree.Slots()) * s.cfg.Utilization)
-}
+func (s *System) NumBlocks() uint64 { return s.numBlocks }
 
 // initialLeaf derives the pre-remap leaf of an address.
 func (s *System) initialLeaf(addr uint64) oram.Leaf {
@@ -249,7 +306,9 @@ func (s *System) initRecursion() {
 	upperBlocks := (l1Blocks + s.rec.entries - 1) / s.rec.entries
 	s.rec.upperOnChip = upperBlocks*uint64(s.cfg.BlockBytes) <= uint64(s.cfg.OnChipPosMapBytes)
 	s.rec.upper = treeFor(upperBlocks, s.cfg)
-	s.rec.l1Seen = make(map[uint64]bool)
+	s.rec.l1Idx = oram.NewPathIndex(s.rec.l1)
+	s.rec.upperIdx = oram.NewPathIndex(s.rec.upper)
+	s.rec.l1Seen = make([]bool, l1Blocks)
 	// The PLB holds upper-level posmap blocks; Table 3's C_TPos-class
 	// budget gives it cfg.PLBEntries block slots.
 	s.rec.plb = cache.New("PLB", s.cfg.PLBEntries*s.cfg.BlockBytes, 4, s.cfg.BlockBytes, 1, 1)
@@ -310,7 +369,7 @@ func (s *System) plainAccess(addr uint64, write bool) {
 
 // currentLeaf returns the address's live leaf.
 func (s *System) currentLeaf(addr uint64) oram.Leaf {
-	if l, ok := s.leafOf[addr]; ok {
+	if l := s.leafOf[addr]; l != leafUnset {
 		return l
 	}
 	return s.initialLeaf(addr)
@@ -336,7 +395,8 @@ func (s *System) oramAccess(addr uint64, write bool) error {
 	// Step 3: read the path. With the §4.5 tree-top cache extension the
 	// shallow levels hit DRAM (write-through mirror), skipping the NVM
 	// read entirely.
-	path := s.tree.Path(l)
+	s.pathBuf = s.pathIdx.AppendPath(s.pathBuf, l)
+	path := s.pathBuf
 	var loadDone mem.Cycle
 	for lvl, bucket := range path {
 		if lvl < s.cfg.TreeTopCacheLevels {
@@ -402,23 +462,19 @@ func (s *System) oramAccess(addr uint64, write bool) error {
 // the target itself evicted).
 func (s *System) updateOccupancy(addr uint64, l, lNew oram.Leaf, path []uint64) (int, bool) {
 	z := uint8(s.cfg.Z)
-	// Tracked blocks on the path come off into the stash.
-	type stashEntry struct {
-		addr    uint64
-		leaf    oram.Leaf
-		origin  bool
-		pending bool
-	}
-	var stash []stashEntry
+	// Tracked blocks on the path come off into the stash, in bucket
+	// list order (the former append order).
+	stash := s.stashBuf[:0]
 	for _, bucket := range path {
-		for _, a := range s.inBucket[bucket] {
-			stash = append(stash, stashEntry{addr: a, leaf: s.currentLeaf(a), origin: true})
-			delete(s.residency, a)
+		for a := s.bucketHead[bucket]; a != -1; a = s.nextInBucket[a] {
+			stash = append(stash, stashEntry{addr: uint64(a), leaf: s.currentLeaf(uint64(a)), origin: true})
+			s.residency[a] = -1
 			if s.counts[bucket] > 0 {
 				s.counts[bucket]--
 			}
 		}
-		delete(s.inBucket, bucket)
+		s.bucketHead[bucket] = -1
+		s.bucketTail[bucket] = -1
 	}
 	// The target: it is now either already in the stash (tracked on this
 	// path), pending from an earlier access, or an anonymous first-touch
@@ -430,7 +486,7 @@ func (s *System) updateOccupancy(addr uint64, l, lNew oram.Leaf, path []uint64) 
 			break
 		}
 	}
-	if _, resident := s.residency[addr]; !resident && !inStash && !s.isPending(addr) {
+	if s.residency[addr] == -1 && !inStash && !s.isPending(addr) {
 		for i := len(path) - 1; i >= 0; i-- {
 			if s.counts[path[i]] > 0 {
 				s.counts[path[i]]--
@@ -462,8 +518,16 @@ func (s *System) updateOccupancy(addr uint64, l, lNew oram.Leaf, path []uint64) 
 			b := path[k]
 			if s.counts[b] < z {
 				s.counts[b]++
-				s.residency[e.addr] = b
-				s.inBucket[b] = append(s.inBucket[b], e.addr)
+				s.residency[e.addr] = int32(b)
+				// Append to the bucket's FIFO list.
+				a := int32(e.addr)
+				if tail := s.bucketTail[b]; tail == -1 {
+					s.bucketHead[b] = a
+				} else {
+					s.nextInBucket[tail] = a
+				}
+				s.bucketTail[b] = a
+				s.nextInBucket[a] = -1
 				return true
 			}
 		}
@@ -490,6 +554,7 @@ func (s *System) updateOccupancy(addr uint64, l, lNew oram.Leaf, path []uint64) 
 			s.pending = append(s.pending, pendingBlock{addr: oram.Addr(e.addr), leaf: e.leaf})
 		}
 	}
+	s.stashBuf = stash[:0] // keep the grown capacity for the next access
 	return evictedPending, targetEvicted
 }
 
@@ -579,7 +644,8 @@ func (s *System) ringAccess(addr uint64) error {
 	l := s.currentLeaf(addr)
 	s.leafOf[addr] = oram.Leaf(s.r.Uint64n(s.tree.Leaves()))
 	s.observeLeaf(l)
-	path := s.tree.Path(l)
+	s.pathBuf = s.pathIdx.AppendPath(s.pathBuf, l)
+	path := s.pathBuf
 
 	// ReadPath: one slot per bucket.
 	var loadDone mem.Cycle
@@ -639,7 +705,11 @@ func (s *System) ringAccess(addr uint64) error {
 // blocks (~Z per bucket worst case, Z/2 typical — we charge Z/2+1) and
 // rewrite every bucket fully (Z+RingS slots).
 func (s *System) ringEvictPath(l oram.Leaf, persist bool) error {
-	path := s.tree.Path(l)
+	// ringAccess is still holding pathBuf (it walks its read path again
+	// for early reshuffles after this call), so evictions use the
+	// auxiliary buffer.
+	s.auxPathBuf = s.pathIdx.AppendPath(s.auxPathBuf, l)
+	path := s.auxPathBuf
 	reads := s.cfg.Z/2 + 1
 	var done mem.Cycle
 	for _, bucket := range path {
@@ -735,14 +805,10 @@ func reverseBits(v uint64, bits uint) uint64 {
 // slots (plus PosMap entries) commit in several capacity-bounded atomic
 // batches, strictly in order.
 func (s *System) orderedEvict(path []uint64, dirty int) error {
-	type entry struct {
-		loc    mem.Location
-		posmap bool
-	}
-	var entries []entry
+	entries := s.evictBuf[:0]
 	for _, bucket := range path {
 		for z := 0; z < s.cfg.Z; z++ {
-			entries = append(entries, entry{loc: s.memc.TreeBlockLocation(bucket, z)})
+			entries = append(entries, evictEntry{loc: s.memc.TreeBlockLocation(bucket, z)})
 		}
 	}
 	nPos := 0
@@ -755,7 +821,7 @@ func (s *System) orderedEvict(path []uint64, dirty int) error {
 		nPos = 1
 	}
 	for i := 0; i < nPos; i++ {
-		entries = append(entries, entry{loc: s.memc.PosMapLocation(s.r.Uint64() >> 40), posmap: true})
+		entries = append(entries, evictEntry{loc: s.memc.PosMapLocation(s.r.Uint64() >> 40), posmap: true})
 	}
 	s.res.DirtyEntries += uint64(nPos)
 	cap := s.cfg.DataWPQEntries
@@ -781,6 +847,7 @@ func (s *System) orderedEvict(path []uint64, dirty int) error {
 		}
 		s.now = done
 	}
+	s.evictBuf = entries[:0]
 	return nil
 }
 
@@ -796,17 +863,20 @@ func (s *System) chainAccess(addr uint64) {
 	// terminated), otherwise behind the PLB.
 	if !s.rec.upperOnChip {
 		if r := s.rec.plb.Access(upperBlock, true); !r.Hit {
-			s.chainPath(s.rec.upper, 2, upperBlock)
+			s.chainPath(s.rec.upper, s.rec.upperIdx, 2, upperBlock)
 		}
 	}
 	// Level 1: always.
-	s.chainPath(s.rec.l1, 1, l1Block)
+	s.chainPath(s.rec.l1, s.rec.l1Idx, 1, l1Block)
 }
 
-// chainPath reads and writes one posmap-tree path.
-func (s *System) chainPath(t oram.Tree, region int, block uint64) {
+// chainPath reads and writes one posmap-tree path. It runs before the
+// data path is loaded (the data leaf comes out of the chain), so it may
+// borrow the auxiliary path buffer.
+func (s *System) chainPath(t oram.Tree, idx *oram.PathIndex, region int, block uint64) {
 	leaf := oram.Leaf((block*0x9e3779b97f4a7c15 ^ s.r.Uint64()) % t.Leaves())
-	path := t.Path(leaf)
+	s.auxPathBuf = idx.AppendPath(s.auxPathBuf, leaf)
+	path := s.auxPathBuf
 	var done mem.Cycle
 	for _, bucket := range path {
 		for z := 0; z < s.cfg.Z; z++ {
