@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check sweep-smoke crash-matrix oracle-smoke fuzz-smoke bench-oracle bench-sim profile perf-smoke bless-golden clean
+.PHONY: all build vet test race check sweep-smoke crash-matrix oracle-smoke serve-smoke fuzz-smoke bench-oracle bench-sim bench-serve profile perf-smoke bless-golden clean
 
 all: check
 
@@ -43,6 +43,13 @@ crash-matrix: build
 oracle-smoke: build
 	$(GO) run ./cmd/psoram-oracle -crash
 
+# serve-smoke proves the serving layer under the race detector: the
+# differential oracle driven through a concurrent sharded pool, the
+# kill-mid-batch crash torture, and a short CLI load run with -check.
+serve-smoke: build
+	$(GO) test -race -count=1 -run 'TestPoolOracle|TestPoolConcurrentOracle|TestCrashTorture' ./internal/serve
+	$(GO) run -race ./cmd/psoram-serve -shards 4 -clients 4 -ops 200 -blocks 256 -levels 6 -check -crash-every 300
+
 # fuzz-smoke gives each oracle fuzz target a short coverage-guided run
 # (the CI budget; raise FUZZTIME locally for a deeper session).
 FUZZTIME ?= 30s
@@ -64,6 +71,13 @@ bench-oracle:
 bench-sim:
 	$(GO) test -run '^$$' -bench BenchmarkSim -benchmem -benchtime=2s -json ./internal/sim > BENCH_sim.json
 	@grep -o '"Output":"[^"]*ns/op[^"]*' BENCH_sim.json | sed 's/"Output":"//;s/\\t/  /g;s/\\n//'
+
+# bench-serve measures end-to-end serving throughput across shard counts
+# and pins it into BENCH_serve.json (tracked; regenerate when the
+# serving layer or the core access path changes).
+bench-serve:
+	$(GO) test -run '^$$' -bench BenchmarkPoolThroughput -benchmem -benchtime=1s -json ./internal/serve > BENCH_serve.json
+	@grep -o '"Output":"[^"]*ns/op[^"]*' BENCH_serve.json | sed 's/"Output":"//;s/\\t/  /g;s/\\n//'
 
 # profile captures CPU + heap pprof for a representative sweep via the
 # psoram-sweep -profile flag; inspect with `go tool pprof profiles/cpu.pprof`.

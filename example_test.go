@@ -1,6 +1,7 @@
 package psoram_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -9,12 +10,11 @@ import (
 
 // The basic lifecycle: create a crash-consistent oblivious store, write,
 // survive a power failure, read back.
-func ExampleNewStore() {
-	store, err := psoram.NewStore(psoram.StoreOptions{
-		Scheme:    psoram.PSORAM,
-		NumBlocks: 256,
-		Seed:      1,
-	})
+func ExampleNew() {
+	store, err := psoram.New(256,
+		psoram.WithScheme(psoram.PSORAM),
+		psoram.WithRNGSeed(1),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,9 +38,10 @@ func ExampleNewStore() {
 }
 
 // Injecting a power failure at a precise protocol point: here, step 4 of
-// the PS-ORAM access (right after the backup block is created).
+// the PS-ORAM access (right after the backup block is created). The
+// injector can also be armed at construction with WithCrashInjector.
 func ExampleStore_CrashAt() {
-	store, err := psoram.NewStore(psoram.StoreOptions{NumBlocks: 128, Seed: 2})
+	store, err := psoram.New(128, psoram.WithRNGSeed(2))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,6 +64,28 @@ func ExampleVerifyCrashConsistency() {
 	}
 	fmt.Println(res.Fired > 0 && res.Consistent == res.Fired)
 	// Output: true
+}
+
+// Serving concurrent clients: the keyspace striped over a pool of
+// independent stores, one goroutine per shard.
+func ExampleServe() {
+	pool, err := psoram.Serve(psoram.PoolOptions{Shards: 4, NumBlocks: 256, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	defer pool.Close(ctx)
+	data := make([]byte, pool.BlockBytes())
+	copy(data, "hello")
+	if err := pool.Write(ctx, 42, data); err != nil {
+		log.Fatal(err)
+	}
+	v, err := pool.Read(ctx, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(v[:5]))
+	// Output: hello
 }
 
 // Running the timing model for one scheme and workload.

@@ -50,11 +50,10 @@ func main() {
 // not the latest durable one.
 func runCase(scheme psoram.Scheme, step, sub int) (lost, total int) {
 	const blocks = 64
-	store, err := psoram.NewStore(psoram.StoreOptions{
-		Scheme:    scheme,
-		NumBlocks: blocks,
-		Seed:      7,
-	})
+	store, err := psoram.New(blocks,
+		psoram.WithScheme(scheme),
+		psoram.WithRNGSeed(7),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

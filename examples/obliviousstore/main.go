@@ -32,11 +32,10 @@ type docStore struct {
 const chunkBytes = 48
 
 func newDocStore(blocks uint64) (*docStore, error) {
-	s, err := psoram.NewStore(psoram.StoreOptions{
-		Scheme:    psoram.PSORAM,
-		NumBlocks: blocks,
-		Seed:      2026,
-	})
+	s, err := psoram.New(blocks,
+		psoram.WithScheme(psoram.PSORAM),
+		psoram.WithRNGSeed(2026),
+	)
 	if err != nil {
 		return nil, err
 	}

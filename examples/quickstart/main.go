@@ -14,11 +14,10 @@ import (
 func main() {
 	// A PS-ORAM store with 1024 logical blocks (64B each, the paper's
 	// cache-line-sized blocks).
-	store, err := psoram.NewStore(psoram.StoreOptions{
-		Scheme:    psoram.PSORAM,
-		NumBlocks: 1024,
-		Seed:      42,
-	})
+	store, err := psoram.New(1024,
+		psoram.WithScheme(psoram.PSORAM),
+		psoram.WithRNGSeed(42),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -15,7 +15,7 @@ import (
 
 func main() {
 	const blocks = 500
-	path, err := psoram.NewStore(psoram.StoreOptions{Scheme: psoram.PSORAM, NumBlocks: blocks})
+	path, err := psoram.New(blocks, psoram.WithScheme(psoram.PSORAM))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -173,6 +173,10 @@ func (t *coreTarget) Arm(fire func(CrashSpec) bool) {
 
 func (t *coreTarget) Recover() error { return t.ctl.Recover() }
 
+// Cycles reports the controller's simulated clock, letting callers (the
+// serving layer's latency histograms) price accesses in simulated cycles.
+func (t *coreTarget) Cycles() uint64 { return uint64(t.ctl.Now()) }
+
 // --- ringoram adapter ---
 
 type ringTarget struct {
@@ -209,6 +213,10 @@ func (t *ringTarget) Arm(fire func(CrashSpec) bool) {
 }
 
 func (t *ringTarget) Recover() error { return t.ctl.Recover() }
+
+// Cycles: the functional Ring controller has no timing model; report 0
+// so cycle-based latency stats degrade gracefully.
+func (t *ringTarget) Cycles() uint64 { return 0 }
 
 // --- NonORAM adapter: a plain store, no tree, no crash model ---
 
@@ -249,3 +257,10 @@ func (t *plainTarget) Peek(addr oram.Addr) ([]byte, error) {
 }
 
 func (t *plainTarget) Invariants() []error { return nil }
+
+// Recover is a no-op: the plain store has no crash model, but providing
+// it lets NonORAM satisfy the serving layer's recoverable-backend shape.
+func (t *plainTarget) Recover() error { return nil }
+
+// Cycles: no timing model.
+func (t *plainTarget) Cycles() uint64 { return 0 }

@@ -6,6 +6,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/config"
@@ -59,7 +60,9 @@ func (o Options) runAll(schemes []config.Scheme, channels int) (map[string]map[c
 	for _, w := range o.workloads() {
 		out[w.Name] = make(map[config.Scheme]sim.Result)
 		for _, s := range schemes {
-			r, err := sim.Run(s, cfg, w, o.Accesses, o.Levels)
+			r, err := sim.Simulate(context.Background(), sim.Request{
+				Scheme: s, Config: cfg, Workload: w, N: o.Accesses, Levels: o.Levels,
+			})
 			if err != nil {
 				return nil, fmt.Errorf("report: %v on %s: %w", s, w.Name, err)
 			}
@@ -226,11 +229,15 @@ func (o Options) ORAMCost() (*stats.Table, error) {
 		for _, ch := range []int{1, 4} {
 			cfg := o.Cfg
 			cfg.Channels = ch
-			non, err := sim.Run(config.SchemeNonORAM, cfg, w, o.Accesses, o.Levels)
+			non, err := sim.Simulate(context.Background(), sim.Request{
+				Scheme: config.SchemeNonORAM, Config: cfg, Workload: w, N: o.Accesses, Levels: o.Levels,
+			})
 			if err != nil {
 				return nil, err
 			}
-			base, err := sim.Run(config.SchemeBaseline, cfg, w, o.Accesses, o.Levels)
+			base, err := sim.Simulate(context.Background(), sim.Request{
+				Scheme: config.SchemeBaseline, Config: cfg, Workload: w, N: o.Accesses, Levels: o.Levels,
+			})
 			if err != nil {
 				return nil, err
 			}
@@ -319,7 +326,9 @@ func (o Options) Latency() (*stats.Table, error) {
 		config.SchemeRcrBaseline, config.SchemeRcrPSORAM,
 		config.SchemeRingBaseline, config.SchemeRingPSORAM,
 	} {
-		r, err := sim.Run(s, o.Cfg, w, o.Accesses, o.Levels)
+		r, err := sim.Simulate(context.Background(), sim.Request{
+			Scheme: s, Config: o.Cfg, Workload: w, N: o.Accesses, Levels: o.Levels,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -349,7 +358,9 @@ func (o Options) Lifetime() (*stats.Table, error) {
 		var wAcc, bAcc, wear []float64
 		for _, w := range o.workloads() {
 			cfg := o.Cfg
-			r, err := sim.Run(s, cfg, w, o.Accesses, o.Levels)
+			r, err := sim.Simulate(context.Background(), sim.Request{
+				Scheme: s, Config: cfg, Workload: w, N: o.Accesses, Levels: o.Levels,
+			})
 			if err != nil {
 				return nil, err
 			}

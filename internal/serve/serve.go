@@ -1,0 +1,481 @@
+// Package serve is the concurrent front-end the paper's controller lacks:
+// a serving layer that shards the keyspace across a pool of independent
+// crash-consistent stores and multiplexes concurrent clients into them.
+//
+// The concurrency model is shard-per-goroutine. Block addresses route
+// deterministically to shards (shard = addr mod S), each shard owns one
+// single-threaded backend controller, and exactly one worker goroutine
+// drives it — so the controllers themselves never see concurrency, which
+// is precisely the regime the §4 crash-consistency protocol was proved
+// in. Clients submit requests into bounded per-shard queues; the worker
+// coalesces queued requests into protocol rounds (batches), executes
+// them back-to-back, and replies through per-request channels.
+//
+// Overload never blocks a client: a full queue fails fast with
+// ErrOverloaded. Cancellation is honoured at both ends: a client whose
+// context dies while waiting stops waiting (the worker's reply is
+// buffered, so it never blocks either), and a request whose context is
+// already dead when the worker dequeues it is answered with the context
+// error without touching the backend.
+//
+// Injected power failures surface as ErrInterrupted on the victim
+// request; the worker immediately runs the scheme's recovery procedure
+// (§4.3) and continues the round, so one crash never poisons a shard.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/config"
+	"repro/internal/oracle"
+	"repro/internal/oram"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Typed serving-layer errors.
+var (
+	// ErrOverloaded reports a full shard queue. The request was not
+	// enqueued; the caller may retry after backing off.
+	ErrOverloaded = errors.New("serve: shard queue full")
+	// ErrPoolClosed reports a submit after Close began.
+	ErrPoolClosed = errors.New("serve: pool closed")
+	// ErrInterrupted reports an access interrupted by a simulated power
+	// failure. The shard has already recovered (§4.3); per the crash
+	// contract the interrupted op either fully persisted or never
+	// happened, so the caller may re-issue it.
+	ErrInterrupted = errors.New("serve: access interrupted by simulated power failure (shard recovered)")
+)
+
+// Backend is one shard's underlying store: the oracle's uniform target
+// shape plus the recovery hook. The adapters oracle.NewTarget builds
+// satisfy it for every scheme.
+type Backend interface {
+	oracle.Target
+	Recover() error
+}
+
+// clocked is the optional backend facet pricing accesses in simulated
+// cycles (the core controllers implement it; the functional Ring and
+// plain stores do not, and their latencies record as zero).
+type clocked interface{ Cycles() uint64 }
+
+// crashable is the optional backend facet accepting a crash injector.
+type crashable interface{ Arm(fire func(oracle.CrashSpec) bool) }
+
+// Factory builds the backend for one shard. localBlocks is the number
+// of logical blocks the shard owns after keyspace striping.
+type Factory func(shard int, localBlocks uint64) (Backend, error)
+
+// Options sizes a Pool.
+type Options struct {
+	// Shards is the number of independent stores (default 4).
+	Shards int
+	// NumBlocks is the total logical block count across the pool
+	// (required). Block addr lives on shard addr%Shards as local block
+	// addr/Shards.
+	NumBlocks uint64
+	// Scheme defaults to PSORAM.
+	Scheme config.Scheme
+	// Levels forces each shard's tree height (0 = derive from the
+	// shard's block count).
+	Levels int
+	// Seed is the pool RNG root; each shard derives an independent
+	// stream from it, so pools built from the same seed are replicas.
+	Seed uint64
+	// Cfg overrides the base configuration; nil means config.Default().
+	Cfg *config.Config
+	// QueueDepth bounds each shard's request queue (default 64). A full
+	// queue rejects with ErrOverloaded.
+	QueueDepth int
+	// MaxBatch caps how many queued requests one protocol round
+	// coalesces (default 8).
+	MaxBatch int
+	// Factory overrides backend construction (tests, custom schemes).
+	// Nil means oracle.NewTarget with per-shard derived seeds.
+	Factory Factory
+}
+
+func (o *Options) normalize() error {
+	if o.Shards <= 0 {
+		o.Shards = 4
+	}
+	if o.NumBlocks == 0 {
+		return errors.New("serve: Options.NumBlocks is required")
+	}
+	if uint64(o.Shards) > o.NumBlocks {
+		return fmt.Errorf("serve: %d shards need at least %d blocks, have %d", o.Shards, o.Shards, o.NumBlocks)
+	}
+	if o.Scheme == config.SchemeNonORAM && o.Factory == nil {
+		o.Scheme = config.SchemePSORAM
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 8
+	}
+	return nil
+}
+
+// ShardOf is the routing function: the shard owning global block addr.
+// It is pure arithmetic — the same address maps to the same shard in
+// every pool with the same shard count, across restarts.
+func ShardOf(addr uint64, shards int) int { return int(addr % uint64(shards)) }
+
+// localAddr is addr's block index within its shard's keyspace stripe.
+func localAddr(addr uint64, shards int) oram.Addr { return oram.Addr(addr / uint64(shards)) }
+
+// localBlocks is how many of the n global blocks stripe onto shard s.
+func localBlocks(n uint64, shards, s int) uint64 {
+	return (n - uint64(s) + uint64(shards) - 1) / uint64(shards)
+}
+
+// request kinds a shard worker executes.
+type kind uint8
+
+const (
+	kindAccess kind = iota
+	kindPeek
+	kindInvariants
+	kindArm
+)
+
+type response struct {
+	value []byte
+	leaf  oram.Leaf
+	errs  []error
+	err   error
+}
+
+type request struct {
+	kind  kind
+	op    oram.Op
+	addr  oram.Addr // shard-local
+	data  []byte
+	fire  func(oracle.CrashSpec) bool
+	ctx   context.Context
+	reply chan response // buffered(1): the worker never blocks on it
+}
+
+// shard is one keyspace stripe: a single-threaded backend plus the one
+// goroutine allowed to touch it.
+type shard struct {
+	id      int
+	backend Backend
+	clock   clocked // nil when the backend has no cycle clock
+	queue   chan *request
+
+	// Counters are atomics (written by the worker and the submit path,
+	// read by Stats); the histograms are worker-owned and guarded by mu.
+	submitted  atomic.Uint64
+	rejected   atomic.Uint64
+	completed  atomic.Uint64
+	expired    atomic.Uint64
+	crashes    atomic.Uint64
+	recoveries atomic.Uint64
+	batches    atomic.Uint64
+
+	mu      sync.Mutex
+	latency stats.Histogram // per-access service time, simulated cycles
+	batch   stats.Histogram // requests coalesced per protocol round
+}
+
+// Pool is the concurrent serving layer: S shards, S workers, bounded
+// queues in front. All methods are safe for concurrent use.
+type Pool struct {
+	opts   Options
+	shards []*shard
+	wg     sync.WaitGroup
+
+	mu     sync.RWMutex // guards closed against queue close
+	closed bool
+}
+
+// New builds and starts a pool. The returned Pool is serving; callers
+// own shutting it down with Close.
+func New(opts Options) (*Pool, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	factory := opts.Factory
+	if factory == nil {
+		factory = func(s int, local uint64) (Backend, error) {
+			// Derive the tree height here rather than leaving it to the
+			// controller: ringoram.New requires an explicit height, and
+			// the WPQ sizing in oracle.NewTarget scales with it.
+			levels := opts.Levels
+			if levels == 0 {
+				cfg := config.Default()
+				if opts.Cfg != nil {
+					cfg = *opts.Cfg
+				}
+				levels = cfg.TreeLevelsFor(local)
+			}
+			t, err := oracle.NewTarget(oracle.Params{
+				Scheme:    opts.Scheme,
+				NumBlocks: local,
+				Levels:    levels,
+				Seed:      rng.DeriveSeed(opts.Seed, 0x5e4e, uint64(s)),
+				Cfg:       opts.Cfg,
+			})
+			if err != nil {
+				return nil, err
+			}
+			b, ok := t.(Backend)
+			if !ok {
+				return nil, fmt.Errorf("serve: %v target does not support recovery", opts.Scheme)
+			}
+			return b, nil
+		}
+	}
+	p := &Pool{opts: opts, shards: make([]*shard, opts.Shards)}
+	for s := 0; s < opts.Shards; s++ {
+		b, err := factory(s, localBlocks(opts.NumBlocks, opts.Shards, s))
+		if err != nil {
+			return nil, fmt.Errorf("serve: shard %d: %w", s, err)
+		}
+		sh := &shard{id: s, backend: b, queue: make(chan *request, opts.QueueDepth)}
+		sh.clock, _ = b.(clocked)
+		p.shards[s] = sh
+		p.wg.Add(1)
+		go p.work(sh)
+	}
+	return p, nil
+}
+
+// work is a shard's worker loop: block for one request, coalesce up to
+// MaxBatch-1 more that are already queued, and run them as one protocol
+// round. Exits when the queue is closed and drained — so every request
+// accepted before Close is answered.
+func (p *Pool) work(sh *shard) {
+	defer p.wg.Done()
+	batch := make([]*request, 0, p.opts.MaxBatch)
+	for first := range sh.queue {
+		batch = append(batch[:0], first)
+	coalesce:
+		for len(batch) < p.opts.MaxBatch {
+			select {
+			case r, ok := <-sh.queue:
+				if !ok {
+					break coalesce
+				}
+				batch = append(batch, r)
+			default:
+				break coalesce
+			}
+		}
+		sh.batches.Add(1)
+		occ := uint64(len(batch))
+		for _, r := range batch {
+			p.execute(sh, r)
+		}
+		sh.mu.Lock()
+		sh.batch.Observe(occ)
+		sh.mu.Unlock()
+	}
+}
+
+// execute runs one request on the shard's backend and replies. Crash
+// errors trigger immediate recovery so the round (and the shard) keeps
+// serving.
+func (p *Pool) execute(sh *shard, r *request) {
+	// A request whose deadline passed while queued is answered without
+	// spending a protocol access on it.
+	if r.ctx != nil && r.ctx.Err() != nil && r.kind != kindArm {
+		sh.expired.Add(1)
+		r.reply <- response{err: r.ctx.Err()}
+		return
+	}
+	var resp response
+	switch r.kind {
+	case kindAccess:
+		start := uint64(0)
+		if sh.clock != nil {
+			start = sh.clock.Cycles()
+		}
+		v, leaf, err := sh.backend.Access(r.op, r.addr, r.data)
+		if errors.Is(err, oracle.ErrCrashed) {
+			sh.crashes.Add(1)
+			if rerr := sh.backend.Recover(); rerr != nil {
+				resp.err = fmt.Errorf("serve: shard %d recovery failed: %w", sh.id, rerr)
+			} else {
+				sh.recoveries.Add(1)
+				resp.err = ErrInterrupted
+			}
+		} else if err != nil {
+			resp.err = fmt.Errorf("serve: shard %d: %w", sh.id, err)
+		} else {
+			resp.value, resp.leaf = v, leaf
+			if sh.clock != nil {
+				sh.mu.Lock()
+				sh.latency.Observe(sh.clock.Cycles() - start)
+				sh.mu.Unlock()
+			}
+		}
+	case kindPeek:
+		resp.value, resp.err = sh.backend.Peek(r.addr)
+	case kindInvariants:
+		resp.errs = sh.backend.Invariants()
+	case kindArm:
+		if c, ok := sh.backend.(crashable); ok {
+			c.Arm(r.fire)
+		} else {
+			resp.err = fmt.Errorf("serve: shard %d backend does not support crash injection", sh.id)
+		}
+	}
+	if resp.err == nil || errors.Is(resp.err, ErrInterrupted) {
+		sh.completed.Add(1)
+	}
+	r.reply <- resp
+}
+
+// submit routes r to shard sh without ever blocking on a full queue.
+func (p *Pool) submit(ctx context.Context, sh *shard, r *request) (response, error) {
+	r.ctx = ctx
+	r.reply = make(chan response, 1)
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return response{}, ErrPoolClosed
+	}
+	select {
+	case sh.queue <- r:
+		sh.submitted.Add(1)
+		p.mu.RUnlock()
+	default:
+		sh.rejected.Add(1)
+		p.mu.RUnlock()
+		return response{}, ErrOverloaded
+	}
+	if ctx == nil {
+		resp := <-r.reply
+		return resp, resp.err
+	}
+	select {
+	case resp := <-r.reply:
+		return resp, resp.err
+	case <-ctx.Done():
+		// The worker will still execute (or expire) the request and its
+		// reply lands in the buffered channel; the client just stops
+		// waiting.
+		return response{}, ctx.Err()
+	}
+}
+
+// Access performs one oblivious access on the shard owning addr and
+// returns the value read (for writes: the previous value) plus the leaf
+// whose path was read, mirroring the oracle target contract.
+func (p *Pool) Access(ctx context.Context, op oram.Op, addr uint64, data []byte) ([]byte, oram.Leaf, error) {
+	if addr >= p.opts.NumBlocks {
+		return nil, 0, fmt.Errorf("serve: access to addr %d outside [0,%d)", addr, p.opts.NumBlocks)
+	}
+	sh := p.shards[ShardOf(addr, p.opts.Shards)]
+	resp, err := p.submit(ctx, sh, &request{
+		kind: kindAccess, op: op, addr: localAddr(addr, p.opts.Shards), data: data,
+	})
+	return resp.value, resp.leaf, err
+}
+
+// Read performs one oblivious read.
+func (p *Pool) Read(ctx context.Context, addr uint64) ([]byte, error) {
+	v, _, err := p.Access(ctx, oram.OpRead, addr, nil)
+	return v, err
+}
+
+// Write performs one oblivious write; data must be BlockBytes long.
+func (p *Pool) Write(ctx context.Context, addr uint64, data []byte) error {
+	_, _, err := p.Access(ctx, oram.OpWrite, addr, data)
+	return err
+}
+
+// Peek reads addr without a protocol access (test/debug oracle path).
+func (p *Pool) Peek(ctx context.Context, addr uint64) ([]byte, error) {
+	if addr >= p.opts.NumBlocks {
+		return nil, fmt.Errorf("serve: peek at addr %d outside [0,%d)", addr, p.opts.NumBlocks)
+	}
+	sh := p.shards[ShardOf(addr, p.opts.Shards)]
+	resp, err := p.submit(ctx, sh, &request{kind: kindPeek, addr: localAddr(addr, p.opts.Shards)})
+	return resp.value, err
+}
+
+// Invariants runs every shard's structural invariant checks through the
+// shards' own queues (so they serialize against in-flight rounds) and
+// returns all violations found, prefixed with the shard id.
+func (p *Pool) Invariants(ctx context.Context) []error {
+	var out []error
+	for _, sh := range p.shards {
+		resp, err := p.submit(ctx, sh, &request{kind: kindInvariants})
+		if err != nil {
+			out = append(out, fmt.Errorf("serve: shard %d invariants: %w", sh.id, err))
+			continue
+		}
+		for _, e := range resp.errs {
+			out = append(out, fmt.Errorf("serve: shard %d: %w", sh.id, e))
+		}
+	}
+	return out
+}
+
+// ArmCrash installs a crash injector on one shard, serialized through
+// its queue like any other request: fire is called at each protocol
+// crash point and returning true simulates the power failure there.
+// Pass nil to disarm.
+func (p *Pool) ArmCrash(ctx context.Context, shard int, fire func(oracle.CrashSpec) bool) error {
+	if shard < 0 || shard >= len(p.shards) {
+		return fmt.Errorf("serve: no shard %d (have %d)", shard, len(p.shards))
+	}
+	_, err := p.submit(ctx, p.shards[shard], &request{kind: kindArm, fire: fire})
+	return err
+}
+
+// NumBlocks returns the pool's total logical block count.
+func (p *Pool) NumBlocks() uint64 { return p.opts.NumBlocks }
+
+// BlockBytes returns the block payload size in bytes.
+func (p *Pool) BlockBytes() int { return p.shards[0].backend.BlockBytes() }
+
+// Shards returns the shard count.
+func (p *Pool) Shards() int { return p.opts.Shards }
+
+// Scheme returns the persistence protocol the shards run.
+func (p *Pool) Scheme() config.Scheme { return p.shards[0].backend.Scheme() }
+
+// Close drains the pool: no new submits are accepted, every already
+// queued request is executed (crashed rounds recover via §4.3 on the
+// way out), and the workers exit. The context bounds the drain; on
+// expiry the workers keep draining in the background but Close returns
+// the context error.
+func (p *Pool) Close(ctx context.Context) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrPoolClosed
+	}
+	p.closed = true
+	p.mu.Unlock()
+	// Safe: submitters re-check closed under the read lock before
+	// touching the queue, so nobody can send on a closed channel.
+	for _, sh := range p.shards {
+		close(sh.queue)
+	}
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	if ctx == nil {
+		<-done
+		return nil
+	}
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain incomplete: %w", ctx.Err())
+	}
+}

@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// ShardStats is a point-in-time snapshot of one shard's counters.
+type ShardStats struct {
+	Shard  int
+	Blocks uint64
+
+	// Request accounting.
+	Submitted  uint64 // accepted into the queue
+	Rejected   uint64 // bounced with ErrOverloaded
+	Completed  uint64 // executed (including crash-recovered accesses)
+	Expired    uint64 // context dead at dequeue; backend untouched
+	Crashes    uint64 // injected power failures observed
+	Recoveries uint64 // successful §4.3 recoveries
+
+	// Scheduler shape.
+	Batches    uint64  // protocol rounds run
+	BatchMean  float64 // mean requests coalesced per round
+	BatchMax   uint64
+	QueueDepth int // queued requests at snapshot time
+
+	// Service latency per access, in simulated cycles. Zero for
+	// backends without a cycle clock (Ring, NonORAM).
+	LatencyMean float64
+	LatencyP50  uint64
+	LatencyP99  uint64
+	LatencyMax  uint64
+	Cycles      uint64 // shard clock at snapshot time
+}
+
+// PoolStats aggregates every shard's snapshot.
+type PoolStats struct {
+	Shards []ShardStats
+}
+
+// Totals sums the request accounting across shards.
+func (ps PoolStats) Totals() (submitted, rejected, completed, crashes uint64) {
+	for _, s := range ps.Shards {
+		submitted += s.Submitted
+		rejected += s.Rejected
+		completed += s.Completed
+		crashes += s.Crashes
+	}
+	return
+}
+
+// Stats snapshots every shard. Safe to call while the pool is serving.
+func (p *Pool) Stats() PoolStats {
+	ps := PoolStats{Shards: make([]ShardStats, len(p.shards))}
+	for i, sh := range p.shards {
+		s := ShardStats{
+			Shard:      sh.id,
+			Blocks:     localBlocks(p.opts.NumBlocks, p.opts.Shards, sh.id),
+			Submitted:  sh.submitted.Load(),
+			Rejected:   sh.rejected.Load(),
+			Completed:  sh.completed.Load(),
+			Expired:    sh.expired.Load(),
+			Crashes:    sh.crashes.Load(),
+			Recoveries: sh.recoveries.Load(),
+			Batches:    sh.batches.Load(),
+			QueueDepth: len(sh.queue),
+		}
+		sh.mu.Lock()
+		s.BatchMean = sh.batch.Mean()
+		s.BatchMax = sh.batch.Max()
+		s.LatencyMean = sh.latency.Mean()
+		s.LatencyP50 = sh.latency.Quantile(0.50)
+		s.LatencyP99 = sh.latency.Quantile(0.99)
+		s.LatencyMax = sh.latency.Max()
+		sh.mu.Unlock()
+		if sh.clock != nil {
+			s.Cycles = sh.clock.Cycles()
+		}
+		ps.Shards[i] = s
+	}
+	return ps
+}
+
+// Table renders the snapshot as a per-shard text table (the psoram-serve
+// CLI's report).
+func (ps PoolStats) Table() *stats.Table {
+	tab := stats.NewTable("Per-shard serving stats (latency in simulated cycles)",
+		"Shard", "Blocks", "Done", "Rejected", "Expired", "Crash/Rec",
+		"Rounds", "Batch avg", "LatP50", "LatP99", "LatMax")
+	for _, s := range ps.Shards {
+		tab.AddRow(
+			fmt.Sprintf("%d", s.Shard),
+			fmt.Sprintf("%d", s.Blocks),
+			fmt.Sprintf("%d", s.Completed),
+			fmt.Sprintf("%d", s.Rejected),
+			fmt.Sprintf("%d", s.Expired),
+			fmt.Sprintf("%d/%d", s.Crashes, s.Recoveries),
+			fmt.Sprintf("%d", s.Batches),
+			fmt.Sprintf("%.2f", s.BatchMean),
+			fmt.Sprintf("%d", s.LatencyP50),
+			fmt.Sprintf("%d", s.LatencyP99),
+			fmt.Sprintf("%d", s.LatencyMax),
+		)
+	}
+	return tab
+}

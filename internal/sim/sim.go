@@ -9,21 +9,21 @@
 // functional layer validates it, this layer prices it.
 //
 // Concurrency: a System is single-threaded (it models one memory
-// controller), but independent Systems share no mutable state — Run,
-// RunTrace, and RunThroughCaches construct every stateful component
-// (tree maps, memory controller, NVM devices, RNG, trace generator)
-// per call, and the packages below (mem, nvm, cache, rng, trace) keep
-// all state per instance. internal/sweep relies on this to fan grids of
-// runs across goroutines; the determinism tests there and `go test
-// -race` guard the property.
+// controller), but independent Systems share no mutable state —
+// Simulate (and the deprecated Run* wrappers) constructs every stateful
+// component (tree maps, memory controller, NVM devices, RNG, trace
+// generator) per call, and the packages below (mem, nvm, cache, rng,
+// trace) keep all state per instance. internal/sweep relies on this to
+// fan grids of runs across goroutines; the determinism tests there and
+// `go test -race` guard the property.
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cache"
 	"repro/internal/config"
-	"repro/internal/cpu"
 	"repro/internal/mem"
 	"repro/internal/nvm"
 	"repro/internal/oram"
@@ -945,90 +945,47 @@ func (s *System) onchipOp(op nvm.Op) {
 // through the Table 3a cache hierarchy (L1D + L2): the LLC miss stream —
 // and therefore the effective MPKI — emerges from cache behaviour
 // instead of being taken from Table 4. n counts raw references.
+//
+// Deprecated: use Simulate with Request.ThroughCaches.
 func RunThroughCaches(scheme config.Scheme, cfg config.Config, w trace.Workload, n int, levels int) (Result, error) {
-	sys, err := NewSystem(scheme, cfg, levels)
-	if err != nil {
-		return Result{}, err
-	}
-	gen := trace.NewRawGenerator(w, cfg.Seed, sys.NumBlocks())
-	h := cache.NewHierarchy(cfg.L1SizeBytes, cfg.L1Ways, cfg.L1ReadCycle,
-		cfg.L2SizeBytes, cfg.L2Ways, cfg.L2ReadCycle, cfg.LineBytes)
-	var cycles, instrs uint64
-	for i := 0; i < n; i++ {
-		rec := gen.NextRef()
-		cycles += rec.InstrGap
-		instrs += rec.InstrGap
-		lat, misses := h.Access(rec.Addr, rec.Write)
-		cycles += uint64(lat)
-		for _, m := range misses {
-			l, err := sys.Serve(m.Line, m.Write)
-			if err != nil {
-				return Result{}, fmt.Errorf("sim: %s on %s (through caches), ref %d: %w", scheme, w.Name, i, err)
-			}
-			cycles += l
-		}
-	}
-	res := sys.res
-	res.Workload = w.Name
-	res.Cycles = cycles
-	res.Instrs = instrs
-	finishResult(&res, sys, cfg)
-	return res, nil
+	return Simulate(context.Background(), Request{
+		Scheme: scheme, Config: cfg, Workload: w, N: n, Levels: levels, ThroughCaches: true,
+	})
 }
 
 // RunTrace drives the system with a pre-recorded LLC-miss trace (the
 // psoram-trace file format) instead of a synthetic generator.
+//
+// Deprecated: use Simulate with Request.Records.
 func RunTrace(scheme config.Scheme, cfg config.Config, name string, recs []trace.Record, levels int) (Result, error) {
-	sys, err := NewSystem(scheme, cfg, levels)
-	if err != nil {
-		return Result{}, err
+	if recs == nil {
+		recs = []trace.Record{} // non-nil selects the trace-replay mode
 	}
-	core := cpu.New(sys)
-	for i, rec := range recs {
-		if err := core.Step(rec.InstrGap, rec.Addr, rec.Write); err != nil {
-			return Result{}, fmt.Errorf("sim: %s on trace %s, record %d: %w", scheme, name, i, err)
-		}
-	}
-	cs := core.Stats()
-	res := sys.res
-	res.Workload = name
-	res.Cycles = cs.Cycles
-	res.Instrs = cs.Instrs
-	finishResult(&res, sys, cfg)
-	return res, nil
+	return Simulate(context.Background(), Request{
+		Scheme: scheme, Config: cfg, TraceName: name, Records: recs, Levels: levels,
+	})
 }
 
 // Run drives the system with a workload for n LLC misses and returns
 // aggregated results.
+//
+// Deprecated: use Simulate.
 func Run(scheme config.Scheme, cfg config.Config, w trace.Workload, n int, levels int) (Result, error) {
-	return RunObserved(scheme, cfg, w, n, levels, nil)
+	return Simulate(context.Background(), Request{
+		Scheme: scheme, Config: cfg, Workload: w, N: n, Levels: levels,
+	})
 }
 
 // RunObserved is Run with an Observer attached for the duration of the
 // run. The observer only reads values already computed, so a run is
 // byte-identical with and without one (the golden-metrics suite pins
 // this indirectly).
+//
+// Deprecated: use Simulate with Request.Observer.
 func RunObserved(scheme config.Scheme, cfg config.Config, w trace.Workload, n int, levels int, obs *Observer) (Result, error) {
-	sys, err := NewSystem(scheme, cfg, levels)
-	if err != nil {
-		return Result{}, err
-	}
-	sys.obs = obs
-	gen := trace.NewGenerator(w, cfg.Seed, sys.NumBlocks())
-	core := cpu.New(sys)
-	for i := 0; i < n; i++ {
-		rec := gen.Next()
-		if err := core.Step(rec.InstrGap, rec.Addr, rec.Write); err != nil {
-			return Result{}, fmt.Errorf("sim: %s on %s, access %d: %w", scheme, w.Name, i, err)
-		}
-	}
-	cs := core.Stats()
-	res := sys.res
-	res.Workload = w.Name
-	res.Cycles = cs.Cycles
-	res.Instrs = cs.Instrs
-	finishResult(&res, sys, cfg)
-	return res, nil
+	return Simulate(context.Background(), Request{
+		Scheme: scheme, Config: cfg, Workload: w, N: n, Levels: levels, Observer: obs,
+	})
 }
 
 // finishResult folds the device and on-chip statistics into a result.

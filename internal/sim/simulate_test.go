@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/trace"
+)
+
+// TestSimulateMatchesWrappers pins the consolidation: the deprecated
+// Run* wrappers and direct Simulate calls are the same computation, so a
+// migrated caller sees byte-identical results.
+func TestSimulateMatchesWrappers(t *testing.T) {
+	cfg := config.Default()
+	cfg.Seed = 11
+	w, err := trace.ByName("429.mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := Run(config.SchemePSORAM, cfg, w, 200, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	neu, err := Simulate(context.Background(), Request{
+		Scheme: config.SchemePSORAM, Config: cfg, Workload: w, N: 200, Levels: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old != neu {
+		t.Fatalf("Simulate diverged from Run:\n old %+v\n new %+v", old, neu)
+	}
+
+	oldTC, err := RunThroughCaches(config.SchemeBaseline, cfg, w, 5000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	neuTC, err := Simulate(context.Background(), Request{
+		Scheme: config.SchemeBaseline, Config: cfg, Workload: w, N: 5000, Levels: 10, ThroughCaches: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldTC != neuTC {
+		t.Fatalf("Simulate(ThroughCaches) diverged from RunThroughCaches:\n old %+v\n new %+v", oldTC, neuTC)
+	}
+}
+
+// TestSimulateTraceMode covers the Records drive mode, including the
+// TraceName label and the Records×ThroughCaches rejection.
+func TestSimulateTraceMode(t *testing.T) {
+	recs := []trace.Record{
+		{InstrGap: 10, Addr: 1, Write: false},
+		{InstrGap: 5, Addr: 2, Write: true},
+		{InstrGap: 7, Addr: 3, Write: false},
+	}
+	cfg := config.Default()
+	res, err := Simulate(context.Background(), Request{
+		Scheme: config.SchemePSORAM, Config: cfg, Records: recs, TraceName: "mini.trace", Levels: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload != "mini.trace" {
+		t.Fatalf("trace run labelled %q, want mini.trace", res.Workload)
+	}
+	if res.Accesses != uint64(len(recs)) {
+		t.Fatalf("trace run served %d accesses, want %d", res.Accesses, len(recs))
+	}
+
+	if _, err := Simulate(context.Background(), Request{
+		Scheme: config.SchemePSORAM, Config: cfg, Records: recs, Levels: 8, ThroughCaches: true,
+	}); err == nil {
+		t.Fatal("Records+ThroughCaches was not rejected")
+	}
+}
+
+// TestSimulateDefaultConfig: a zero-valued Config means config.Default().
+func TestSimulateDefaultConfig(t *testing.T) {
+	w, err := trace.ByName("403.gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(context.Background(), Request{
+		Scheme: config.SchemeBaseline, Workload: w, N: 50, Levels: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Simulate(context.Background(), Request{
+		Scheme: config.SchemeBaseline, Config: config.Default(), Workload: w, N: 50, Levels: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != want {
+		t.Fatal("zero Config did not default to config.Default()")
+	}
+}
+
+// TestSimulateCancellation: a cancelled context aborts the run at the
+// next checkpoint with an error wrapping the context error — before the
+// run completes, not after.
+func TestSimulateCancellation(t *testing.T) {
+	w, err := trace.ByName("401.bzip2")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("pre-cancelled", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := Simulate(ctx, Request{
+			Scheme: config.SchemePSORAM, Config: config.Default(), Workload: w, N: 10000, Levels: 12,
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	})
+
+	t.Run("mid-run", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		start := time.Now()
+		go func() {
+			time.Sleep(10 * time.Millisecond)
+			cancel()
+		}()
+		// Large enough that an uncancelled run takes far longer than the
+		// cancellation latency asserted below.
+		_, err := Simulate(ctx, Request{
+			Scheme: config.SchemePSORAM, Config: config.Default(), Workload: w, N: 20_000_000, Levels: 14,
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+		if elapsed := time.Since(start); elapsed > 30*time.Second {
+			t.Fatalf("cancellation took %v; checkpoints are not firing", elapsed)
+		}
+	})
+}

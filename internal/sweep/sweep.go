@@ -14,9 +14,11 @@
 // guard that property.
 //
 // One bad cell must not kill a 400-cell sweep: panics inside a cell are
-// captured into that cell's result, errors are recorded per cell, and
-// context cancellation stops feeding new cells while letting in-flight
-// ones finish.
+// captured into that cell's result and errors are recorded per cell.
+// Context cancellation stops feeding new cells AND aborts in-flight ones
+// mid-run: the context is plumbed into sim.Simulate, whose access-loop
+// checkpoints return the context error, so a cancelled sweep stops
+// within microseconds instead of waiting out whole cells.
 package sweep
 
 import (
@@ -292,7 +294,7 @@ func Run(ctx context.Context, g Grid, opt Options) (*Results, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				cr := runCell(g, cells[i])
+				cr := runCell(ctx, g, cells[i])
 				res.Cells[i] = cr
 				atomic.AddInt64(&cellNanos, int64(cr.Wall))
 				mu.Lock()
@@ -327,8 +329,10 @@ feed:
 }
 
 // runCell executes one independent simulation, plus the opt-in
-// functional validation when the grid enables it.
-func runCell(g Grid, c Cell) CellResult {
+// functional validation when the grid enables it. The context reaches
+// sim.Simulate's loop checkpoints, so cancelling the sweep aborts the
+// cell mid-run.
+func runCell(ctx context.Context, g Grid, c Cell) CellResult {
 	var leaves []oram.Leaf
 	cr := runProtected(c, func() (sim.Result, error) {
 		cfg := g.Cfg
@@ -338,7 +342,14 @@ func runCell(g Grid, c Cell) CellResult {
 		if g.Oracle && c.Scheme != config.SchemeNonORAM {
 			obs = &sim.Observer{OnPathLeaf: func(l oram.Leaf) { leaves = append(leaves, l) }}
 		}
-		return sim.RunObserved(c.Scheme, cfg, c.Workload, g.Accesses, g.Levels, obs)
+		return sim.Simulate(ctx, sim.Request{
+			Scheme:   c.Scheme,
+			Config:   cfg,
+			Workload: c.Workload,
+			N:        g.Accesses,
+			Levels:   g.Levels,
+			Observer: obs,
+		})
 	})
 	if g.Oracle && cr.Err == nil && !cr.Skipped {
 		validateCell(g, c, &cr, leaves)

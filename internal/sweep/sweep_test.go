@@ -220,6 +220,42 @@ func TestContextCancellation(t *testing.T) {
 	}
 }
 
+// TestMidCellCancellation pins the new behaviour: the context reaches
+// sim.Simulate's loop checkpoints, so cancelling aborts the in-flight
+// cell itself — its result carries an error wrapping context.Canceled —
+// instead of waiting for the cell to run to completion.
+func TestMidCellCancellation(t *testing.T) {
+	g := Grid{
+		Schemes:   []config.Scheme{config.SchemePSORAM},
+		Workloads: trace.Table4()[:1],
+		Accesses:  20_000_000, // far longer than the cancellation latency below
+		Levels:    14,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := Run(ctx, g, Options{Workers: 1})
+	if err != context.Canceled {
+		t.Fatalf("want context.Canceled from Run, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("sweep took %v to cancel; ctx is not reaching the cell", elapsed)
+	}
+	if len(res.Cells) != 1 {
+		t.Fatalf("want 1 cell, got %d", len(res.Cells))
+	}
+	c := res.Cells[0]
+	if c.Skipped {
+		t.Fatal("the in-flight cell was marked Skipped instead of aborted")
+	}
+	if c.Err == nil || !strings.Contains(c.Err.Error(), "cancelled") {
+		t.Fatalf("want cell error recording the mid-run abort, got %v", c.Err)
+	}
+}
+
 // TestValidationErrors covers the messages psoram-sweep surfaces for bad
 // grids.
 func TestValidationErrors(t *testing.T) {

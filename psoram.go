@@ -23,6 +23,7 @@
 package psoram
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -32,6 +33,7 @@ import (
 	"repro/internal/crash"
 	"repro/internal/oram"
 	"repro/internal/report"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -70,6 +72,9 @@ var ErrCrashed = core.ErrCrashed
 type CrashPoint = core.CrashPoint
 
 // StoreOptions configures a Store.
+//
+// Deprecated: use New with functional options (WithScheme, WithConfig,
+// WithLevels, WithRNGSeed, WithCrashInjector) instead.
 type StoreOptions struct {
 	// Scheme defaults to PSORAM.
 	Scheme Scheme
@@ -84,32 +89,91 @@ type StoreOptions struct {
 
 // Store is a crash-consistent oblivious block store: the paper's ORAM
 // controller exposed as a library. All methods are single-threaded by
-// design — the hardware it models is one memory controller.
+// design — the hardware it models is one memory controller. For
+// concurrent clients, front a pool of Stores with Serve.
 type Store struct {
 	ctl *core.Controller
 }
 
+// storeConfig collects what the functional options set before the
+// controller is built.
+type storeConfig struct {
+	scheme  Scheme
+	cfg     Config
+	levels  int
+	crashAt func(CrashPoint) bool
+}
+
+// StoreOption customizes New.
+type StoreOption func(*storeConfig)
+
+// WithScheme selects the persistence protocol (default PSORAM).
+func WithScheme(s Scheme) StoreOption {
+	return func(c *storeConfig) { c.scheme = s }
+}
+
+// WithConfig replaces the default Table 3 configuration.
+func WithConfig(cfg Config) StoreOption {
+	return func(c *storeConfig) { c.cfg = cfg }
+}
+
+// WithLevels forces the ORAM tree height instead of deriving it from the
+// block count.
+func WithLevels(levels int) StoreOption {
+	return func(c *storeConfig) { c.levels = levels }
+}
+
+// WithRNGSeed seeds the store's path-remap and encryption RNG,
+// overriding Config.Seed.
+func WithRNGSeed(seed uint64) StoreOption {
+	return func(c *storeConfig) { c.cfg.Seed = seed }
+}
+
+// WithCrashInjector arms a crash injector at construction (see
+// Store.CrashAt): the first protocol point for which f returns true
+// simulates a power failure.
+func WithCrashInjector(f func(CrashPoint) bool) StoreOption {
+	return func(c *storeConfig) { c.crashAt = f }
+}
+
+// New builds a store holding numBlocks zero-initialized blocks,
+// customized by functional options:
+//
+//	st, err := psoram.New(1024, psoram.WithScheme(psoram.PSORAM), psoram.WithRNGSeed(42))
+func New(numBlocks uint64, opts ...StoreOption) (*Store, error) {
+	if numBlocks == 0 {
+		return nil, errors.New("psoram: numBlocks is required")
+	}
+	sc := storeConfig{scheme: PSORAM, cfg: config.Default()}
+	for _, o := range opts {
+		o(&sc)
+	}
+	if sc.scheme == NonORAM {
+		sc.scheme = PSORAM
+	}
+	ctl, err := core.New(sc.scheme, sc.cfg, core.Options{NumBlocks: numBlocks, Levels: sc.levels})
+	if err != nil {
+		return nil, err
+	}
+	ctl.CrashAt = sc.crashAt
+	return &Store{ctl: ctl}, nil
+}
+
 // NewStore builds a store holding opts.NumBlocks zero-initialized blocks.
+//
+// Deprecated: use New with functional options.
 func NewStore(opts StoreOptions) (*Store, error) {
 	if opts.NumBlocks == 0 {
 		return nil, errors.New("psoram: StoreOptions.NumBlocks is required")
 	}
-	scheme := opts.Scheme
-	if scheme == NonORAM {
-		scheme = PSORAM
-	}
-	cfg := config.Default()
+	sos := []StoreOption{WithScheme(opts.Scheme)}
 	if opts.Config != nil {
-		cfg = *opts.Config
+		sos = append(sos, WithConfig(*opts.Config))
 	}
 	if opts.Seed != 0 {
-		cfg.Seed = opts.Seed
+		sos = append(sos, WithRNGSeed(opts.Seed))
 	}
-	ctl, err := core.New(scheme, cfg, core.Options{NumBlocks: opts.NumBlocks})
-	if err != nil {
-		return nil, err
-	}
-	return &Store{ctl: ctl}, nil
+	return New(opts.NumBlocks, sos...)
 }
 
 // BlockSize returns the block payload size in bytes.
@@ -209,6 +273,46 @@ func (s *Store) OnDurable(f func(addr uint64, value []byte)) {
 }
 
 // ---------------------------------------------------------------------
+// Serving layer
+// ---------------------------------------------------------------------
+
+// Pool is the concurrent serving layer: the keyspace striped across
+// independent single-threaded stores (one goroutine per shard, bounded
+// queues, batched protocol rounds, crash recovery in place). See
+// internal/serve for the concurrency model.
+type Pool = serve.Pool
+
+// PoolOptions sizes a Pool (shard count, total blocks, scheme, queue
+// depth, batch cap).
+type PoolOptions = serve.Options
+
+// PoolStats and ShardStats snapshot a serving pool's counters.
+type (
+	PoolStats  = serve.PoolStats
+	ShardStats = serve.ShardStats
+)
+
+// Serving-layer errors.
+var (
+	// ErrOverloaded reports a full shard queue; the request was never
+	// enqueued and may be retried after backoff.
+	ErrOverloaded = serve.ErrOverloaded
+	// ErrPoolClosed reports a submit after Close began.
+	ErrPoolClosed = serve.ErrPoolClosed
+	// ErrInterrupted reports an access cut short by a simulated power
+	// failure; the shard has already recovered and the op may be
+	// re-issued.
+	ErrInterrupted = serve.ErrInterrupted
+)
+
+// Serve builds and starts a concurrent serving pool:
+//
+//	pool, err := psoram.Serve(psoram.PoolOptions{Shards: 4, NumBlocks: 4096})
+//	defer pool.Close(ctx)
+//	v, err := pool.Read(ctx, 17)
+func Serve(opts PoolOptions) (*Pool, error) { return serve.New(opts) }
+
+// ---------------------------------------------------------------------
 // Timing simulation
 // ---------------------------------------------------------------------
 
@@ -233,7 +337,9 @@ func Simulate(scheme Scheme, cfg Config, workload string, accesses, levels int) 
 	if err != nil {
 		return SimResult{}, err
 	}
-	return sim.Run(scheme, cfg, w, accesses, levels)
+	return sim.Simulate(context.Background(), sim.Request{
+		Scheme: scheme, Config: cfg, Workload: w, N: accesses, Levels: levels,
+	})
 }
 
 // SimulateTrace replays a recorded trace file (the psoram-trace format)
@@ -243,7 +349,12 @@ func SimulateTrace(scheme Scheme, cfg Config, path string, levels int) (SimResul
 	if err != nil {
 		return SimResult{}, err
 	}
-	return sim.RunTrace(scheme, cfg, path, recs, levels)
+	if recs == nil {
+		recs = []trace.Record{}
+	}
+	return sim.Simulate(context.Background(), sim.Request{
+		Scheme: scheme, Config: cfg, Records: recs, TraceName: path, Levels: levels,
+	})
 }
 
 // SimulateThroughCaches is Simulate with raw memory references filtered
@@ -254,7 +365,9 @@ func SimulateThroughCaches(scheme Scheme, cfg Config, workload string, refs, lev
 	if err != nil {
 		return SimResult{}, err
 	}
-	return sim.RunThroughCaches(scheme, cfg, w, refs, levels)
+	return sim.Simulate(context.Background(), sim.Request{
+		Scheme: scheme, Config: cfg, Workload: w, N: refs, Levels: levels, ThroughCaches: true,
+	})
 }
 
 // ---------------------------------------------------------------------

@@ -2,6 +2,7 @@ package psoram
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -15,6 +16,65 @@ func newStore(t *testing.T, scheme Scheme) *Store {
 		t.Fatal(err)
 	}
 	return s
+}
+
+// TestNewFunctionalOptions pins the options constructor: each option
+// lands where the deprecated positional struct used to put it, and the
+// deprecated wrapper builds an identical store.
+func TestNewFunctionalOptions(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StashEntries = 150
+	s, err := New(100, WithScheme(Baseline), WithConfig(cfg), WithRNGSeed(9), WithLevels(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Scheme() != Baseline {
+		t.Fatalf("scheme = %v", s.Scheme())
+	}
+	if _, err := New(0); err == nil {
+		t.Fatal("numBlocks=0 accepted")
+	}
+
+	// WithCrashInjector arms before the first access.
+	s2, err := New(100, WithConfig(cfg), WithCrashInjector(func(CrashPoint) bool { return true }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Write(3, make([]byte, s2.BlockSize())); err != ErrCrashed {
+		t.Fatalf("constructor-armed injector did not fire: %v", err)
+	}
+	if err := s2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The deprecated constructor is a wrapper over New: same behaviour.
+	old, err := NewStore(StoreOptions{Scheme: PSORAM, NumBlocks: 64, Config: &cfg, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	neu, err := New(64, WithScheme(PSORAM), WithConfig(cfg), WithRNGSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, old.BlockSize())
+	copy(data, "same construction")
+	if err := old.Write(5, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := neu.Write(5, data); err != nil {
+		t.Fatal(err)
+	}
+	a, err := old.Read(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := neu.Read(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) || old.Cycles() != neu.Cycles() {
+		t.Fatalf("NewStore and New diverged: %q/%d vs %q/%d", a, old.Cycles(), b, neu.Cycles())
+	}
 }
 
 func TestStoreReadWrite(t *testing.T) {
@@ -284,5 +344,41 @@ func TestStoreSaveLoad(t *testing.T) {
 	}
 	if !bytes.Equal(got, data) {
 		t.Fatalf("snapshot lost data: %q", got)
+	}
+}
+
+// TestServeFacade exercises the top-level serving-pool exposure:
+// concurrent reads and writes through psoram.Serve, typed error
+// surfaces, and per-shard stats.
+func TestServeFacade(t *testing.T) {
+	pool, err := Serve(PoolOptions{Shards: 4, NumBlocks: 128, Seed: 1, Levels: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	data := make([]byte, pool.BlockBytes())
+	copy(data, "served")
+	if err := pool.Write(ctx, 9, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := pool.Read(ctx, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read %q", got)
+	}
+	st := pool.Stats()
+	if len(st.Shards) != 4 {
+		t.Fatalf("stats cover %d shards", len(st.Shards))
+	}
+	if sub, _, done, _ := st.Totals(); sub != 2 || done != 2 {
+		t.Fatalf("submitted=%d completed=%d, want 2/2", sub, done)
+	}
+	if err := pool.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Read(ctx, 9); err != ErrPoolClosed {
+		t.Fatalf("post-close read: %v", err)
 	}
 }
