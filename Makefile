@@ -73,10 +73,13 @@ bench-sim:
 	@grep -o '"Output":"[^"]*ns/op[^"]*' BENCH_sim.json | sed 's/"Output":"//;s/\\t/  /g;s/\\n//'
 
 # bench-serve measures end-to-end serving throughput across shard counts
-# and pins it into BENCH_serve.json (tracked; regenerate when the
-# serving layer or the core access path changes).
+# plus the bare functional store on the same tree shape (no pool — the
+# gap is the serving layer's own overhead) and pins both into
+# BENCH_serve.json (tracked; regenerate when the serving layer or the
+# core access path changes). Compare against the pinned baseline with
+# benchstat: see EXPERIMENTS.md, "Profiling the serving data path".
 bench-serve:
-	$(GO) test -run '^$$' -bench BenchmarkPoolThroughput -benchmem -benchtime=1s -json ./internal/serve > BENCH_serve.json
+	$(GO) test -run '^$$' -bench 'BenchmarkPoolThroughput|^BenchmarkStoreAccess$$' -benchmem -benchtime=1s -json ./internal/serve . > BENCH_serve.json
 	@grep -o '"Output":"[^"]*ns/op[^"]*' BENCH_serve.json | sed 's/"Output":"//;s/\\t/  /g;s/\\n//'
 
 # profile captures CPU + heap pprof for a representative sweep via the
@@ -88,12 +91,16 @@ profile: build
 		-channels 1 -accesses 2000 -levels 14 -workers 1 -quiet \
 		-profile $(PROFILE_DIR)
 
-# perf-smoke is the CI perf job: the zero-allocation guards, the golden
-# determinism regression, and one pass of every BenchmarkSim* with
+# perf-smoke is the CI perf job: the zero-allocation guards (simulator,
+# core controller, and serving layer), the golden determinism
+# regression, and one pass of the sim and serve benchmarks with
 # -benchtime=1x (harness correctness, not timing).
 perf-smoke:
 	$(GO) test ./internal/sim -run 'TestSteadyStateZeroAllocs|TestGoldenDeterminismRegression' -v
+	$(GO) test ./internal/core -run TestCoreSteadyStateAllocs -v
+	$(GO) test ./internal/serve -run TestServeSteadyStateAllocs -v
 	$(GO) test -run '^$$' -bench BenchmarkSim -benchtime=1x -benchmem ./internal/sim
+	$(GO) test -run '^$$' -bench 'BenchmarkPoolThroughput|^BenchmarkStoreAccess$$' -benchtime=1x -benchmem ./internal/serve .
 
 # bless-golden re-pins the golden metrics after a deliberate behaviour
 # change. Justify the new numbers in the commit that re-blesses.

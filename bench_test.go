@@ -131,6 +131,31 @@ func benchStoreAccess(b *testing.B, scheme Scheme) {
 	}
 }
 
+// BenchmarkStoreAccess measures the functional psoram.Store with the
+// same keyspace and tree shape as the serving pool's throughput
+// benchmark (512 blocks, 8 levels, PS-ORAM) — the gap between this and
+// BenchmarkPoolThroughput is the serving layer's own overhead (queue,
+// coalescing, reply, ownership copy), not protocol cost.
+func BenchmarkStoreAccess(b *testing.B) {
+	s, err := New(512, WithScheme(PSORAM), WithLevels(8), WithRNGSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, s.BlockSize())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := (uint64(i) * 2654435761) % 512
+		if i%2 == 0 {
+			if err := s.Write(addr, buf); err != nil {
+				b.Fatal(err)
+			}
+		} else if _, err := s.Read(addr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkAccessBaseline(b *testing.B)    { benchStoreAccess(b, Baseline) }
 func BenchmarkAccessPSORAM(b *testing.B)      { benchStoreAccess(b, PSORAM) }
 func BenchmarkAccessNaivePSORAM(b *testing.B) { benchStoreAccess(b, NaivePSORAM) }

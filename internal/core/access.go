@@ -12,6 +12,9 @@ import (
 )
 
 // Result reports what one access did, for the timing and traffic layers.
+//
+// Value aliases a controller-owned buffer that the next Access on the
+// same controller overwrites: consume or copy it before the next call.
 type Result struct {
 	Value      []byte    // value read (OpRead) or previous value (OpWrite)
 	Start, End mem.Cycle // access latency window in core cycles
@@ -90,13 +93,13 @@ func (c *Controller) accessFlat(op oram.Op, addr oram.Addr, data []byte) (Result
 		// FullNVM: the on-chip PosMap is NVM — the update is durable the
 		// moment it is written (and that is exactly the atomicity bug:
 		// the paper's Case 1b).
-		c.ORAM.PosMap.Set(addr, lNew)
-		c.durable.Set(addr, lNew)
+		c.ORAM.PosMap.Put(addr, lNew)
+		c.durable.Put(addr, lNew)
 		c.timeOnChipNVM(nvm.Read) // lookup
 		c.timeOnChipNVM(nvm.Write)
 	default:
 		// Baseline / eADR: volatile working map.
-		c.ORAM.PosMap.Set(addr, lNew)
+		c.ORAM.PosMap.Put(addr, lNew)
 		c.inflight.active = true
 		c.inflight.addr = addr
 		c.inflight.oldLeaf = l
@@ -118,7 +121,8 @@ func (c *Controller) accessFlat(op oram.Op, addr oram.Addr, data []byte) (Result
 	if blk == nil {
 		return Result{}, fmt.Errorf("core: block %d not found on path %d nor in stash (corrupt state)", addr, l)
 	}
-	prev := append([]byte(nil), blk.Data...)
+	c.scratch.prev = append(c.scratch.prev[:0], blk.Data...)
+	prev := c.scratch.prev
 	if op == oram.OpWrite {
 		copy(blk.Data, data)
 		blk.Dirty = true
@@ -132,13 +136,12 @@ func (c *Controller) accessFlat(op oram.Op, addr oram.Addr, data []byte) (Result
 	if persistent {
 		blk.PendingRemap = true
 		blk.RemapSeq = remapSeq
-		bak := &oram.StashBlock{
-			Addr:       addr,
-			Leaf:       lNew,
-			Data:       append([]byte(nil), blk.Data...),
-			Backup:     true,
-			BackupLeaf: l,
-		}
+		bak := c.getStashBlock()
+		bak.Addr = addr
+		bak.Leaf = lNew
+		bak.Data = append(bak.Data, blk.Data...)
+		bak.Backup = true
+		bak.BackupLeaf = l
 		if blk.OriginEpoch == c.epoch {
 			// The backup replaces the target's just-consumed copy: give
 			// it the same slot so the ordered eviction stays cycle-free.
@@ -193,11 +196,13 @@ func (c *Controller) loadPathTimed(l oram.Leaf, target oram.Addr, earliest mem.C
 		}
 		return c.currentLeaf(a)
 	}
-	c.endangered = nil
+	clear(c.endangered)
+	c.scratch.path = c.ORAM.Tree.PathInto(c.scratch.path[:0], l)
+	path := c.scratch.path
 	// Integrity: verify the path against the trusted root before any of
 	// it is consumed. The sibling hashes come from NVM (one per level).
 	if c.Merkle != nil {
-		for _, bucket := range c.ORAM.Tree.Path(l) {
+		for _, bucket := range path {
 			c.Mem.ReadBytes(c.Mem.PosMapLocation((1<<23)+bucket), earliest, integrity.HashSize)
 		}
 		if err := c.Merkle.VerifyPath(l, c.bucketSlots); err != nil {
@@ -208,8 +213,7 @@ func (c *Controller) loadPathTimed(l oram.Leaf, target oram.Addr, earliest mem.C
 	// Timing: all Z slots of each bucket, buckets issue in parallel
 	// across banks/channels.
 	var done mem.Cycle
-	path := c.ORAM.Tree.Path(l)
-	var loaded []*oram.StashBlock
+	c.scratch.loaded = c.scratch.loaded[:0]
 	for i, bucket := range path {
 		for z := 0; z < c.Cfg.Z; z++ {
 			loc := c.Mem.TreeBlockLocation(bucket, z)
@@ -218,14 +222,13 @@ func (c *Controller) loadPathTimed(l oram.Leaf, target oram.Addr, earliest mem.C
 			}
 		}
 		// Functional load of this bucket.
-		got, err := c.loadBucket(bucket, oracle)
-		if err != nil {
+		before := len(c.scratch.loaded)
+		if err := c.loadBucket(bucket, oracle); err != nil {
 			return nil, 0, err
 		}
-		loaded = append(loaded, got...)
 		if c.onchipNVM != nil {
 			// FullNVM: each fetched block is written into the NVM stash.
-			for range got {
+			for range c.scratch.loaded[before:] {
 				c.timeOnChipNVM(nvm.Write)
 			}
 		}
@@ -233,22 +236,27 @@ func (c *Controller) loadPathTimed(l oram.Leaf, target oram.Addr, earliest mem.C
 			return nil, 0, ErrCrashed
 		}
 	}
-	return loaded, done, nil
+	return c.scratch.loaded, done, nil
 }
 
-// loadBucket is the functional half of loading one bucket.
-func (c *Controller) loadBucket(bucket uint64, oracle func(oram.Addr) oram.Leaf) ([]*oram.StashBlock, error) {
-	blocks, err := c.ORAM.Image.ReadBucket(c.ORAM.Engine, bucket)
-	if err != nil {
-		return nil, err
-	}
-	var loaded []*oram.StashBlock
-	for z, b := range blocks {
-		if b.Dummy() {
+// loadBucket is the functional half of loading one bucket: blocks it
+// brings into the stash are appended to c.scratch.loaded. Headers are
+// opened first; a payload is only decrypted for blocks that actually
+// enter (or refresh) the stash, so dummies and stale copies cost one
+// 16-byte header open instead of a full slot.
+func (c *Controller) loadBucket(bucket uint64, oracle func(oram.Addr) oram.Leaf) error {
+	eng := c.ORAM.Engine
+	for z := 0; z < c.ORAM.Tree.Z; z++ {
+		s := c.ORAM.Image.Slot(bucket, z)
+		addr, leaf, ver, err := oram.OpenSlotHeader(eng, s)
+		if err != nil {
+			return fmt.Errorf("core: bucket %d slot %d: %w", bucket, z, err)
+		}
+		if addr == oram.DummyAddr {
 			continue
 		}
-		if uint64(b.Addr) >= c.ORAM.NumBlocks() {
-			return nil, fmt.Errorf("core: tree contains out-of-range addr %d", b.Addr)
+		if uint64(addr) >= c.ORAM.NumBlocks() {
+			return fmt.Errorf("core: tree contains out-of-range addr %d", addr)
 		}
 		// A copy on this path whose header leaf matches the *durable*
 		// PosMap while a fresher pending copy sits in the stash is the
@@ -256,35 +264,32 @@ func (c *Controller) loadBucket(bucket uint64, oracle func(oram.Addr) oram.Leaf)
 		// earlier access). Overwriting the path destroys it, so record
 		// it: the eviction will write a replacement backup.
 		if c.wpqPersistent() {
-			if sb := c.ORAM.Stash.Get(b.Addr); sb != nil && sb.PendingRemap &&
-				c.durable.Lookup(b.Addr) == b.Leaf {
-				if c.endangered == nil {
-					c.endangered = make(map[oram.Addr]endangeredCopy)
-				}
-				c.endangered[b.Addr] = endangeredCopy{leaf: b.Leaf, bucket: bucket, slot: z}
+			if sb := c.ORAM.Stash.Get(addr); sb != nil && sb.PendingRemap &&
+				c.durable.Lookup(addr) == leaf {
+				c.endangered[addr] = endangeredCopy{leaf: leaf, bucket: bucket, slot: z}
 			}
 		}
-		if oracle(b.Addr) != b.Leaf {
+		if oracle(addr) != leaf {
 			continue // stale copy (superseded backup): reads as dummy
 		}
-		if existing := c.ORAM.Stash.Get(b.Addr); existing != nil {
+		if existing := c.ORAM.Stash.Get(addr); existing != nil {
 			// A copy resident from an earlier access is always fresher.
 			// Between copies loaded this access (leaf collision between
 			// a block and its backup), the higher seal version wins.
-			if existing.OriginEpoch == c.epoch && b.Ver > existing.Ver {
-				existing.Ver = b.Ver
-				existing.Data = b.Data
+			if existing.OriginEpoch == c.epoch && ver > existing.Ver {
+				existing.Ver = ver
+				existing.Data = oram.OpenSlotDataInto(eng, s, existing.Data[:0])
 			}
 			continue
 		}
-		sb := &oram.StashBlock{
-			Addr: b.Addr, Leaf: b.Leaf, Ver: b.Ver, Data: b.Data,
-			OriginBucket: bucket, OriginSlot: z,
-		}
+		sb := c.getStashBlock()
+		sb.Addr, sb.Leaf, sb.Ver = addr, leaf, ver
+		sb.Data = oram.OpenSlotDataInto(eng, s, sb.Data)
+		sb.OriginBucket, sb.OriginSlot = bucket, z
 		c.ORAM.Stash.Put(sb)
-		loaded = append(loaded, sb)
+		c.scratch.loaded = append(c.scratch.loaded, sb)
 	}
-	return loaded, nil
+	return nil
 }
 
 // timeOnChipNVM schedules one op on the FullNVM on-chip device and
@@ -315,11 +320,10 @@ func (c *Controller) evictionOrder(l oram.Leaf) []*oram.StashBlock {
 		return c.ORAM.DefaultEvictionOrder(l)
 	}
 	t := c.ORAM.Tree
-	var must, pending, rest []*oram.StashBlock
-	for _, b := range c.ORAM.Stash.Backups() {
-		must = append(must, b)
-	}
-	for _, b := range c.ORAM.Stash.Live() {
+	must := append(c.scratch.must[:0], c.ORAM.Stash.Backups()...)
+	pending := c.scratch.pending[:0]
+	rest := c.scratch.rest[:0]
+	for _, b := range c.ORAM.Stash.AppendLive(c.scratch.order[:0]) {
 		switch {
 		case b.OriginEpoch == c.epoch && c.epoch != 0 && !b.PendingRemap:
 			must = append(must, b)
@@ -329,21 +333,18 @@ func (c *Controller) evictionOrder(l oram.Leaf) []*oram.StashBlock {
 			rest = append(rest, b)
 		}
 	}
-	depth := func(b *oram.StashBlock) int { return t.IntersectLevel(l, b.TargetLeaf()) }
-	sort.Slice(must, func(i, j int) bool {
-		if d1, d2 := depth(must[i]), depth(must[j]); d1 != d2 {
-			return d1 > d2
-		}
-		return must[i].Addr < must[j].Addr
-	})
-	sort.Slice(pending, func(i, j int) bool { return pending[i].RemapSeq < pending[j].RemapSeq })
-	sort.Slice(rest, func(i, j int) bool {
-		if d1, d2 := depth(rest[i]), depth(rest[j]); d1 != d2 {
-			return d1 > d2
-		}
-		return rest[i].Addr < rest[j].Addr
-	})
-	return append(append(must, pending...), rest...)
+	c.depthS = depthSorter{t: t, l: l, b: must}
+	sort.Sort(&c.depthS)
+	c.seqS.b = pending
+	sort.Sort(&c.seqS)
+	c.depthS.b = rest
+	sort.Sort(&c.depthS)
+	c.scratch.must, c.scratch.pending, c.scratch.rest = must, pending, rest
+	order := append(c.scratch.order[:0], must...)
+	order = append(order, pending...)
+	order = append(order, rest...)
+	c.scratch.order = order
+	return order
 }
 
 // evictTimed runs step 5 for the flat schemes, dispatching on the
@@ -368,20 +369,20 @@ func (c *Controller) evictTimed(l oram.Leaf) (int, int, error) {
 		if dup {
 			continue
 		}
-		c.ORAM.Stash.PutBackup(&oram.StashBlock{
-			Addr:       addr,
-			Leaf:       sb.Leaf,
-			Data:       append([]byte(nil), sb.Data...),
-			Backup:     true,
-			BackupLeaf: cp.leaf,
-			// Replace the endangered copy in place.
-			OriginEpoch:  c.epoch,
-			OriginBucket: cp.bucket,
-			OriginSlot:   cp.slot,
-		})
+		bak := c.getStashBlock()
+		bak.Addr = addr
+		bak.Leaf = sb.Leaf
+		bak.Data = append(bak.Data, sb.Data...)
+		bak.Backup = true
+		bak.BackupLeaf = cp.leaf
+		// Replace the endangered copy in place.
+		bak.OriginEpoch = c.epoch
+		bak.OriginBucket = cp.bucket
+		bak.OriginSlot = cp.slot
+		c.ORAM.Stash.PutBackup(bak)
 		c.counters.Inc("psoram.rescue_backups")
 	}
-	c.endangered = nil
+	clear(c.endangered)
 
 	smallWPQ := c.ORAM.Tree.PathBlocks() > c.Cfg.DataWPQEntries ||
 		(c.Scheme == config.SchemeNaivePSORAM && c.ORAM.Tree.PathBlocks() > c.Cfg.PosMapWPQEntries)
@@ -392,7 +393,9 @@ func (c *Controller) evictTimed(l oram.Leaf) (int, int, error) {
 		// displacement cycles that small WPQs cannot commit atomically.
 		plan, unplaced = c.planIdentity(l)
 	} else {
-		plan, unplaced = c.ORAM.PlanEviction(l, c.evictionOrder(l))
+		plan = c.scratch.plan
+		c.scratch.unplaced = c.ORAM.PlanEvictionInto(l, c.evictionOrder(l), plan, c.scratch.planUsed, c.scratch.unplaced)
+		unplaced = c.scratch.unplaced
 	}
 	// Crash-consistency check: every must-evict candidate placed
 	// (persistent schemes only; the baselines tolerate lingering).
@@ -425,16 +428,19 @@ func (c *Controller) planIdentity(l oram.Leaf) ([][]*oram.StashBlock, []*oram.St
 		k := c.pathIdx.LevelOf(bucket)
 		return k, k <= t.L && c.pathIdx.Bucket(l, k) == bucket
 	}
-	plan := make([][]*oram.StashBlock, t.L+1)
+	plan := c.scratch.plan
 	for k := range plan {
-		plan[k] = make([]*oram.StashBlock, t.Z)
+		row := plan[k]
+		for z := range row {
+			row[z] = nil
+		}
 	}
-	var movers []*oram.StashBlock
+	movers := c.scratch.movers[:0]
 	// Identity placement for backups that replace a known slot (the
 	// consumed target copy or an endangered rescue): a backup written to
 	// the very slot it replaces is its own continuation — no write-order
 	// edge at all.
-	var looseBackups []*oram.StashBlock
+	looseBackups := c.scratch.loose[:0]
 	for _, b := range c.ORAM.Stash.Backups() {
 		if b.OriginEpoch == c.epoch && c.epoch != 0 {
 			k, ok := onPathLevel(b.OriginBucket)
@@ -445,7 +451,7 @@ func (c *Controller) planIdentity(l oram.Leaf) ([][]*oram.StashBlock, []*oram.St
 		}
 		looseBackups = append(looseBackups, b)
 	}
-	for _, b := range c.ORAM.Stash.Live() {
+	for _, b := range c.ORAM.Stash.AppendLive(c.scratch.rest[:0]) {
 		if b.OriginEpoch == c.epoch && c.epoch != 0 && !b.PendingRemap {
 			k, ok := onPathLevel(b.OriginBucket)
 			if ok && b.OriginSlot < t.Z && plan[k][b.OriginSlot] == nil {
@@ -457,20 +463,12 @@ func (c *Controller) planIdentity(l oram.Leaf) ([][]*oram.StashBlock, []*oram.St
 	}
 	// Remaining backups first (must evict), then pending by age, then
 	// the rest.
-	order := make([]*oram.StashBlock, 0, len(movers)+len(looseBackups))
-	order = append(order, looseBackups...)
-	sort.Slice(movers, func(i, j int) bool {
-		a, b := movers[i], movers[j]
-		if a.PendingRemap != b.PendingRemap {
-			return a.PendingRemap
-		}
-		if a.PendingRemap && a.RemapSeq != b.RemapSeq {
-			return a.RemapSeq < b.RemapSeq
-		}
-		return a.Addr < b.Addr
-	})
+	order := append(c.scratch.order[:0], looseBackups...)
+	c.moverS.b = movers
+	sort.Sort(&c.moverS)
 	order = append(order, movers...)
-	var unplaced []*oram.StashBlock
+	c.scratch.movers, c.scratch.loose, c.scratch.order = movers, looseBackups, order
+	unplaced := c.scratch.unplaced[:0]
 	for _, b := range order {
 		deepest := t.IntersectLevel(l, b.TargetLeaf())
 		placed := false
@@ -487,6 +485,7 @@ func (c *Controller) planIdentity(l oram.Leaf) ([][]*oram.StashBlock, []*oram.St
 			unplaced = append(unplaced, b)
 		}
 	}
+	c.scratch.unplaced = unplaced
 	return plan, unplaced
 }
 

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/oram"
+)
+
+// TestCoreSteadyStateAllocs pins the controller's hot-path allocation
+// budget: once the stash, freelists, and scratch buffers have warmed
+// up, a PS-ORAM access — load path, serve, seal, commit — must not
+// allocate. The measured value is 0.00; the budget leaves room for
+// incidental runtime noise (a map rehash, a histogram bucket) without
+// letting a per-access allocation regress back in.
+func TestCoreSteadyStateAllocs(t *testing.T) {
+	const budget = 2.0
+
+	cfg := config.Default()
+	ctl, err := New(config.SchemePSORAM, cfg, Options{NumBlocks: 512, Levels: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, cfg.BlockBytes)
+	// Warm up: touch every address so the stash, the temporary PosMap,
+	// and the seal-buffer freelists reach their steady-state sizes.
+	for i := 0; i < 2000; i++ {
+		if _, err := ctl.Access(oram.OpWrite, oram.Addr(i%512), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	i := 0
+	writes := testing.AllocsPerRun(500, func() {
+		i++
+		if _, err := ctl.Access(oram.OpWrite, oram.Addr((i*7)%512), buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	reads := testing.AllocsPerRun(500, func() {
+		i++
+		if _, err := ctl.Access(oram.OpRead, oram.Addr((i*7)%512), nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if writes > budget {
+		t.Errorf("steady-state write access allocates %.2f/op, budget %.1f", writes, budget)
+	}
+	if reads > budget {
+		t.Errorf("steady-state read access allocates %.2f/op, budget %.1f", reads, budget)
+	}
+	t.Logf("steady-state allocs/op: write %.2f, read %.2f (budget %.1f)", writes, reads, budget)
+}

@@ -110,6 +110,48 @@ type Controller struct {
 		oldLeaf oram.Leaf
 	}
 
+	// scratch holds the per-access reusable buffers of the serving hot
+	// path. Every field is overwritten by the access that uses it;
+	// nothing in here carries state between accesses. Result.Value
+	// aliases scratch.prev, which is why it is only valid until the next
+	// Access on this controller.
+	scratch struct {
+		prev     []byte                // previous-value copy for Result.Value
+		path     []uint64              // current path's buckets (PathInto)
+		loaded   []*oram.StashBlock    // blocks brought in by this load
+		must     []*oram.StashBlock    // evictionOrder partitions
+		pending  []*oram.StashBlock
+		rest     []*oram.StashBlock
+		order    []*oram.StashBlock    // concatenated candidate order
+		movers   []*oram.StashBlock    // planIdentity working sets
+		loose    []*oram.StashBlock
+		plan     [][]*oram.StashBlock  // L+1 rows of Z plan slots
+		planUsed []int
+		unplaced []*oram.StashBlock
+		slots    []plannedSlot // sealed eviction plan
+	}
+
+	// applySlots is the slot set the currently committing batch's tagged
+	// entries index into (see ApplyEntry).
+	applySlots []plannedSlot
+	// recycle gates buffer reuse during commit: true only on the
+	// single-batch eviction path, where an overwritten image slot's
+	// buffers and an evicted block's StashBlock are provably dead. The
+	// ordered multi-batch eviction aliases sealed buffers across slots
+	// (bounce writes), so it keeps recycling off.
+	recycle bool
+	// Freelists feeding the recycling: spare stash blocks (Data retains
+	// its capacity) and sealed header/payload buffers.
+	freeBlocks []*oram.StashBlock
+	freeHdr    [][]byte
+	freeData   [][]byte
+
+	// Reusable sorters for the eviction order (sort.Sort on a pointer
+	// receiver allocates nothing, unlike sort.Slice's closure).
+	depthS depthSorter
+	seqS   seqSorter
+	moverS moverSorter
+
 	// CrashAt, when non-nil, is consulted at every crash point; returning
 	// true triggers the simulated power failure there.
 	CrashAt func(CrashPoint) bool
@@ -171,6 +213,12 @@ func New(scheme config.Scheme, cfg config.Config, opts Options) (*Controller, er
 		durable: oc.PosMap.Clone(),
 		Temp:    oram.NewTempPosMap(cfg.TempPosMapSize),
 	}
+	c.endangered = make(map[oram.Addr]endangeredCopy)
+	c.scratch.plan = make([][]*oram.StashBlock, oc.Tree.L+1)
+	for k := range c.scratch.plan {
+		c.scratch.plan[k] = make([]*oram.StashBlock, oc.Tree.Z)
+	}
+	c.scratch.planUsed = make([]int, oc.Tree.L+1)
 	switch scheme {
 	case config.SchemeFullNVM:
 		c.onchipNVM = nvm.NewDevice(config.PCM(), 8, cfg.BlockBytes)
@@ -325,7 +373,7 @@ func (c *Controller) powerFail() {
 		// leaf). Model: cancel the in-flight remap, then the working map
 		// becomes the durable map and the stash is preserved.
 		if c.inflight.active {
-			c.ORAM.PosMap.Set(c.inflight.addr, c.inflight.oldLeaf)
+			c.ORAM.PosMap.Put(c.inflight.addr, c.inflight.oldLeaf)
 		}
 		c.durable = c.ORAM.PosMap.Clone()
 		if c.OnDurable != nil {

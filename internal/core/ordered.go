@@ -29,6 +29,9 @@ import (
 // overwritten by the plan's own write of that slot, which is constrained
 // to come after the member's final placement.
 func (c *Controller) evictOrdered(l oram.Leaf, slots []plannedSlot) (int, int, error) {
+	// No recycling here: a bounce write places one sealed buffer at two
+	// image positions, and blocks stay referenced across batches.
+	c.recycle = false
 	t := c.ORAM.Tree
 	// Slot index -> path level is pure arithmetic (slots are laid out
 	// root-to-leaf, Z per bucket); no per-call map needed.

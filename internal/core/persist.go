@@ -17,25 +17,30 @@ type plannedSlot struct {
 }
 
 // sealPlan encrypts the whole plan up front (step 5-A) so the batch can
-// be pushed into the WPQs as one unit (step 5-B).
+// be pushed into the WPQs as one unit (step 5-B). The returned slice is
+// c.scratch.slots (valid until the next sealPlan call); sealed buffers
+// come from the controller's freelists and are replenished by the image
+// slots the commit overwrites.
 func (c *Controller) sealPlan(l oram.Leaf, plan [][]*oram.StashBlock) []plannedSlot {
 	t := c.ORAM.Tree
-	path := t.Path(l)
-	out := make([]plannedSlot, 0, t.PathBlocks())
-	for k, bucket := range path {
+	c.scratch.path = t.PathInto(c.scratch.path[:0], l)
+	out := c.scratch.slots[:0]
+	for k, bucket := range c.scratch.path {
 		for z := 0; z < t.Z; z++ {
 			b := plan[k][z]
+			hdr, data := c.getSealBuf()
 			var sealed oram.Slot
 			if b == nil {
-				sealed = oram.DummySlot(c.ORAM.Engine, c.Cfg.BlockBytes, c.ORAM.NextIV)
+				sealed = oram.DummySlotInto(c.ORAM.Engine, c.Cfg.BlockBytes, c.ORAM.NextIV, hdr, data)
 			} else {
-				sealed = oram.SealBlock(c.ORAM.Engine, oram.Block{
+				sealed = oram.SealBlockInto(c.ORAM.Engine, oram.Block{
 					Addr: b.Addr, Leaf: b.TargetLeaf(), Ver: c.ORAM.NextVer(), Data: b.Data,
-				}, c.ORAM.NextIV)
+				}, c.ORAM.NextIV, hdr, data)
 			}
 			out = append(out, plannedSlot{bucket: bucket, z: z, block: b, sealed: sealed})
 		}
 	}
+	c.scratch.slots = out
 	return out
 }
 
@@ -66,6 +71,12 @@ func (c *Controller) evictPersistent(l oram.Leaf, plan [][]*oram.StashBlock) (in
 		return c.evictOrdered(l, slots)
 	}
 
+	// Single-batch path: overwritten image slots and evicted stash blocks
+	// are dead once the batch commits, so their buffers recycle (bounce
+	// writes in evictOrdered alias sealed buffers across slots; that path
+	// sets recycle=false). The Merkle tree re-reads image slots while
+	// hashing, so integrity runs keep recycling off out of caution.
+	c.recycle = c.Merkle == nil
 	batch := c.Mem.BeginBatch()
 	real, dirty := c.stageBatch(batch, slots)
 	// Integrity: the new path-node hashes and the new root ride in the
@@ -124,17 +135,17 @@ func (c *Controller) posMapEntriesFor(slots []plannedSlot) int {
 }
 
 // stageBatch stages data and PosMap entries for the given slots into an
-// open batch. Functional applies: slot writes update the tree image;
-// PosMap applies merge the pending remap into the durable map. Returns
-// (#real blocks, #posmap entries staged).
+// open batch as tagged entries: the functional applies — slot writes
+// updating the tree image, PosMap merges folding the pending remap into
+// the durable map — run through ApplyEntry at commit, with no closure
+// per entry. Returns (#real blocks, #posmap entries staged).
 func (c *Controller) stageBatch(batch *mem.Batch, slots []plannedSlot) (int, int) {
-	img := c.ORAM.Image
+	c.applySlots = slots
+	batch.SetApplier(c)
 	real, dirty := 0, 0
-	for _, s := range slots {
-		s := s
-		batch.AddData(c.Mem.TreeBlockLocation(s.bucket, s.z), func() {
-			img.SetSlot(s.bucket, s.z, s.sealed)
-		})
+	for i := range slots {
+		s := &slots[i]
+		batch.AddDataTagged(c.Mem.TreeBlockLocation(s.bucket, s.z), i)
 		if s.block != nil {
 			real++
 		}
@@ -142,12 +153,7 @@ func (c *Controller) stageBatch(batch *mem.Batch, slots []plannedSlot) (int, int
 		isDirty := s.block != nil && !s.block.Backup && s.block.PendingRemap
 		switch {
 		case isDirty:
-			b := s.block
-			batch.AddPosMap(c.Mem.PosMapLocation(uint64(b.Addr)), func() {
-				c.durable.Set(b.Addr, b.Leaf)
-				c.ORAM.PosMap.Set(b.Addr, b.Leaf)
-				c.Temp.Delete(b.Addr)
-			})
+			batch.AddPosMapTagged(c.Mem.PosMapLocation(uint64(s.block.Addr)), -i-1)
 			dirty++
 		case c.Scheme == config.SchemeNaivePSORAM:
 			// Naïve mode rewrites an entry per path slot regardless:
@@ -167,7 +173,9 @@ func (c *Controller) stageBatch(batch *mem.Batch, slots []plannedSlot) (int, int
 
 // finishEvicted removes committed blocks from the stash and emits
 // durability events for every value the committed batch made reachable
-// from the durable PosMap.
+// from the durable PosMap. On the recycling path the removed blocks
+// return to the freelist (their only remaining reference is the plan
+// scratch, which the next access overwrites).
 func (c *Controller) finishEvicted(slots []plannedSlot) {
 	for _, s := range slots {
 		b := s.block
@@ -190,6 +198,9 @@ func (c *Controller) finishEvicted(slots []plannedSlot) {
 			if c.durable.Lookup(b.Addr) == b.Leaf {
 				c.markDurable(b.Addr, b.Data)
 			}
+		}
+		if c.recycle {
+			c.putStashBlock(b)
 		}
 	}
 }

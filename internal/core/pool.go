@@ -1,0 +1,134 @@
+package core
+
+import (
+	"repro/internal/oram"
+)
+
+// This file holds the controller's buffer recycling. The serving hot
+// path (load path -> serve -> seal -> commit) used to allocate a fresh
+// StashBlock + payload per loaded block and fresh sealed buffers per
+// written slot; in steady state every one of those has an exact
+// counterpart dying in the same access (the blocks evicted, the image
+// slots overwritten), so the freelists below let the path run
+// allocation-free. Recycling is gated by c.recycle — see the field
+// comment for where aliasing makes it unsafe.
+
+// getStashBlock returns a zeroed stash block whose Data buffer has
+// BlockBytes capacity (length 0).
+func (c *Controller) getStashBlock() *oram.StashBlock {
+	if n := len(c.freeBlocks); n > 0 {
+		b := c.freeBlocks[n-1]
+		c.freeBlocks[n-1] = nil
+		c.freeBlocks = c.freeBlocks[:n-1]
+		return b
+	}
+	return &oram.StashBlock{Data: make([]byte, 0, c.Cfg.BlockBytes)}
+}
+
+// putStashBlock resets every protocol field of b and returns it to the
+// freelist. The caller must guarantee no live reference remains (b has
+// been removed from the stash and its Data is not aliased).
+func (c *Controller) putStashBlock(b *oram.StashBlock) {
+	data := b.Data[:0]
+	*b = oram.StashBlock{Data: data}
+	c.freeBlocks = append(c.freeBlocks, b)
+}
+
+// getSealBuf returns a (header, payload) buffer pair for sealing one
+// slot: capacities oram.HeaderBytes and BlockBytes, lengths 0.
+func (c *Controller) getSealBuf() (hdr, data []byte) {
+	if n := len(c.freeHdr); n > 0 {
+		hdr = c.freeHdr[n-1][:0]
+		c.freeHdr[n-1] = nil
+		c.freeHdr = c.freeHdr[:n-1]
+	} else {
+		hdr = make([]byte, 0, oram.HeaderBytes)
+	}
+	if n := len(c.freeData); n > 0 {
+		data = c.freeData[n-1][:0]
+		c.freeData[n-1] = nil
+		c.freeData = c.freeData[:n-1]
+	} else {
+		data = make([]byte, 0, c.Cfg.BlockBytes)
+	}
+	return hdr, data
+}
+
+// putSealBuf recycles an overwritten image slot's sealed buffers.
+func (c *Controller) putSealBuf(s oram.Slot) {
+	if cap(s.SealedHeader) >= oram.HeaderBytes {
+		c.freeHdr = append(c.freeHdr, s.SealedHeader)
+	}
+	if cap(s.SealedData) >= c.Cfg.BlockBytes {
+		c.freeData = append(c.freeData, s.SealedData)
+	}
+}
+
+// ApplyEntry is the mem.Applier hook: it applies one tagged batch entry
+// at commit. Non-negative tags index c.applySlots (a data-slot write);
+// negative tags encode a PosMap merge for slot index -tag-1.
+func (c *Controller) ApplyEntry(tag int) {
+	if tag >= 0 {
+		s := &c.applySlots[tag]
+		old := c.ORAM.Image.PutSlot(s.bucket, s.z, s.sealed)
+		if c.recycle {
+			c.putSealBuf(old)
+		}
+		return
+	}
+	b := c.applySlots[-tag-1].block
+	c.durable.Put(b.Addr, b.Leaf)
+	c.ORAM.PosMap.Put(b.Addr, b.Leaf)
+	c.Temp.Delete(b.Addr)
+}
+
+// Eviction-order sorters. sort.Sort on these pointer receivers is
+// allocation-free, unlike sort.Slice whose comparator closure escapes.
+// Comparator semantics match the originals in evictionOrder /
+// planIdentity exactly; all orders are total (ties broken by Addr, and
+// no partition holds two blocks of one address), so the sort choice
+// cannot change the result.
+
+// depthSorter orders deepest intersection level first, then by address.
+type depthSorter struct {
+	t oram.Tree
+	l oram.Leaf
+	b []*oram.StashBlock
+}
+
+func (s *depthSorter) Len() int      { return len(s.b) }
+func (s *depthSorter) Swap(i, j int) { s.b[i], s.b[j] = s.b[j], s.b[i] }
+func (s *depthSorter) Less(i, j int) bool {
+	d1 := s.t.IntersectLevel(s.l, s.b[i].TargetLeaf())
+	d2 := s.t.IntersectLevel(s.l, s.b[j].TargetLeaf())
+	if d1 != d2 {
+		return d1 > d2
+	}
+	return s.b[i].Addr < s.b[j].Addr
+}
+
+// seqSorter orders pending remaps oldest first.
+type seqSorter struct{ b []*oram.StashBlock }
+
+func (s *seqSorter) Len() int      { return len(s.b) }
+func (s *seqSorter) Swap(i, j int) { s.b[i], s.b[j] = s.b[j], s.b[i] }
+func (s *seqSorter) Less(i, j int) bool {
+	return s.b[i].RemapSeq < s.b[j].RemapSeq
+}
+
+// moverSorter is planIdentity's displaced-block order: pending remaps
+// first (oldest first), then by address.
+type moverSorter struct{ b []*oram.StashBlock }
+
+func (s *moverSorter) Len() int      { return len(s.b) }
+func (s *moverSorter) Swap(i, j int) { s.b[i], s.b[j] = s.b[j], s.b[i] }
+func (s *moverSorter) Less(i, j int) bool {
+	a, b := s.b[i], s.b[j]
+	if a.PendingRemap != b.PendingRemap {
+		return a.PendingRemap
+	}
+	if a.PendingRemap && a.RemapSeq != b.RemapSeq {
+		return a.RemapSeq < b.RemapSeq
+	}
+	return a.Addr < b.Addr
+}

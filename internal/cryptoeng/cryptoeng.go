@@ -9,6 +9,12 @@
 // The cryptography is real (stdlib crypto/aes), so the functional
 // simulator genuinely round-trips ciphertext; the latency model is what
 // feeds the timing simulation.
+//
+// Engines are NOT safe for concurrent use: the counter and keystream
+// scratch live on the Engine so that SealInto/OpenInto allocate nothing.
+// This matches the hardware being modeled — one encryption circuit per
+// memory controller, driven by one single-threaded ORAM controller (the
+// serving layer gives every shard its own controller and engine).
 package cryptoeng
 
 import (
@@ -23,6 +29,13 @@ type Engine struct {
 	block cipher.Block
 	// LatencyCycles is the AES pipeline latency in core cycles (Table 3).
 	LatencyCycles uint64
+
+	// Counter-block and keystream scratch. Kept on the Engine (not the
+	// stack) because they cross the cipher.Block interface boundary, which
+	// defeats escape analysis and would otherwise cost two heap
+	// allocations per 16-byte AES block.
+	ctr [16]byte
+	ks  [16]byte
 }
 
 // New creates an engine from a 16-byte AES-128 key.
@@ -46,36 +59,54 @@ func MustNew(key []byte) *Engine {
 	return e
 }
 
-// pad produces a keystream of length n for the given IV by running AES in
-// counter mode over (iv, counter).
-func (e *Engine) pad(iv uint64, n int) []byte {
-	out := make([]byte, 0, n)
-	var ctrBlock [16]byte
-	var enc [16]byte
-	binary.LittleEndian.PutUint64(ctrBlock[:8], iv)
-	for ctr := uint64(0); len(out) < n; ctr++ {
-		binary.LittleEndian.PutUint64(ctrBlock[8:], ctr)
-		e.block.Encrypt(enc[:], ctrBlock[:])
-		take := n - len(out)
-		if take > 16 {
-			take = 16
+// PadInto fills dst with the keystream for iv (AES-CTR over (iv, ctr)).
+// Because a sealed all-zero payload IS the keystream, this is also how
+// dummy blocks are sealed without a zero-plaintext buffer.
+func (e *Engine) PadInto(iv uint64, dst []byte) {
+	binary.LittleEndian.PutUint64(e.ctr[:8], iv)
+	for off, c := 0, uint64(0); off < len(dst); off, c = off+16, c+1 {
+		binary.LittleEndian.PutUint64(e.ctr[8:], c)
+		e.block.Encrypt(e.ks[:], e.ctr[:])
+		copy(dst[off:], e.ks[:])
+	}
+}
+
+// SealInto encrypts src under iv into dst, which must have capacity for
+// len(src) bytes, and returns dst[:len(src)]. dst may alias src exactly
+// (in-place sealing); partial overlap is not supported. No allocation.
+func (e *Engine) SealInto(iv uint64, src, dst []byte) []byte {
+	if cap(dst) < len(src) {
+		panic(fmt.Sprintf("cryptoeng: SealInto dst capacity %d < src length %d", cap(dst), len(src)))
+	}
+	dst = dst[:len(src)]
+	binary.LittleEndian.PutUint64(e.ctr[:8], iv)
+	for off, c := 0, uint64(0); off < len(src); off, c = off+16, c+1 {
+		binary.LittleEndian.PutUint64(e.ctr[8:], c)
+		e.block.Encrypt(e.ks[:], e.ctr[:])
+		n := len(src) - off
+		if n > 16 {
+			n = 16
 		}
-		out = append(out, enc[:take]...)
+		for i := 0; i < n; i++ {
+			dst[off+i] = src[off+i] ^ e.ks[i]
+		}
 	}
-	return out
+	return dst
 }
 
-// Seal encrypts plaintext under iv (counter mode: identical to Open).
+// OpenInto decrypts src under iv into dst (CTR mode is an involution).
+// Same buffer contract as SealInto.
+func (e *Engine) OpenInto(iv uint64, src, dst []byte) []byte {
+	return e.SealInto(iv, src, dst)
+}
+
+// Seal encrypts plaintext under iv into a fresh buffer (counter mode:
+// identical to Open). Hot paths use SealInto with a reused buffer.
 func (e *Engine) Seal(iv uint64, plaintext []byte) []byte {
-	p := e.pad(iv, len(plaintext))
-	out := make([]byte, len(plaintext))
-	for i := range plaintext {
-		out[i] = plaintext[i] ^ p[i]
-	}
-	return out
+	return e.SealInto(iv, plaintext, make([]byte, len(plaintext)))
 }
 
-// Open decrypts ciphertext under iv.
+// Open decrypts ciphertext under iv into a fresh buffer.
 func (e *Engine) Open(iv uint64, ciphertext []byte) []byte {
 	return e.Seal(iv, ciphertext) // CTR mode is an involution
 }

@@ -26,5 +26,37 @@ func FuzzSealOpen(f *testing.F) {
 				t.Fatalf("wrong IV decrypted a %d-byte payload", len(pt))
 			}
 		}
+
+		// The caller-buffer variants must be ciphertext-for-ciphertext
+		// identical to the allocating ones for every length and IV.
+		ct2 := e.SealInto(iv, pt, make([]byte, 0, len(pt)))
+		if !bytes.Equal(ct2, ct) {
+			t.Fatalf("SealInto diverged from Seal")
+		}
+		pt2 := e.OpenInto(iv, ct, make([]byte, 0, len(ct)))
+		if !bytes.Equal(pt2, pt) {
+			t.Fatalf("OpenInto diverged from Open")
+		}
+
+		// In place: sealing with dst aliased exactly over src must give
+		// the same ciphertext (CTR XORs byte by byte, no look-back).
+		inplace := append([]byte(nil), pt...)
+		got := e.SealInto(iv, inplace, inplace[:0])
+		if !bytes.Equal(got, ct) {
+			t.Fatalf("aliased in-place SealInto diverged from Seal")
+		}
+		e.OpenInto(iv, inplace, inplace[:0])
+		if !bytes.Equal(inplace, pt) {
+			t.Fatalf("aliased in-place OpenInto did not restore the plaintext")
+		}
+
+		// A sealed all-zero payload is exactly the keystream, so PadInto
+		// must match Seal over zeros — the dummy-slot fast path.
+		zeros := make([]byte, len(pt))
+		want := e.Seal(iv, zeros)
+		e.PadInto(iv, zeros)
+		if !bytes.Equal(zeros, want) {
+			t.Fatalf("PadInto diverged from Seal over a zero payload")
+		}
 	})
 }

@@ -345,6 +345,20 @@ type batchEntry struct {
 	// coherent state) and must be rolled back if the batch never
 	// commits.
 	undo func()
+	// tagged entries carry an integer the batch's Applier interprets at
+	// commit instead of an apply closure — the hot path stages dozens of
+	// entries per eviction, and a closure each would be dozens of
+	// allocations.
+	tagged bool
+	tag    int
+}
+
+// Applier applies a tagged batch entry's functional mutation at commit
+// time. The tag's meaning is the caller's own encoding (the PS-ORAM
+// controller maps non-negative tags to eviction-plan slots and negative
+// tags to PosMap merges).
+type Applier interface {
+	ApplyEntry(tag int)
 }
 
 // Batch is one atomic eviction round: all entries between the drainer's
@@ -353,8 +367,14 @@ type batchEntry struct {
 type Batch struct {
 	c       *Controller
 	entries []batchEntry
+	applier Applier
 	done    bool
 }
+
+// SetApplier installs the Applier that interprets tagged entries. Must
+// be set before Commit if AddDataTagged/AddPosMapTagged were used; it is
+// cleared when the batch completes.
+func (b *Batch) SetApplier(a Applier) { b.applier = a }
 
 // BeginBatch starts a new atomic WPQ batch (the drainer's "start"
 // signal). Only one batch may be open at a time, which is what lets the
@@ -368,6 +388,7 @@ func (c *Controller) BeginBatch() *Batch {
 	b := &c.batchPool
 	b.c = c
 	b.entries = b.entries[:0]
+	b.applier = nil
 	b.done = false
 	c.openBatch = b
 	return b
@@ -377,6 +398,20 @@ func (c *Controller) BeginBatch() *Batch {
 func (b *Batch) AddData(loc Location, apply func()) {
 	b.mustOpen()
 	b.entries = append(b.entries, batchEntry{kind: DataEntry, loc: loc, bytes: b.c.cfg.BlockBytes, apply: apply})
+}
+
+// AddDataTagged stages a data-block write applied at commit by the
+// batch's Applier (closure-free AddData).
+func (b *Batch) AddDataTagged(loc Location, tag int) {
+	b.mustOpen()
+	b.entries = append(b.entries, batchEntry{kind: DataEntry, loc: loc, bytes: b.c.cfg.BlockBytes, tagged: true, tag: tag})
+}
+
+// AddPosMapTagged stages a PosMap-entry write applied at commit by the
+// batch's Applier (closure-free AddPosMap).
+func (b *Batch) AddPosMapTagged(loc Location, tag int) {
+	b.mustOpen()
+	b.entries = append(b.entries, batchEntry{kind: PosMapEntry, loc: loc, bytes: b.c.cfg.PosMapEntryBytes, tagged: true, tag: tag})
 }
 
 // AddDataApplied stages a data-block write whose functional mutation has
@@ -487,12 +522,16 @@ func (b *Batch) Commit(earliest Cycle) (Cycle, error) {
 		b.c.counters.Inc("nvm.writes")
 	}
 	// Durability point: "end" signal received by both WPQs.
-	for _, e := range b.entries {
-		if e.apply != nil {
+	for i := range b.entries {
+		e := &b.entries[i]
+		if e.tagged {
+			b.applier.ApplyEntry(e.tag)
+		} else if e.apply != nil {
 			e.apply()
 		}
 	}
 	b.done = true
+	b.applier = nil
 	b.c.openBatch = nil
 	b.c.numBatches++
 	b.c.counters.Inc("wpq.batches")
@@ -511,6 +550,7 @@ func (b *Batch) Abandon() {
 			b.entries[i].undo()
 		}
 	}
+	b.applier = nil
 	if b.c.openBatch == b {
 		b.c.openBatch = nil
 	}
@@ -528,8 +568,11 @@ func (c *Controller) DrainAll() {
 	c.inFlight = c.inFlight[:0]
 	c.posted = c.posted[:0]
 	if c.openBatch != nil {
-		for _, e := range c.openBatch.entries {
-			if e.apply != nil {
+		for i := range c.openBatch.entries {
+			e := &c.openBatch.entries[i]
+			if e.tagged {
+				c.openBatch.applier.ApplyEntry(e.tag)
+			} else if e.apply != nil {
 				e.apply()
 			}
 		}

@@ -38,6 +38,9 @@ type Target interface {
 	// ORAM tree (NonORAM) — the leaf returned by Access is then
 	// meaningless and the obliviousness probe is skipped.
 	Leaves() uint64
+	// Access performs one protocol access. The returned value may alias
+	// a target-owned buffer and is only valid until the next call on the
+	// same target; callers that retain it must copy.
 	Access(op oram.Op, addr oram.Addr, data []byte) (value []byte, leaf oram.Leaf, err error)
 	Peek(addr oram.Addr) ([]byte, error)
 	Invariants() []error

@@ -10,6 +10,10 @@ import (
 // headerBytes is the plaintext header length: addr(8) + leaf(4) + ver(4).
 const headerBytes = 16
 
+// HeaderBytes exposes the sealed-header length for callers that manage
+// their own seal buffers.
+const HeaderBytes = headerBytes
+
 // Slot is one block slot of a bucket as it exists in NVM: two plaintext
 // IVs plus the sealed header and sealed payload (Fletcher et al.: IV1
 // seals the header, IV2 the data). A freshly initialized slot holds a
@@ -80,4 +84,65 @@ func OpenSlot(e *cryptoeng.Engine, s Slot) (Block, error) {
 // DummySlot seals a dummy block with throwaway payload of blockBytes.
 func DummySlot(e *cryptoeng.Engine, blockBytes int, nextIV func() uint64) Slot {
 	return SealBlock(e, Block{Addr: DummyAddr, Data: make([]byte, blockBytes)}, nextIV)
+}
+
+// SealBlockInto seals b into a Slot using the caller-provided header and
+// data buffers (each must have capacity for headerBytes / len(b.Data)).
+// It draws IVs from nextIV in the same order as SealBlock, so the two are
+// interchangeable ciphertext-for-ciphertext.
+func SealBlockInto(e *cryptoeng.Engine, b Block, nextIV func() uint64, hdr, data []byte) Slot {
+	iv1, iv2 := nextIV(), nextIV()
+	var h [headerBytes]byte
+	binary.LittleEndian.PutUint64(h[0:8], uint64(b.Addr))
+	binary.LittleEndian.PutUint32(h[8:12], uint32(b.Leaf))
+	binary.LittleEndian.PutUint32(h[12:16], b.Ver)
+	return Slot{
+		IV1:          iv1,
+		IV2:          iv2,
+		SealedHeader: e.SealInto(iv1, h[:], hdr),
+		SealedData:   e.SealInto(iv2, b.Data, data),
+	}
+}
+
+// DummySlotInto seals a dummy block into caller-provided buffers. A
+// sealed all-zero payload is exactly the keystream, so the payload is
+// produced by PadInto without a zero plaintext — byte-identical to
+// DummySlot for the same IVs.
+func DummySlotInto(e *cryptoeng.Engine, blockBytes int, nextIV func() uint64, hdr, data []byte) Slot {
+	iv1, iv2 := nextIV(), nextIV()
+	var h [headerBytes]byte
+	binary.LittleEndian.PutUint64(h[0:8], uint64(DummyAddr))
+	data = data[:blockBytes]
+	e.PadInto(iv2, data)
+	return Slot{
+		IV1:          iv1,
+		IV2:          iv2,
+		SealedHeader: e.SealInto(iv1, h[:], hdr),
+		SealedData:   data,
+	}
+}
+
+// OpenSlotHeader unseals only a slot's header — enough to tell dummies
+// and stale versions apart without paying for the payload decrypt.
+func OpenSlotHeader(e *cryptoeng.Engine, s Slot) (Addr, Leaf, uint32, error) {
+	return openHeaderInto(e, s.IV1, s.SealedHeader)
+}
+
+// openHeaderInto is openHeader without the output allocation: the
+// plaintext lands in a stack array that never escapes.
+func openHeaderInto(e *cryptoeng.Engine, iv1 uint64, sealed []byte) (Addr, Leaf, uint32, error) {
+	if len(sealed) != headerBytes {
+		return 0, 0, 0, fmt.Errorf("oram: sealed header has %d bytes, want %d", len(sealed), headerBytes)
+	}
+	var h [headerBytes]byte
+	e.OpenInto(iv1, sealed, h[:])
+	return Addr(binary.LittleEndian.Uint64(h[0:8])),
+		Leaf(binary.LittleEndian.Uint32(h[8:12])),
+		binary.LittleEndian.Uint32(h[12:16]), nil
+}
+
+// OpenSlotDataInto unseals a slot's payload into dst (capacity must
+// cover len(s.SealedData)) and returns the filled prefix.
+func OpenSlotDataInto(e *cryptoeng.Engine, s Slot, dst []byte) []byte {
+	return e.OpenInto(s.IV2, s.SealedData, dst)
 }

@@ -42,6 +42,16 @@ func (img *Image) SetSlot(bucket uint64, z int, s Slot) (undo func()) {
 	return func() { img.buckets[bucket][z] = prev }
 }
 
+// PutSlot overwrites the sealed slot at (bucket, z) and returns the
+// previous content so the caller can recycle its buffers. Unlike
+// SetSlot there is no undo closure: callers that need crash rollback
+// keep using SetSlot.
+func (img *Image) PutSlot(bucket uint64, z int, s Slot) (old Slot) {
+	old = img.buckets[bucket][z]
+	img.buckets[bucket][z] = s
+	return old
+}
+
 // BlockBytes returns the payload size of each block.
 func (img *Image) BlockBytes() int { return img.blockB }
 

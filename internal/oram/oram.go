@@ -357,6 +357,38 @@ func (c *Controller) PlanEviction(l Leaf, ordered []*StashBlock) (plan [][]*Stas
 	return plan, unplaced
 }
 
+// PlanEvictionInto is PlanEviction writing into caller-provided plan
+// rows and used counters: plan must have L+1 rows of Z slots each, and
+// used must have L+1 entries; both are fully overwritten. unplaced is
+// appended to the (emptied) caller slice and returned. Placement
+// semantics are identical to PlanEviction.
+func (c *Controller) PlanEvictionInto(l Leaf, ordered []*StashBlock, plan [][]*StashBlock, used []int, unplaced []*StashBlock) []*StashBlock {
+	t := c.Tree
+	for k := 0; k <= t.L; k++ {
+		row := plan[k]
+		for z := range row {
+			row[z] = nil
+		}
+		used[k] = 0
+	}
+	unplaced = unplaced[:0]
+	for _, b := range ordered {
+		deepest := t.IntersectLevel(l, b.TargetLeaf())
+		placed := false
+		for k := deepest; k >= 0 && !placed; k-- {
+			if used[k] < t.Z {
+				plan[k][used[k]] = b
+				used[k]++
+				placed = true
+			}
+		}
+		if !placed {
+			unplaced = append(unplaced, b)
+		}
+	}
+	return unplaced
+}
+
 // DefaultEvictionOrder is the baseline policy: backups first (deepest
 // target first), then live blocks ordered by pending remap age and
 // placement depth.

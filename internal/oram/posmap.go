@@ -37,7 +37,8 @@ func (p *PosMap) Lookup(addr Addr) Leaf {
 }
 
 // Set assigns leaf to addr and returns an undo closure restoring the
-// previous mapping (crash rollback of in-flight writes).
+// previous mapping (crash rollback of in-flight writes). The closure
+// allocates; committed writes that never roll back should use Put.
 func (p *PosMap) Set(addr Addr, leaf Leaf) (undo func()) {
 	if uint64(addr) >= uint64(len(p.leaves)) {
 		panic(fmt.Sprintf("oram: posmap set of addr %d out of range [0,%d)", addr, len(p.leaves)))
@@ -45,6 +46,14 @@ func (p *PosMap) Set(addr Addr, leaf Leaf) (undo func()) {
 	prev := p.leaves[addr]
 	p.leaves[addr] = leaf
 	return func() { p.leaves[addr] = prev }
+}
+
+// Put assigns leaf to addr with no undo.
+func (p *PosMap) Put(addr Addr, leaf Leaf) {
+	if uint64(addr) >= uint64(len(p.leaves)) {
+		panic(fmt.Sprintf("oram: posmap put of addr %d out of range [0,%d)", addr, len(p.leaves)))
+	}
+	p.leaves[addr] = leaf
 }
 
 // Clone deep-copies the map (tests and recovery verification).

@@ -119,6 +119,15 @@ func (s *Stash) Live() []*StashBlock {
 	return out
 }
 
+// AppendLive appends all live blocks to dst and returns it (iteration
+// order unspecified) — Live without the per-call allocation.
+func (s *Stash) AppendLive(dst []*StashBlock) []*StashBlock {
+	for _, b := range s.blocks {
+		dst = append(dst, b)
+	}
+	return dst
+}
+
 // Backups returns all backup blocks.
 func (s *Stash) Backups() []*StashBlock { return s.backups }
 

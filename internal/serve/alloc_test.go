@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/oram"
+)
+
+// TestServeSteadyStateAllocs pins the serving data path's allocation
+// budget end to end: submit (pooled request envelope), queue, protocol
+// access (allocation-free in the controller), ownership copy, reply.
+// The measured value is 1 alloc/op — the one deliberate copy that
+// transfers the value from the controller's internal buffer to the
+// client. The budget leaves headroom for scheduler noise, not for a
+// per-request envelope or channel to creep back in (the old path spent
+// ~700 allocs/op here).
+func TestServeSteadyStateAllocs(t *testing.T) {
+	const budget = 4.0
+
+	p, err := New(Options{
+		Shards:     2,
+		NumBlocks:  512,
+		Scheme:     config.SchemePSORAM,
+		Levels:     8,
+		Seed:       1,
+		QueueDepth: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close(context.Background())
+	ctx := context.Background()
+	data := make([]byte, p.BlockBytes())
+	for i := uint64(0); i < 2000; i++ {
+		if _, _, err := p.Access(ctx, oram.OpWrite, i%512, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	i := uint64(0)
+	allocs := testing.AllocsPerRun(500, func() {
+		i++
+		op, payload := oram.OpRead, []byte(nil)
+		if i%2 == 0 {
+			op, payload = oram.OpWrite, data
+		}
+		if _, _, err := p.Access(ctx, op, (i*2654435761)%512, payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > budget {
+		t.Errorf("steady-state serve access allocates %.2f/op, budget %.1f", allocs, budget)
+	}
+	t.Logf("steady-state serve allocs/op: %.2f (budget %.1f)", allocs, budget)
+}

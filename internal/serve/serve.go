@@ -152,6 +152,12 @@ type response struct {
 	err   error
 }
 
+// request is a pooled submission envelope. The reply channel is
+// allocated once per request object and buffered(1), so the worker
+// never blocks on it; the object cycles through Pool.reqPool and is
+// reused only after its reply has been received (an abandoned request —
+// client context died first — is left to the GC, because its late
+// reply would otherwise leak into the next user of the channel).
 type request struct {
 	kind  kind
 	op    oram.Op
@@ -159,7 +165,7 @@ type request struct {
 	data  []byte
 	fire  func(oracle.CrashSpec) bool
 	ctx   context.Context
-	reply chan response // buffered(1): the worker never blocks on it
+	reply chan response
 }
 
 // shard is one keyspace stripe: a single-threaded backend plus the one
@@ -170,15 +176,23 @@ type shard struct {
 	clock   clocked // nil when the backend has no cycle clock
 	queue   chan *request
 
+	// closeMu serializes sends on queue against its close: submitters
+	// hold the read side around the send, Close holds the write side
+	// around close(queue). It is per-shard so submitters to different
+	// shards never touch a shared lock word.
+	closeMu sync.RWMutex
+
 	// Counters are atomics (written by the worker and the submit path,
-	// read by Stats); the histograms are worker-owned and guarded by mu.
-	submitted  atomic.Uint64
-	rejected   atomic.Uint64
-	completed  atomic.Uint64
-	expired    atomic.Uint64
-	crashes    atomic.Uint64
-	recoveries atomic.Uint64
-	batches    atomic.Uint64
+	// read by Stats), each padded to its own cache line so shards and
+	// adjacent counters never false-share; the histograms are
+	// worker-owned and guarded by mu.
+	submitted  stats.PaddedUint64
+	rejected   stats.PaddedUint64
+	completed  stats.PaddedUint64
+	expired    stats.PaddedUint64
+	crashes    stats.PaddedUint64
+	recoveries stats.PaddedUint64
+	batches    stats.PaddedUint64
 
 	mu      sync.Mutex
 	latency stats.Histogram // per-access service time, simulated cycles
@@ -192,8 +206,8 @@ type Pool struct {
 	shards []*shard
 	wg     sync.WaitGroup
 
-	mu     sync.RWMutex // guards closed against queue close
-	closed bool
+	closed  atomic.Bool // submits re-check under the shard's closeMu
+	reqPool sync.Pool   // *request envelopes with their reply channels
 }
 
 // New builds and starts a pool. The returned Pool is serving; callers
@@ -234,6 +248,7 @@ func New(opts Options) (*Pool, error) {
 		}
 	}
 	p := &Pool{opts: opts, shards: make([]*shard, opts.Shards)}
+	p.reqPool.New = func() any { return &request{reply: make(chan response, 1)} }
 	for s := 0; s < opts.Shards; s++ {
 		b, err := factory(s, localBlocks(opts.NumBlocks, opts.Shards, s))
 		if err != nil {
@@ -310,7 +325,10 @@ func (p *Pool) execute(sh *shard, r *request) {
 		} else if err != nil {
 			resp.err = fmt.Errorf("serve: shard %d: %w", sh.id, err)
 		} else {
-			resp.value, resp.leaf = v, leaf
+			// The backend's value may alias its internal buffer, valid
+			// only until its next access; ownership transfers to the
+			// client here, so this is the data path's one copy.
+			resp.value, resp.leaf = append([]byte(nil), v...), leaf
 			if sh.clock != nil {
 				sh.mu.Lock()
 				sh.latency.Observe(sh.clock.Cycles() - start)
@@ -334,35 +352,56 @@ func (p *Pool) execute(sh *shard, r *request) {
 	r.reply <- resp
 }
 
+// getRequest takes a request envelope from the pool; putRequest resets
+// it (keeping its reply channel) and returns it. Only requests whose
+// reply has been received — or that were never enqueued — may be put
+// back; the channel must be empty on reuse.
+func (p *Pool) getRequest() *request {
+	return p.reqPool.Get().(*request)
+}
+
+func (p *Pool) putRequest(r *request) {
+	reply := r.reply
+	*r = request{reply: reply}
+	p.reqPool.Put(r)
+}
+
 // submit routes r to shard sh without ever blocking on a full queue.
+// It consumes r: the envelope is recycled (or, on abandonment, leaked
+// to the GC) before submit returns, so the caller must not touch it
+// again.
 func (p *Pool) submit(ctx context.Context, sh *shard, r *request) (response, error) {
 	r.ctx = ctx
-	r.reply = make(chan response, 1)
-	p.mu.RLock()
-	if p.closed {
-		p.mu.RUnlock()
+	sh.closeMu.RLock()
+	if p.closed.Load() {
+		sh.closeMu.RUnlock()
+		p.putRequest(r)
 		return response{}, ErrPoolClosed
 	}
 	select {
 	case sh.queue <- r:
 		sh.submitted.Add(1)
-		p.mu.RUnlock()
+		sh.closeMu.RUnlock()
 	default:
 		sh.rejected.Add(1)
-		p.mu.RUnlock()
+		sh.closeMu.RUnlock()
+		p.putRequest(r)
 		return response{}, ErrOverloaded
 	}
 	if ctx == nil {
 		resp := <-r.reply
+		p.putRequest(r)
 		return resp, resp.err
 	}
 	select {
 	case resp := <-r.reply:
+		p.putRequest(r)
 		return resp, resp.err
 	case <-ctx.Done():
 		// The worker will still execute (or expire) the request and its
 		// reply lands in the buffered channel; the client just stops
-		// waiting.
+		// waiting. The envelope is NOT recycled — the late reply sitting
+		// in its channel would surface as the next user's answer.
 		return response{}, ctx.Err()
 	}
 }
@@ -375,9 +414,9 @@ func (p *Pool) Access(ctx context.Context, op oram.Op, addr uint64, data []byte)
 		return nil, 0, fmt.Errorf("serve: access to addr %d outside [0,%d)", addr, p.opts.NumBlocks)
 	}
 	sh := p.shards[ShardOf(addr, p.opts.Shards)]
-	resp, err := p.submit(ctx, sh, &request{
-		kind: kindAccess, op: op, addr: localAddr(addr, p.opts.Shards), data: data,
-	})
+	r := p.getRequest()
+	r.kind, r.op, r.addr, r.data = kindAccess, op, localAddr(addr, p.opts.Shards), data
+	resp, err := p.submit(ctx, sh, r)
 	return resp.value, resp.leaf, err
 }
 
@@ -399,7 +438,9 @@ func (p *Pool) Peek(ctx context.Context, addr uint64) ([]byte, error) {
 		return nil, fmt.Errorf("serve: peek at addr %d outside [0,%d)", addr, p.opts.NumBlocks)
 	}
 	sh := p.shards[ShardOf(addr, p.opts.Shards)]
-	resp, err := p.submit(ctx, sh, &request{kind: kindPeek, addr: localAddr(addr, p.opts.Shards)})
+	r := p.getRequest()
+	r.kind, r.addr = kindPeek, localAddr(addr, p.opts.Shards)
+	resp, err := p.submit(ctx, sh, r)
 	return resp.value, err
 }
 
@@ -409,7 +450,9 @@ func (p *Pool) Peek(ctx context.Context, addr uint64) ([]byte, error) {
 func (p *Pool) Invariants(ctx context.Context) []error {
 	var out []error
 	for _, sh := range p.shards {
-		resp, err := p.submit(ctx, sh, &request{kind: kindInvariants})
+		r := p.getRequest()
+		r.kind = kindInvariants
+		resp, err := p.submit(ctx, sh, r)
 		if err != nil {
 			out = append(out, fmt.Errorf("serve: shard %d invariants: %w", sh.id, err))
 			continue
@@ -429,7 +472,9 @@ func (p *Pool) ArmCrash(ctx context.Context, shard int, fire func(oracle.CrashSp
 	if shard < 0 || shard >= len(p.shards) {
 		return fmt.Errorf("serve: no shard %d (have %d)", shard, len(p.shards))
 	}
-	_, err := p.submit(ctx, p.shards[shard], &request{kind: kindArm, fire: fire})
+	r := p.getRequest()
+	r.kind, r.fire = kindArm, fire
+	_, err := p.submit(ctx, p.shards[shard], r)
 	return err
 }
 
@@ -451,17 +496,16 @@ func (p *Pool) Scheme() config.Scheme { return p.shards[0].backend.Scheme() }
 // expiry the workers keep draining in the background but Close returns
 // the context error.
 func (p *Pool) Close(ctx context.Context) error {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
+	if !p.closed.CompareAndSwap(false, true) {
 		return ErrPoolClosed
 	}
-	p.closed = true
-	p.mu.Unlock()
-	// Safe: submitters re-check closed under the read lock before
-	// touching the queue, so nobody can send on a closed channel.
+	// Safe: submitters re-check closed under the shard's read lock
+	// before touching the queue, so taking the write lock here means
+	// nobody can send on a closed channel.
 	for _, sh := range p.shards {
+		sh.closeMu.Lock()
 		close(sh.queue)
+		sh.closeMu.Unlock()
 	}
 	done := make(chan struct{})
 	go func() {

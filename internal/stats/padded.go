@@ -1,0 +1,17 @@
+package stats
+
+import "sync/atomic"
+
+// cacheLineBytes is the padding granularity for PaddedUint64. 128 rather
+// than 64: modern x86 prefetches cache lines in adjacent pairs and Apple
+// silicon uses 128-byte lines outright, so 64-byte spacing can still
+// false-share.
+const cacheLineBytes = 128
+
+// PaddedUint64 is an atomic counter padded out to its own cache line so
+// that arrays of per-shard counters do not false-share: shard i bumping
+// its counter must not bounce the line holding shard i+1's.
+type PaddedUint64 struct {
+	atomic.Uint64
+	_ [cacheLineBytes - 8]byte
+}

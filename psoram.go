@@ -186,12 +186,14 @@ func (s *Store) NumBlocks() uint64 { return s.ctl.ORAM.NumBlocks() }
 func (s *Store) Scheme() Scheme { return s.ctl.Scheme }
 
 // Read performs one oblivious access and returns the block's value.
+// The returned slice is the caller's to keep (the controller's internal
+// buffer is copied out).
 func (s *Store) Read(addr uint64) ([]byte, error) {
 	res, err := s.ctl.Access(oram.OpRead, oram.Addr(addr), nil)
 	if err != nil {
 		return nil, err
 	}
-	return res.Value, nil
+	return append([]byte(nil), res.Value...), nil
 }
 
 // Write performs one oblivious access replacing the block's value; data
