@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check sweep-smoke crash-matrix oracle-smoke serve-smoke fuzz-smoke bench-oracle bench-sim bench-serve profile perf-smoke bless-golden clean
+.PHONY: all build vet test race check sweep-smoke crash-matrix oracle-smoke serve-smoke kill9-smoke fuzz-smoke bench-oracle bench-sim bench-serve bench-store profile perf-smoke bless-golden clean
 
 all: check
 
@@ -50,12 +50,21 @@ serve-smoke: build
 	$(GO) test -race -count=1 -run 'TestPoolOracle|TestPoolConcurrentOracle|TestCrashTorture' ./internal/serve
 	$(GO) run -race ./cmd/psoram-serve -shards 4 -clients 4 -ops 200 -blocks 256 -levels 6 -check -crash-every 300
 
+# kill9-smoke is the CI-budget slice of the crash-recovery torture: a
+# few real SIGKILLs per scheme against the file-backed store plus the
+# corruption table and the mutation check (a sabotaged persist barrier
+# must be caught). The full 58-kill-point sweep runs in `make test` /
+# `make race` (no -short).
+kill9-smoke: build
+	$(GO) test -race -short -count=1 -run 'TestKill9|TestCorruptionTable|TestFreshDirIsNoStore' ./internal/storage/filestore
+
 # fuzz-smoke gives each oracle fuzz target a short coverage-guided run
 # (the CI budget; raise FUZZTIME locally for a deeper session).
 FUZZTIME ?= 30s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzOracleAccessSequence$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzStashEviction$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzFilestoreRecovery$$' -fuzztime $(FUZZTIME) ./internal/storage/filestore
 
 # bench-oracle measures the per-cell cost of oracle validation and pins
 # it into BENCH_oracle.json (tracked; regenerate when the oracle or the
@@ -82,6 +91,16 @@ bench-serve:
 	$(GO) test -run '^$$' -bench 'BenchmarkPoolThroughput|^BenchmarkStoreAccess$$' -benchmem -benchtime=1s -json ./internal/serve . > BENCH_serve.json
 	@grep -o '"Output":"[^"]*ns/op[^"]*' BENCH_serve.json | sed 's/"Output":"//;s/\\t/  /g;s/\\n//'
 
+# bench-store measures the per-access price of crash consistency: the
+# durable file backend (chunk writes + fsyncs + version flip per access)
+# against the in-memory BenchmarkStoreAccess on the identical tree
+# shape, pinned into BENCH_store.json (tracked; regenerate when the
+# filestore persist barrier or chunk layout changes). Numbers are
+# storage-stack dependent — compare within one machine with benchstat.
+bench-store:
+	$(GO) test -run '^$$' -bench '^BenchmarkFileStoreAccess$$|^BenchmarkStoreAccess$$' -benchmem -benchtime=1s -json . > BENCH_store.json
+	@grep -o '"Output":"[^"]*ns/op[^"]*' BENCH_store.json | sed 's/"Output":"//;s/\\t/  /g;s/\\n//'
+
 # profile captures CPU + heap pprof for a representative sweep via the
 # psoram-sweep -profile flag; inspect with `go tool pprof profiles/cpu.pprof`.
 PROFILE_DIR ?= profiles
@@ -97,10 +116,10 @@ profile: build
 # -benchtime=1x (harness correctness, not timing).
 perf-smoke:
 	$(GO) test ./internal/sim -run 'TestSteadyStateZeroAllocs|TestGoldenDeterminismRegression' -v
-	$(GO) test ./internal/core -run TestCoreSteadyStateAllocs -v
-	$(GO) test ./internal/serve -run TestServeSteadyStateAllocs -v
+	$(GO) test ./internal/core -run 'TestCoreSteadyStateAllocs|TestCoreFileStoreSteadyStateAllocs' -short -v
+	$(GO) test ./internal/serve -run 'TestServeSteadyStateAllocs|TestServeFileStoreSteadyStateAllocs' -short -v
 	$(GO) test -run '^$$' -bench BenchmarkSim -benchtime=1x -benchmem ./internal/sim
-	$(GO) test -run '^$$' -bench 'BenchmarkPoolThroughput|^BenchmarkStoreAccess$$' -benchtime=1x -benchmem ./internal/serve .
+	$(GO) test -run '^$$' -bench 'BenchmarkPoolThroughput|^BenchmarkStoreAccess$$|^BenchmarkFileStoreAccess$$' -benchtime=1x -benchmem ./internal/serve .
 
 # bless-golden re-pins the golden metrics after a deliberate behaviour
 # change. Justify the new numbers in the commit that re-blesses.

@@ -156,6 +156,34 @@ func BenchmarkStoreAccess(b *testing.B) {
 	}
 }
 
+// BenchmarkFileStoreAccess is BenchmarkStoreAccess over the durable
+// file backend: identical keyspace, tree shape, and scheme, but every
+// access ends with the persist barrier (chunk writes + fsyncs + version
+// flip). The gap between the two IS the price of crash consistency on
+// this machine's storage stack; `make bench-store` pins it into
+// BENCH_store.json.
+func BenchmarkFileStoreAccess(b *testing.B) {
+	s, err := New(512, WithScheme(PSORAM), WithLevels(8), WithRNGSeed(1),
+		WithStorePath(b.TempDir()+"/store"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	buf := make([]byte, s.BlockSize())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := (uint64(i) * 2654435761) % 512
+		if i%2 == 0 {
+			if err := s.Write(addr, buf); err != nil {
+				b.Fatal(err)
+			}
+		} else if _, err := s.Read(addr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkAccessBaseline(b *testing.B)    { benchStoreAccess(b, Baseline) }
 func BenchmarkAccessPSORAM(b *testing.B)      { benchStoreAccess(b, PSORAM) }
 func BenchmarkAccessNaivePSORAM(b *testing.B) { benchStoreAccess(b, NaivePSORAM) }

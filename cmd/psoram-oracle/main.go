@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -37,6 +38,7 @@ func main() {
 		blocks        = flag.Uint64("blocks", 256, "logical blocks in the functional tree")
 		seed          = flag.Uint64("seed", 1, "root seed for deterministic op generation")
 		crashMode     = flag.Bool("crash", false, "also run crash-linearizability for the persistent schemes")
+		storeDir      = flag.String("store", "", "run file-backed: give every (scheme,workload,level) cell a durable store under DIR (flat schemes only)")
 		jsonPath      = flag.String("json", "", "write full reports as JSON to this path (\"-\" = stdout)")
 		list          = flag.Bool("list", false, "list schemes and workloads, then exit")
 	)
@@ -91,6 +93,15 @@ func main() {
 			for _, w := range workloads {
 				genOps := oracle.GenOps(w, *blocks, bb, *ops, *seed)
 				p := oracle.Params{Scheme: s, NumBlocks: *blocks, Levels: lv, Seed: *seed}
+				if *storeDir != "" {
+					if s == config.SchemeNonORAM || s.Ring() || s.Recursive() {
+						continue // the durable backend covers the flat family only
+					}
+					// One fresh store per cell: recovered state from another
+					// cell would fail the from-zero reference diff.
+					p.StoreDir = filepath.Join(*storeDir,
+						fmt.Sprintf("%s-%s-L%d", sanitize(s.String()), sanitize(w.Name), lv))
+				}
 				rep, err := oracle.CheckScheme(p, genOps, oracle.Options{})
 				if err != nil {
 					fatal(err)
@@ -216,6 +227,17 @@ func parseLevels(s string) ([]int, error) {
 		return nil, fmt.Errorf("no tree heights given")
 	}
 	return out, nil
+}
+
+// sanitize maps a scheme/workload name onto a filesystem-safe token.
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		}
+		return '_'
+	}, s)
 }
 
 func fatal(err error) {

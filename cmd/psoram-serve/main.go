@@ -45,6 +45,7 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "per-request deadline (0 = none)")
 		crashEvery = flag.Int("crash-every", 0, "fire a power failure every Nth crash point (0 = off)")
 		check      = flag.Bool("check", false, "diff every value against a reference and sweep the keyspace at the end")
+		storeDir   = flag.String("store", "", "back every shard with a durable on-disk store under DIR (create-or-recover; flat schemes only)")
 	)
 	flag.Parse()
 
@@ -63,6 +64,7 @@ func main() {
 		Seed:       *seed,
 		QueueDepth: *queue,
 		MaxBatch:   *batch,
+		StoreDir:   *storeDir,
 	})
 	if err != nil {
 		fatal(err)
@@ -95,9 +97,26 @@ func main() {
 		failures    atomic.Uint64
 	)
 	refs := make([]map[uint64][]byte, *clients)
+	for c := range refs {
+		refs[c] = make(map[uint64][]byte)
+	}
+	// Restarting over a durable store: the pool recovered the previous
+	// run's committed values, so the reference must start from the
+	// recovered state, not from zero — which also makes -check verify
+	// the recovery itself.
+	if *check && *storeDir != "" {
+		zero := make([]byte, bb)
+		for c := 0; c < *clients; c++ {
+			base := uint64(c) * perClient
+			for a := base; a < base+perClient; a++ {
+				if v, err := pool.Peek(context.Background(), a); err == nil && !equal(v, zero) {
+					refs[c][a] = append([]byte(nil), v...)
+				}
+			}
+		}
+	}
 	start := time.Now()
 	for c := 0; c < *clients; c++ {
-		refs[c] = make(map[uint64][]byte)
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()

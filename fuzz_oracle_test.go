@@ -2,9 +2,11 @@ package psoram
 
 import (
 	"bytes"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/config"
+	"repro/internal/core"
 	"repro/internal/oracle"
 	"repro/internal/oram"
 )
@@ -58,7 +60,89 @@ func FuzzOracleAccessSequence(f *testing.F) {
 		for _, v := range rep.Violations {
 			t.Errorf("%s: %s", scheme, v)
 		}
+
+		// File-backed variant: the same sequence against a durable store
+		// that is closed and reopened at a fuzzer-chosen cut, differenced
+		// access-by-access against an in-memory twin that never restarts.
+		// The persistent schemes promise the reopen is invisible at the
+		// value level, so any divergence is a crash-consistency bug.
+		fuzzDurableReopen(t, sel, raw, ops)
 	})
+}
+
+// fuzzDurableReopen runs ops through (a) an in-memory controller and
+// (b) a file-backed controller torn down and recovered mid-sequence,
+// requiring identical values throughout and on a final sweep.
+func fuzzDurableReopen(t *testing.T, sel uint8, raw []byte, ops []oracle.Op) {
+	if len(ops) == 0 {
+		return
+	}
+	if len(ops) > 24 {
+		ops = ops[:24] // each file op carries several fsyncs; keep an exec cheap
+	}
+	scheme := config.SchemePSORAM
+	if sel%2 == 1 {
+		scheme = config.SchemeNaivePSORAM
+	}
+	cut := int(raw[0]) % (len(ops) + 1)
+
+	const blocks = 32
+	cfg := config.Default()
+	cfg.Seed = 11
+	opts := core.Options{NumBlocks: blocks, Levels: 4}
+	mem, err := core.New(scheme, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "store")
+	fc, created, err := core.NewDurable(scheme, cfg, opts, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !created {
+		t.Fatal("durable controller reopened a store in a fresh dir")
+	}
+	for i, op := range ops {
+		if i == cut {
+			if err := fc.Close(); err != nil {
+				t.Fatalf("close at cut %d: %v", cut, err)
+			}
+			if fc, created, err = core.NewDurable(scheme, cfg, opts, dir); err != nil {
+				t.Fatalf("reopen at cut %d: %v", cut, err)
+			}
+			if created {
+				t.Fatalf("reopen at cut %d recreated instead of recovering", cut)
+			}
+		}
+		kind, data := oram.OpRead, []byte(nil)
+		if op.Write {
+			kind, data = oram.OpWrite, op.Data
+		}
+		rm, err := mem.Access(kind, oram.Addr(op.Addr), data)
+		if err != nil {
+			t.Fatalf("mem op %d: %v", i, err)
+		}
+		rf, err := fc.Access(kind, oram.Addr(op.Addr), data)
+		if err != nil {
+			t.Fatalf("%s file op %d (cut %d): %v", scheme, i, cut, err)
+		}
+		if !bytes.Equal(rm.Value, rf.Value) {
+			t.Fatalf("%s op %d (cut %d): mem %.16q, file %.16q", scheme, i, cut, rm.Value, rf.Value)
+		}
+	}
+	for a := uint64(0); a < blocks; a++ {
+		vm, errM := mem.Peek(oram.Addr(a))
+		vf, errF := fc.Peek(oram.Addr(a))
+		if (errM == nil) != (errF == nil) {
+			t.Fatalf("%s addr %d (cut %d): mem err %v, file err %v", scheme, a, cut, errM, errF)
+		}
+		if !bytes.Equal(vm, vf) {
+			t.Fatalf("%s addr %d (cut %d): mem %.16q, file %.16q", scheme, a, cut, vm, vf)
+		}
+	}
+	if err := fc.Close(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // FuzzStashEviction drives a small functional ORAM through

@@ -53,6 +53,15 @@ func (c *Controller) Access(op oram.Op, addr oram.Addr, data []byte) (Result, er
 	if err != nil {
 		return res, err
 	}
+	// Durable backend: commit this access's mutations with one persist
+	// barrier, so the on-disk state only transitions between accesses. An
+	// interrupted access never reaches this point and leaves the previous
+	// boundary committed.
+	if c.storage != nil {
+		if perr := c.persistDurable(); perr != nil {
+			return res, perr
+		}
+	}
 	c.accessN++
 	c.counters.Inc("oram.accesses")
 	return res, nil
@@ -95,6 +104,7 @@ func (c *Controller) accessFlat(op oram.Op, addr oram.Addr, data []byte) (Result
 		// the paper's Case 1b).
 		c.ORAM.PosMap.Put(addr, lNew)
 		c.durable.Put(addr, lNew)
+		c.mirrorLeaf(addr, lNew)
 		c.timeOnChipNVM(nvm.Read) // lookup
 		c.timeOnChipNVM(nvm.Write)
 	default:

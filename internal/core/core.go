@@ -161,6 +161,11 @@ type Controller struct {
 	OnDurable func(addr oram.Addr, value []byte)
 
 	crashed bool
+
+	// storage is the durable backend (nil = in-memory image only): the
+	// tree image lives in it, durable PosMap mutations are mirrored
+	// into it, and persistDurable commits at access boundaries.
+	storage DurableStorage
 }
 
 // Options tunes construction beyond the scheme and config.
@@ -170,16 +175,46 @@ type Options struct {
 	NumBlocks uint64
 	// Levels overrides the tree height. Zero derives it from NumBlocks.
 	Levels int
+	// Storage, when non-nil, is a freshly created durable backend the
+	// controller builds its initial image into (flat schemes only). Use
+	// Open/NewDurable to reattach to an existing one.
+	Storage DurableStorage
 }
 
 // New builds a controller for the scheme. cfg supplies Z, stash size,
-// WPQ sizes, NVM timing, etc.; opts scales the tree.
+// WPQ sizes, NVM timing, etc.; opts scales the tree. With opts.Storage
+// set, the freshly built image is sealed into the backend and the
+// initial state committed with one persist barrier.
 func New(scheme config.Scheme, cfg config.Config, opts Options) (*Controller, error) {
+	c, err := newController(scheme, cfg, opts, false)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Storage != nil {
+		c.storage = opts.Storage
+		c.syncDurablePosMap()
+		if err := c.persistDurable(); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// newController is the shared construction path: attach=false seals a
+// fresh initial image (into opts.Storage when set); attach=true wraps
+// an already-populated backend without writing anything — the recovery
+// path, which owns restoring the PosMap and version cursor afterwards.
+func newController(scheme config.Scheme, cfg config.Config, opts Options, attach bool) (*Controller, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if opts.NumBlocks == 0 {
 		return nil, fmt.Errorf("core: Options.NumBlocks is required (functional trees are sized explicitly)")
+	}
+	if opts.Storage != nil {
+		if err := storageSupported(scheme); err != nil {
+			return nil, err
+		}
 	}
 	levels := opts.Levels
 	if levels == 0 {
@@ -193,14 +228,24 @@ func New(scheme config.Scheme, cfg config.Config, opts Options) (*Controller, er
 	if stash <= path {
 		stash = path * 3
 	}
-	oc, err := oram.New(oram.Params{
+	op := oram.Params{
 		Levels:       levels,
 		Z:            cfg.Z,
 		BlockBytes:   cfg.BlockBytes,
 		StashEntries: stash,
 		NumBlocks:    opts.NumBlocks,
 		Seed:         cfg.Seed,
-	})
+	}
+	if opts.Storage != nil {
+		op.Storage = opts.Storage
+	}
+	var oc *oram.Controller
+	var err error
+	if attach {
+		oc, err = oram.NewAttached(op)
+	} else {
+		oc, err = oram.New(op)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -376,6 +421,7 @@ func (c *Controller) powerFail() {
 			c.ORAM.PosMap.Put(c.inflight.addr, c.inflight.oldLeaf)
 		}
 		c.durable = c.ORAM.PosMap.Clone()
+		c.syncDurablePosMap()
 		if c.OnDurable != nil {
 			for _, b := range c.ORAM.Stash.Live() {
 				c.OnDurable(b.Addr, append([]byte(nil), b.Data...))

@@ -78,6 +78,7 @@ func (c *Controller) ApplyEntry(tag int) {
 	}
 	b := c.applySlots[-tag-1].block
 	c.durable.Put(b.Addr, b.Leaf)
+	c.mirrorLeaf(b.Addr, b.Leaf)
 	c.ORAM.PosMap.Put(b.Addr, b.Leaf)
 	c.Temp.Delete(b.Addr)
 }

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/oram"
+)
+
+// DurableStorage is the controller's view of a durable backend: the
+// slot store plus the durable side state the §4.3 recovery path needs —
+// the NVM position map, the seal-version cursor, and the trusted
+// integrity root. internal/storage/filestore implements it on disk.
+//
+// The controller mirrors every durable-PosMap mutation into the backend
+// as it happens and runs one Persist barrier at the end of each
+// successful access, so the on-disk state only ever transitions between
+// access boundaries: exactly the atomic-prefix guarantee the crash
+// checker holds the persistent schemes to.
+type DurableStorage interface {
+	oram.Storage
+	Geometry() oram.StoreGeometry
+	Leaf(a oram.Addr) oram.Leaf
+	SetLeaf(a oram.Addr, l oram.Leaf)
+	VerSeq() uint32
+	SetVerSeq(v uint32)
+	Root() []byte
+	SetRoot(root []byte)
+	// Persist runs the backend's ordered persist barrier: on return the
+	// current state is the committed on-disk version.
+	Persist() error
+	Close() error
+}
+
+// Storage returns the durable backend, or nil for the default
+// in-memory image.
+func (c *Controller) Storage() DurableStorage { return c.storage }
+
+// Close persists any remaining durable state and releases the backend.
+// It is a no-op for in-memory controllers.
+func (c *Controller) Close() error {
+	if c.storage == nil {
+		return nil
+	}
+	var perr error
+	if !c.crashed {
+		perr = c.persistDurable()
+	}
+	cerr := c.storage.Close()
+	if perr != nil {
+		return perr
+	}
+	return cerr
+}
+
+// storageSupported gates which schemes a durable backend covers: the
+// flat Path ORAM family (same coverage as the snapshot format — the
+// recursive hierarchy's posmap trees are additional NVM allocations a
+// future format revision could append).
+func storageSupported(scheme config.Scheme) error {
+	switch scheme {
+	case config.SchemeBaseline, config.SchemeFullNVM, config.SchemeFullNVMSTT,
+		config.SchemeNaivePSORAM, config.SchemePSORAM, config.SchemeEADRORAM:
+		return nil
+	}
+	return fmt.Errorf("core: durable storage does not cover scheme %v (flat schemes only)", scheme)
+}
+
+// mirrorLeaf pushes one durable-PosMap mutation to the backend.
+func (c *Controller) mirrorLeaf(a oram.Addr, l oram.Leaf) {
+	if c.storage != nil {
+		c.storage.SetLeaf(a, l)
+	}
+}
+
+// syncDurablePosMap pushes the whole durable PosMap to the backend
+// (initial creation; eADR's flush-everything power fail).
+func (c *Controller) syncDurablePosMap() {
+	if c.storage == nil {
+		return
+	}
+	for a := oram.Addr(0); uint64(a) < c.ORAM.NumBlocks(); a++ {
+		c.storage.SetLeaf(a, c.durable.Lookup(a))
+	}
+}
+
+// persistDurable pushes the version cursor and trusted root, then runs
+// the backend's persist barrier. Called at the end of every successful
+// access, at creation, and at Close; an interrupted access skips it, so
+// the on-disk state stays at the previous access boundary.
+func (c *Controller) persistDurable() error {
+	if c.storage == nil {
+		return nil
+	}
+	c.storage.SetVerSeq(c.ORAM.VerSeq())
+	if c.Merkle != nil {
+		c.storage.SetRoot(c.Merkle.Root())
+	}
+	if err := c.storage.Persist(); err != nil {
+		return fmt.Errorf("core: persist barrier: %w", err)
+	}
+	c.counters.Inc("storage.persists")
+	return nil
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sort"
 
 	"repro/internal/crash"
@@ -91,26 +92,21 @@ func CheckCrash(p Params, ops []Op, copts CrashOptions) (*CrashReport, error) {
 
 	// Prefix replays: prefixes[k] = reference store after the first k ops.
 	bb := p.config().BlockBytes
-	ref := newRefStore(bb)
-	prefixes := make([]map[uint64][]byte, len(ops)+1)
-	prefixes[0] = map[uint64][]byte{}
-	for i, op := range ops {
-		ref.apply(op)
-		snap := make(map[uint64][]byte, len(ref.m))
-		for a, v := range ref.m {
-			snap[a] = v
-		}
-		prefixes[i+1] = snap
-	}
+	prefixes := PrefixStates(ops, bb)
 
 	rep := &CrashReport{Scheme: p.Scheme.String(), StepsFired: make(map[int]int)}
 	strict := p.Scheme.Persistent()
-	zero := make([]byte, bb)
 
 	for _, step := range steps {
 		for _, after := range afters {
 			trial := CrashTrial{Step: step, After: after, OpsStarted: -1}
-			tgt, err := NewTarget(p)
+			tp := p
+			if p.StoreDir != "" {
+				// Every trial is a fresh system; trials must not recover
+				// each other's on-disk state.
+				tp.StoreDir = filepath.Join(p.StoreDir, fmt.Sprintf("trial-s%d-a%d", step, after))
+			}
+			tgt, err := NewTarget(tp)
 			if err != nil {
 				return nil, err
 			}
@@ -187,11 +183,7 @@ func CheckCrash(p Params, ops []Op, copts CrashOptions) (*CrashReport, error) {
 			}
 
 			// Which prefix boundaries does the recovered store equal?
-			for k := 0; k <= trial.OpsStarted+1; k++ {
-				if storeEquals(recovered, prefixes[k], zero) {
-					trial.Matched = append(trial.Matched, k)
-				}
-			}
+			trial.Matched = MatchedPrefixes(recovered, prefixes, trial.OpsStarted+1, bb)
 
 			i := trial.OpsStarted
 			if strict {
@@ -209,7 +201,7 @@ func CheckCrash(p Params, ops []Op, copts CrashOptions) (*CrashReport, error) {
 					if recovered[a] == nil {
 						continue // lost in the crash — permitted for baselines
 					}
-					if !knownVersion(ops[:i+1], a, recovered[a], zero) {
+					if !KnownVersion(ops[:i+1], a, recovered[a], bb) {
 						rep.add(copts, Violation{Kind: "crash", Op: i, Addr: a,
 							Detail: fmt.Sprintf("step %d after %d: recovered value %.16q was never written to addr %d", step, after, recovered[a], a)})
 					}
@@ -228,6 +220,42 @@ func CheckCrash(p Params, ops []Op, copts CrashOptions) (*CrashReport, error) {
 	return rep, nil
 }
 
+// PrefixStates replays ops against the reference store and returns
+// states[k] = the sparse store after the first k ops (k = 0..len(ops)).
+// Shared by CheckCrash and the out-of-process kill -9 harness, so both
+// hold recovered stores to the same definition of "prefix of history".
+func PrefixStates(ops []Op, blockBytes int) []map[uint64][]byte {
+	ref := newRefStore(blockBytes)
+	states := make([]map[uint64][]byte, len(ops)+1)
+	states[0] = map[uint64][]byte{}
+	for i, op := range ops {
+		ref.apply(op)
+		snap := make(map[uint64][]byte, len(ref.m))
+		for a, v := range ref.m {
+			snap[a] = v
+		}
+		states[i+1] = snap
+	}
+	return states
+}
+
+// MatchedPrefixes returns every boundary k <= max whose prefix state
+// equals the dense recovered store. recovered[a] == nil marks an
+// address that could not be read back; it never matches.
+func MatchedPrefixes(recovered [][]byte, states []map[uint64][]byte, max, blockBytes int) []int {
+	if max > len(states)-1 {
+		max = len(states) - 1
+	}
+	zero := make([]byte, blockBytes)
+	var matched []int
+	for k := 0; k <= max; k++ {
+		if storeEquals(recovered, states[k], zero) {
+			matched = append(matched, k)
+		}
+	}
+	return matched
+}
+
 // storeEquals compares a dense recovered store against a sparse prefix
 // snapshot (missing keys read as zero blocks).
 func storeEquals(recovered [][]byte, prefix map[uint64][]byte, zero []byte) bool {
@@ -243,10 +271,11 @@ func storeEquals(recovered [][]byte, prefix map[uint64][]byte, zero []byte) bool
 	return true
 }
 
-// knownVersion reports whether v is zero or some value written to a in
-// the given op history.
-func knownVersion(ops []Op, a uint64, v, zero []byte) bool {
-	if bytes.Equal(v, zero) {
+// KnownVersion reports whether v is zero or some value written to a in
+// the given op history — the weak per-address check the non-persistent
+// baselines are held to (no fabricated bytes, staleness permitted).
+func KnownVersion(ops []Op, a uint64, v []byte, blockBytes int) bool {
+	if bytes.Equal(v, make([]byte, blockBytes)) {
 		return true
 	}
 	for _, op := range ops {

@@ -63,6 +63,10 @@ type Params struct {
 	Seed      uint64
 	// Cfg overrides the base configuration; nil means config.Default().
 	Cfg *config.Config
+	// StoreDir, when non-empty, backs the target with a durable on-disk
+	// store (create-or-recover via core.NewDurable). Flat Path ORAM
+	// schemes only; the target then also implements io.Closer.
+	StoreDir string
 }
 
 func (p Params) config() config.Config {
@@ -83,6 +87,9 @@ func NewTarget(p Params) (Target, error) {
 	}
 	cfg := p.config()
 	cfg.Seed = p.Seed
+	if p.StoreDir != "" && (p.Scheme == config.SchemeNonORAM || p.Scheme.Ring()) {
+		return nil, fmt.Errorf("oracle: StoreDir is not supported for scheme %s", p.Scheme)
+	}
 	switch {
 	case p.Scheme == config.SchemeNonORAM:
 		return &plainTarget{
@@ -125,6 +132,13 @@ func NewTarget(p Params) (Target, error) {
 			if need := 2 * (p.Levels + 1) * cfg.Z; cfg.DataWPQEntries < need {
 				cfg.DataWPQEntries = need
 			}
+		}
+		if p.StoreDir != "" {
+			ctl, _, err := core.NewDurable(p.Scheme, cfg, core.Options{NumBlocks: p.NumBlocks, Levels: p.Levels}, p.StoreDir)
+			if err != nil {
+				return nil, err
+			}
+			return &coreTarget{ctl: ctl}, nil
 		}
 		ctl, err := core.New(p.Scheme, cfg, core.Options{NumBlocks: p.NumBlocks, Levels: p.Levels})
 		if err != nil {
@@ -175,6 +189,10 @@ func (t *coreTarget) Arm(fire func(CrashSpec) bool) {
 }
 
 func (t *coreTarget) Recover() error { return t.ctl.Recover() }
+
+// Close persists and releases the durable backend, if any (io.Closer —
+// the serving layer closes file-backed shards through this).
+func (t *coreTarget) Close() error { return t.ctl.Close() }
 
 // Cycles reports the controller's simulated clock, letting callers (the
 // serving layer's latency histograms) price accesses in simulated cycles.

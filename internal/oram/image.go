@@ -9,37 +9,56 @@ import (
 
 // Image is the functional NVM image of an ORAM tree: every bucket's
 // sealed slots. It plays the role of the NVM-ORAM tree in the paper's
-// figures; the mem package decides which mutations of it survive a crash.
+// figures; the mem package decides which mutations of it survive a
+// crash, and the Storage backend decides where the slots physically
+// live (process memory by default, a crash-consistent file store for
+// real process-kill recovery).
 type Image struct {
-	Tree    Tree
-	buckets [][]Slot
-	blockB  int
+	Tree   Tree
+	store  Storage
+	blockB int
 }
 
-// NewImage allocates an image with every slot sealed as a dummy.
+// NewImage allocates an in-memory image with every slot sealed as a
+// dummy.
 func NewImage(t Tree, e *cryptoeng.Engine, blockBytes int, nextIV func() uint64) *Image {
-	img := &Image{Tree: t, blockB: blockBytes}
-	img.buckets = make([][]Slot, t.Buckets())
-	for i := range img.buckets {
-		slots := make([]Slot, t.Z)
-		for z := range slots {
-			slots[z] = DummySlot(e, blockBytes, nextIV)
+	return NewImageInto(newMemStorage(t), t, e, blockBytes, nextIV)
+}
+
+// NewImageInto builds a fresh image on an existing (empty) storage
+// backend, sealing a dummy into every slot. The dummy-seal order is
+// identical to NewImage's, so the IV stream — and therefore every
+// ciphertext — is byte-for-byte the same regardless of backend.
+func NewImageInto(st Storage, t Tree, e *cryptoeng.Engine, blockBytes int, nextIV func() uint64) *Image {
+	img := &Image{Tree: t, store: st, blockB: blockBytes}
+	for i := uint64(0); i < t.Buckets(); i++ {
+		for z := 0; z < t.Z; z++ {
+			st.SetSlot(i, z, DummySlot(e, blockBytes, nextIV))
 		}
-		img.buckets[i] = slots
 	}
 	return img
 }
 
+// NewImageOn attaches an image to an already-populated storage backend
+// without writing anything — the recovery path: the slots are whatever
+// the durable store reconstructed.
+func NewImageOn(st Storage, t Tree, blockBytes int) *Image {
+	return &Image{Tree: t, store: st, blockB: blockBytes}
+}
+
+// Storage returns the backing store.
+func (img *Image) Storage() Storage { return img.store }
+
 // Slot returns the sealed slot at (bucket, z).
-func (img *Image) Slot(bucket uint64, z int) Slot { return img.buckets[bucket][z] }
+func (img *Image) Slot(bucket uint64, z int) Slot { return img.store.Slot(bucket, z) }
 
 // SetSlot overwrites the sealed slot at (bucket, z) and returns an undo
 // closure restoring the previous content (used for crash rollback of
 // in-flight writes).
 func (img *Image) SetSlot(bucket uint64, z int, s Slot) (undo func()) {
-	prev := img.buckets[bucket][z]
-	img.buckets[bucket][z] = s
-	return func() { img.buckets[bucket][z] = prev }
+	prev := img.store.Slot(bucket, z)
+	img.store.SetSlot(bucket, z, s)
+	return func() { img.store.SetSlot(bucket, z, prev) }
 }
 
 // PutSlot overwrites the sealed slot at (bucket, z) and returns the
@@ -47,8 +66,8 @@ func (img *Image) SetSlot(bucket uint64, z int, s Slot) (undo func()) {
 // SetSlot there is no undo closure: callers that need crash rollback
 // keep using SetSlot.
 func (img *Image) PutSlot(bucket uint64, z int, s Slot) (old Slot) {
-	old = img.buckets[bucket][z]
-	img.buckets[bucket][z] = s
+	old = img.store.Slot(bucket, z)
+	img.store.SetSlot(bucket, z, s)
 	return old
 }
 
@@ -71,7 +90,7 @@ func (img *Image) InitBlocks(e *cryptoeng.Engine, blocks []Block, nextIV func() 
 		for k := t.L; k >= 0 && !placed; k-- {
 			bucket := path[k]
 			if used[bucket] < t.Z {
-				img.buckets[bucket][used[bucket]] = SealBlock(e, b, nextIV)
+				img.store.SetSlot(bucket, used[bucket], SealBlock(e, b, nextIV))
 				used[bucket]++
 				placed = true
 			}
@@ -87,7 +106,7 @@ func (img *Image) InitBlocks(e *cryptoeng.Engine, blocks []Block, nextIV func() 
 func (img *Image) ReadBucket(e *cryptoeng.Engine, bucket uint64) ([]Block, error) {
 	out := make([]Block, 0, img.Tree.Z)
 	for z := 0; z < img.Tree.Z; z++ {
-		b, err := OpenSlot(e, img.buckets[bucket][z])
+		b, err := OpenSlot(e, img.store.Slot(bucket, z))
 		if err != nil {
 			return nil, fmt.Errorf("oram: bucket %d slot %d: %w", bucket, z, err)
 		}

@@ -68,6 +68,10 @@ type Params struct {
 	NumBlocks    uint64 // logical blocks (must fit the tree at <=100% util)
 	Seed         uint64
 	Key          []byte // 16-byte AES key; nil selects a fixed test key
+	// Storage, when non-nil, backs the tree image instead of process
+	// memory. New seals the initial image into it; NewAttached expects
+	// it to already hold a recovered image.
+	Storage Storage
 }
 
 // DefaultKey is the AES key used when Params.Key is nil.
@@ -97,6 +101,22 @@ func (p Params) Validate() error {
 // New builds a functional baseline ORAM with NumBlocks zero-initialized
 // logical blocks already resident in the tree.
 func New(p Params) (*Controller, error) {
+	return build(p, false)
+}
+
+// NewAttached builds a controller around p.Storage without sealing or
+// materializing anything: the storage already holds a recovered image.
+// The PosMap starts with the usual random initialization — the caller
+// (the §4.3 recovery path) owns overwriting every entry from the
+// durable copy, along with restoring the seal-version cursor.
+func NewAttached(p Params) (*Controller, error) {
+	if p.Storage == nil {
+		return nil, fmt.Errorf("oram: NewAttached requires Params.Storage")
+	}
+	return build(p, true)
+}
+
+func build(p Params, attach bool) (*Controller, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -120,7 +140,15 @@ func New(p Params) (*Controller, error) {
 		nextIV: nextIV,
 		nReal:  p.NumBlocks,
 	}
-	c.Image = NewImage(t, eng, p.BlockBytes, nextIV)
+	if attach {
+		c.Image = NewImageOn(p.Storage, t, p.BlockBytes)
+		return c, nil
+	}
+	if p.Storage != nil {
+		c.Image = NewImageInto(p.Storage, t, eng, p.BlockBytes, nextIV)
+	} else {
+		c.Image = NewImage(t, eng, p.BlockBytes, nextIV)
+	}
 	// Materialize the initial blocks on their mapped paths.
 	blocks := make([]Block, p.NumBlocks)
 	for i := range blocks {

@@ -1,0 +1,48 @@
+package oram
+
+// Storage is the slot-granular backing store of an ORAM tree image: the
+// physical medium the sealed buckets live on. The in-memory backend
+// (memStorage) models NVM the way the rest of the simulator does —
+// mutations survive exactly when the mem layer says they do — while
+// internal/storage/filestore keeps the image on disk behind a
+// crash-consistent persist barrier, so a real process kill exercises the
+// paper's §4.3 recovery against durable state.
+//
+// Implementations hold Slot values as given: the sealed buffers are
+// shared with the controller's recycling discipline, exactly like the
+// former in-Image [][]Slot. Slot reads return the stored value; they
+// must not copy (the hot path depends on zero-allocation reads).
+type Storage interface {
+	// Slot returns the sealed slot at (bucket, z).
+	Slot(bucket uint64, z int) Slot
+	// SetSlot overwrites the sealed slot at (bucket, z).
+	SetSlot(bucket uint64, z int, s Slot)
+}
+
+// StoreGeometry identifies the shape (and scheme) of a stored image, so
+// a durable backend can be reopened without external metadata.
+type StoreGeometry struct {
+	Scheme     uint64 // config.Scheme, widened to avoid an import cycle
+	Levels     int
+	Z          int
+	BlockBytes int
+	NumBlocks  uint64
+}
+
+// memStorage is the default backend: the tree image as a slice-of-slices
+// in process memory, byte-for-byte the representation Image used before
+// the Storage split.
+type memStorage struct {
+	buckets [][]Slot
+}
+
+func newMemStorage(t Tree) *memStorage {
+	m := &memStorage{buckets: make([][]Slot, t.Buckets())}
+	for i := range m.buckets {
+		m.buckets[i] = make([]Slot, t.Z)
+	}
+	return m
+}
+
+func (m *memStorage) Slot(bucket uint64, z int) Slot      { return m.buckets[bucket][z] }
+func (m *memStorage) SetSlot(bucket uint64, z int, s Slot) { m.buckets[bucket][z] = s }

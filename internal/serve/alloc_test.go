@@ -55,3 +55,54 @@ func TestServeSteadyStateAllocs(t *testing.T) {
 	}
 	t.Logf("steady-state serve allocs/op: %.2f (budget %.1f)", allocs, budget)
 }
+
+// TestServeFileStoreSteadyStateAllocs pins the same end-to-end path
+// over file-backed shards. The serving layer adds nothing to the file
+// backend's own per-persist cost (~56 allocs/op in the controller, see
+// core's file-backed guard), so the budget sits just above core's: a
+// regression in either the serving envelope or chunk serialization
+// trips it.
+func TestServeFileStoreSteadyStateAllocs(t *testing.T) {
+	const budget = 90.0
+
+	p, err := New(Options{
+		Shards:     2,
+		NumBlocks:  512,
+		Scheme:     config.SchemePSORAM,
+		Levels:     8,
+		Seed:       1,
+		QueueDepth: 64,
+		StoreDir:   t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close(context.Background())
+	ctx := context.Background()
+	data := make([]byte, p.BlockBytes())
+	warm, runs := 2000, 500
+	if testing.Short() {
+		warm, runs = 400, 100
+	}
+	for i := uint64(0); i < uint64(warm); i++ {
+		if _, _, err := p.Access(ctx, oram.OpWrite, i%512, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	i := uint64(0)
+	allocs := testing.AllocsPerRun(runs, func() {
+		i++
+		op, payload := oram.OpRead, []byte(nil)
+		if i%2 == 0 {
+			op, payload = oram.OpWrite, data
+		}
+		if _, _, err := p.Access(ctx, op, (i*2654435761)%512, payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > budget {
+		t.Errorf("file-backed serve access allocates %.2f/op, budget %.1f", allocs, budget)
+	}
+	t.Logf("file-backed serve allocs/op: %.2f (budget %.1f)", allocs, budget)
+}

@@ -27,6 +27,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 
@@ -95,6 +97,11 @@ type Options struct {
 	// MaxBatch caps how many queued requests one protocol round
 	// coalesces (default 8).
 	MaxBatch int
+	// StoreDir, when non-empty, backs every shard with a durable on-disk
+	// store under StoreDir/shard-NNN (create-or-recover; flat Path ORAM
+	// schemes only). Close then persists and closes every shard's store
+	// after the drain. Ignored when Factory is set.
+	StoreDir string
 	// Factory overrides backend construction (tests, custom schemes).
 	// Nil means oracle.NewTarget with per-shard derived seeds.
 	Factory Factory
@@ -230,12 +237,17 @@ func New(opts Options) (*Pool, error) {
 				}
 				levels = cfg.TreeLevelsFor(local)
 			}
+			dir := ""
+			if opts.StoreDir != "" {
+				dir = filepath.Join(opts.StoreDir, fmt.Sprintf("shard-%03d", s))
+			}
 			t, err := oracle.NewTarget(oracle.Params{
 				Scheme:    opts.Scheme,
 				NumBlocks: local,
 				Levels:    levels,
 				Seed:      rng.DeriveSeed(opts.Seed, 0x5e4e, uint64(s)),
 				Cfg:       opts.Cfg,
+				StoreDir:  dir,
 			})
 			if err != nil {
 				return nil, err
@@ -492,9 +504,11 @@ func (p *Pool) Scheme() config.Scheme { return p.shards[0].backend.Scheme() }
 
 // Close drains the pool: no new submits are accepted, every already
 // queued request is executed (crashed rounds recover via §4.3 on the
-// way out), and the workers exit. The context bounds the drain; on
-// expiry the workers keep draining in the background but Close returns
-// the context error.
+// way out), the workers exit, and any backend implementing io.Closer is
+// closed (for file-backed shards that runs the final persist barrier).
+// The context bounds the drain; on expiry the workers keep draining —
+// and the backends still get closed — in the background, but Close
+// returns the context error.
 func (p *Pool) Close(ctx context.Context) error {
 	if !p.closed.CompareAndSwap(false, true) {
 		return ErrPoolClosed
@@ -507,18 +521,27 @@ func (p *Pool) Close(ctx context.Context) error {
 		close(sh.queue)
 		sh.closeMu.Unlock()
 	}
-	done := make(chan struct{})
+	done := make(chan error, 1)
 	go func() {
+		// Backends are single-threaded; closing them only after every
+		// worker has exited keeps that contract.
 		p.wg.Wait()
-		close(done)
+		var first error
+		for _, sh := range p.shards {
+			if c, ok := sh.backend.(io.Closer); ok {
+				if err := c.Close(); err != nil && first == nil {
+					first = fmt.Errorf("serve: shard %d close: %w", sh.id, err)
+				}
+			}
+		}
+		done <- first
 	}()
 	if ctx == nil {
-		<-done
-		return nil
+		return <-done
 	}
 	select {
-	case <-done:
-		return nil
+	case err := <-done:
+		return err
 	case <-ctx.Done():
 		return fmt.Errorf("serve: drain incomplete: %w", ctx.Err())
 	}

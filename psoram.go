@@ -71,6 +71,10 @@ var ErrCrashed = core.ErrCrashed
 // Store.CrashAt).
 type CrashPoint = core.CrashPoint
 
+// DurableStorage is a pluggable durable backend (see WithStorage and
+// internal/storage/filestore for the on-disk implementation).
+type DurableStorage = core.DurableStorage
+
 // StoreOptions configures a Store.
 //
 // Deprecated: use New with functional options (WithScheme, WithConfig,
@@ -98,10 +102,12 @@ type Store struct {
 // storeConfig collects what the functional options set before the
 // controller is built.
 type storeConfig struct {
-	scheme  Scheme
-	cfg     Config
-	levels  int
-	crashAt func(CrashPoint) bool
+	scheme   Scheme
+	cfg      Config
+	levels   int
+	crashAt  func(CrashPoint) bool
+	storeDir string
+	storage  DurableStorage
 }
 
 // StoreOption customizes New.
@@ -136,6 +142,23 @@ func WithCrashInjector(f func(CrashPoint) bool) StoreOption {
 	return func(c *storeConfig) { c.crashAt = f }
 }
 
+// WithStorePath backs the store with a durable on-disk store at dir
+// (create-or-recover: an empty dir gets a fresh store, a dir holding a
+// committed store is recovered and its scheme/size must match the
+// request). Flat Path ORAM schemes only. Close the Store when done —
+// Close runs the final persist barrier.
+func WithStorePath(dir string) StoreOption {
+	return func(c *storeConfig) { c.storeDir = dir }
+}
+
+// WithStorage backs a FRESH store with a caller-provided durable
+// backend (the store's initial image is built into it). Most callers
+// want WithStorePath; this hook exists for custom DurableStorage
+// implementations.
+func WithStorage(st DurableStorage) StoreOption {
+	return func(c *storeConfig) { c.storage = st }
+}
+
 // New builds a store holding numBlocks zero-initialized blocks,
 // customized by functional options:
 //
@@ -151,7 +174,17 @@ func New(numBlocks uint64, opts ...StoreOption) (*Store, error) {
 	if sc.scheme == NonORAM {
 		sc.scheme = PSORAM
 	}
-	ctl, err := core.New(sc.scheme, sc.cfg, core.Options{NumBlocks: numBlocks, Levels: sc.levels})
+	if sc.storeDir != "" && sc.storage != nil {
+		return nil, errors.New("psoram: WithStorePath and WithStorage are mutually exclusive")
+	}
+	var ctl *core.Controller
+	var err error
+	switch {
+	case sc.storeDir != "":
+		ctl, _, err = core.NewDurable(sc.scheme, sc.cfg, core.Options{NumBlocks: numBlocks, Levels: sc.levels}, sc.storeDir)
+	default:
+		ctl, err = core.New(sc.scheme, sc.cfg, core.Options{NumBlocks: numBlocks, Levels: sc.levels, Storage: sc.storage})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -228,6 +261,10 @@ func (s *Store) CrashNow() error {
 
 // Recover runs the post-restart recovery procedure (§4.3).
 func (s *Store) Recover() error { return s.ctl.Recover() }
+
+// Close persists any remaining durable state and releases the storage
+// backend; a no-op for in-memory stores.
+func (s *Store) Close() error { return s.ctl.Close() }
 
 // Accesses returns the number of completed ORAM accesses.
 func (s *Store) Accesses() uint64 { return s.ctl.Accesses() }
