@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check sweep-smoke crash-matrix oracle-smoke serve-smoke kill9-smoke fuzz-smoke bench-oracle bench-sim bench-serve bench-store profile perf-smoke bless-golden clean
+.PHONY: all build vet test race check sweep-smoke crash-matrix oracle-smoke serve-smoke net-smoke kill9-smoke fuzz-smoke bench-oracle bench-sim bench-serve bench-store bench-net profile perf-smoke bless-golden clean
 
 all: check
 
@@ -50,6 +50,17 @@ serve-smoke: build
 	$(GO) test -race -count=1 -run 'TestPoolOracle|TestPoolConcurrentOracle|TestCrashTorture' ./internal/serve
 	$(GO) run -race ./cmd/psoram-serve -shards 4 -clients 4 -ops 200 -blocks 256 -levels 6 -check -crash-every 300
 
+# net-smoke proves the TCP front-end under the race detector: the frame
+# codec units, the N-connections-times-M-streams differential oracle
+# over real sockets, slow-reader isolation, overload mapping, the
+# cancellation edges with the goroutine-leak guard, the network kill -9
+# torture (-short slice), and an in-process server + open-loop load run
+# with every value diffed against the reference (-check).
+net-smoke: build
+	$(GO) test -race -short -count=1 ./internal/netserve
+	$(GO) run -race ./cmd/psoram-server -self -shards 4 -blocks 256 -levels 6 \
+		-conns 8 -rate 2000 -duration 2s -check
+
 # kill9-smoke is the CI-budget slice of the crash-recovery torture: a
 # few real SIGKILLs per scheme against the file-backed store plus the
 # corruption table and the mutation check (a sabotaged persist barrier
@@ -65,6 +76,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzOracleAccessSequence$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzStashEviction$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzFilestoreRecovery$$' -fuzztime $(FUZZTIME) ./internal/storage/filestore
+	$(GO) test -run '^$$' -fuzz '^FuzzFrameCodec$$' -fuzztime $(FUZZTIME) ./internal/netserve
 
 # bench-oracle measures the per-cell cost of oracle validation and pins
 # it into BENCH_oracle.json (tracked; regenerate when the oracle or the
@@ -100,6 +112,17 @@ bench-serve:
 bench-store:
 	$(GO) test -run '^$$' -bench '^BenchmarkFileStoreAccess$$|^BenchmarkStoreAccess$$' -benchmem -benchtime=1s -json . > BENCH_store.json
 	@grep -o '"Output":"[^"]*ns/op[^"]*' BENCH_store.json | sed 's/"Output":"//;s/\\t/  /g;s/\\n//'
+
+# bench-net measures loopback serving capacity through the whole
+# network stack — framing, TCP, pipelining, the sharded pool, real
+# PS-ORAM accesses — from 64 concurrent connections, and pins ns/op
+# plus the client-observed p50/p99 into BENCH_net.json (tracked;
+# regenerate when the protocol, client, or serving layer changes).
+# Loopback numbers are machine dependent — compare within one machine
+# with benchstat.
+bench-net:
+	$(GO) test -run '^$$' -bench '^BenchmarkNetThroughput$$' -benchmem -benchtime=1s -json ./internal/netserve > BENCH_net.json
+	@grep -o '"Output":"[^"]*ns/op[^"]*' BENCH_net.json | sed 's/"Output":"//;s/\\t/  /g;s/\\n//'
 
 # profile captures CPU + heap pprof for a representative sweep via the
 # psoram-sweep -profile flag; inspect with `go tool pprof profiles/cpu.pprof`.

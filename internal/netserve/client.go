@@ -1,0 +1,368 @@
+package netserve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrClientClosed reports an operation on a closed client, or one whose
+// connection died mid-call (the underlying cause is attached).
+var ErrClientClosed = errors.New("netserve: client closed")
+
+// ClientOptions tunes Dial. The zero value is usable.
+type ClientOptions struct {
+	// MaxInFlight caps outstanding requests on the connection (default
+	// 128). Acquiring a slot is the first cancellation point: a context
+	// that dies while the request is still queued returns immediately.
+	MaxInFlight int
+	// MaxPayload caps response frame payloads (default DefaultMaxPayload).
+	MaxPayload uint32
+	// DialTimeout bounds the TCP connect (default 10s).
+	DialTimeout time.Duration
+}
+
+func (o *ClientOptions) normalize() {
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 128
+	}
+	if o.MaxPayload == 0 {
+		o.MaxPayload = DefaultMaxPayload
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 10 * time.Second
+	}
+}
+
+// call is one in-flight request: its encoded frame, and the buffered
+// channel its response (or failure) is delivered on.
+type call struct {
+	id   uint64
+	buf  []byte
+	done chan callResult
+}
+
+type callResult struct {
+	f   Frame
+	err error
+}
+
+// Client is one multiplexed protocol connection: requests from any
+// number of goroutines are pipelined onto a single TCP stream, matched
+// back to callers by request id, and may complete out of order. All
+// methods are safe for concurrent use.
+type Client struct {
+	nc   net.Conn
+	opts ClientOptions
+
+	tokens  chan struct{} // in-flight budget
+	writeCh chan *call
+
+	mu       sync.Mutex
+	pending  map[uint64]*call
+	nextID   uint64
+	closed   bool
+	closeErr error
+
+	dead chan struct{} // closed when the reader exits (conn unusable)
+	wg   sync.WaitGroup
+
+	info     Info
+	infoOnce sync.Once
+	infoErr  error
+}
+
+// Dial connects to a netserve server.
+func Dial(addr string, opts ClientOptions) (*Client, error) {
+	opts.normalize()
+	nc, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	c := &Client{
+		nc:      nc,
+		opts:    opts,
+		tokens:  make(chan struct{}, opts.MaxInFlight),
+		writeCh: make(chan *call, opts.MaxInFlight),
+		pending: make(map[uint64]*call),
+		dead:    make(chan struct{}),
+	}
+	c.wg.Add(2)
+	go c.writeLoop()
+	go c.readLoop()
+	return c, nil
+}
+
+// Inflight reports how many calls currently hold an in-flight token —
+// queued at the writer, on the wire, or awaiting a reply.
+func (c *Client) Inflight() int { return len(c.tokens) }
+
+// Close tears the connection down and fails every in-flight call with
+// ErrClientClosed. Idempotent.
+func (c *Client) Close() error {
+	c.fail(ErrClientClosed)
+	c.wg.Wait()
+	return nil
+}
+
+// fail marks the client dead with cause, closes the socket, and fails
+// all pending calls. First cause wins.
+func (c *Client) fail(cause error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.closeErr = cause
+	calls := make([]*call, 0, len(c.pending))
+	for _, cl := range c.pending {
+		calls = append(calls, cl)
+	}
+	c.pending = make(map[uint64]*call)
+	c.mu.Unlock()
+	c.nc.Close()
+	for _, cl := range calls {
+		cl.done <- callResult{err: cause}
+		<-c.tokens
+	}
+}
+
+// take removes id from the pending map, transferring ownership of its
+// in-flight token to the caller. Exactly one of the reader, the waiter,
+// or fail wins.
+func (c *Client) take(id uint64) (*call, bool) {
+	c.mu.Lock()
+	cl, ok := c.pending[id]
+	if ok {
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+	return cl, ok
+}
+
+func (c *Client) writeLoop() {
+	defer c.wg.Done()
+	bw := bufio.NewWriterSize(c.nc, 32<<10)
+	for {
+		select {
+		case cl := <-c.writeCh:
+			if _, err := bw.Write(cl.buf); err != nil {
+				c.fail(fmt.Errorf("%w: write: %v", ErrClientClosed, err))
+				return
+			}
+			// Coalesce pipelined requests into one flush.
+			if len(c.writeCh) == 0 {
+				if err := bw.Flush(); err != nil {
+					c.fail(fmt.Errorf("%w: flush: %v", ErrClientClosed, err))
+					return
+				}
+			}
+		case <-c.dead:
+			return
+		}
+	}
+}
+
+func (c *Client) readLoop() {
+	defer c.wg.Done()
+	defer close(c.dead)
+	br := bufio.NewReaderSize(c.nc, 32<<10)
+	for {
+		f, err := ReadFrame(br, c.opts.MaxPayload)
+		if err != nil {
+			c.mu.Lock()
+			closed := c.closed
+			c.mu.Unlock()
+			if closed {
+				c.fail(ErrClientClosed) // no-op; keeps the cause stable
+			} else {
+				c.fail(fmt.Errorf("%w: %v", ErrClientClosed, err))
+			}
+			return
+		}
+		if cl, ok := c.take(f.ID); ok {
+			cl.done <- callResult{f: f}
+			<-c.tokens
+		}
+		// Unknown id: the waiter gave up (context canceled) — drop the
+		// late reply on the floor.
+	}
+}
+
+// do runs one request/response exchange. Cancellation is honoured at
+// every stage: while waiting for an in-flight slot, while the frame is
+// queued for the writer, and while awaiting the reply. A call abandoned
+// after its frame was (or may have been) sent leaves its id registered
+// until the reply arrives, which is then discarded.
+func (c *Client) do(ctx context.Context, t Type, payload []byte) (Frame, error) {
+	if err := ctx.Err(); err != nil {
+		return Frame{}, err
+	}
+	// Stage 1: in-flight slot.
+	select {
+	case c.tokens <- struct{}{}:
+	case <-ctx.Done():
+		return Frame{}, ctx.Err()
+	case <-c.dead:
+		return Frame{}, c.closedErr()
+	}
+
+	// Register under the id lock; re-check closed so a racing fail
+	// cannot strand the call.
+	c.mu.Lock()
+	if c.closed {
+		err := c.closeErr
+		c.mu.Unlock()
+		<-c.tokens
+		return Frame{}, err
+	}
+	c.nextID++
+	id := c.nextID
+	cl := &call{id: id, done: make(chan callResult, 1)}
+	cl.buf = AppendFrame(nil, Frame{Type: t, ID: id, Payload: payload})
+	c.pending[id] = cl
+	c.mu.Unlock()
+
+	// Stage 2: hand to the writer.
+	select {
+	case c.writeCh <- cl:
+	case <-ctx.Done():
+		if _, ok := c.take(id); ok {
+			<-c.tokens
+		}
+		return Frame{}, ctx.Err()
+	case <-c.dead:
+		if _, ok := c.take(id); ok {
+			<-c.tokens
+		}
+		return Frame{}, c.closedErr()
+	}
+
+	// Stage 3: await the reply.
+	select {
+	case res := <-cl.done:
+		if res.err != nil {
+			return Frame{}, res.err
+		}
+		return res.f, nil
+	case <-ctx.Done():
+		// The frame may be on the wire; disown the id so the eventual
+		// reply is dropped, and release the slot.
+		if _, ok := c.take(id); ok {
+			<-c.tokens
+			return Frame{}, ctx.Err()
+		}
+		// The reader (or fail) beat us to it and a result is en route;
+		// it owns the token release.
+		res := <-cl.done
+		if res.err != nil {
+			return Frame{}, res.err
+		}
+		return res.f, nil
+	}
+}
+
+func (c *Client) closedErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closeErr != nil {
+		return c.closeErr
+	}
+	return ErrClientClosed
+}
+
+// expect unwraps a response frame of the wanted type, decoding TError
+// frames into *StatusError (which unwraps to the serve sentinels).
+func expect(f Frame, want Type) (Frame, error) {
+	switch f.Type {
+	case want:
+		return f, nil
+	case TError:
+		se, err := decodeStatus(f.Payload)
+		if err != nil {
+			return Frame{}, err
+		}
+		return Frame{}, se
+	default:
+		return Frame{}, fmt.Errorf("netserve: unexpected %s response (want %s)", f.Type, want)
+	}
+}
+
+// Read performs one oblivious read of addr. The returned slice is the
+// caller's to keep.
+func (c *Client) Read(ctx context.Context, addr uint64) ([]byte, error) {
+	f, err := c.do(ctx, TRead, appendAddr(nil, addr))
+	if err != nil {
+		return nil, err
+	}
+	f, err = expect(f, TValue)
+	if err != nil {
+		return nil, err
+	}
+	return f.Payload, nil
+}
+
+// Write performs one oblivious write; data must be the server's block
+// size (see Info).
+func (c *Client) Write(ctx context.Context, addr uint64, data []byte) error {
+	f, err := c.do(ctx, TWrite, append(appendAddr(make([]byte, 0, 8+len(data)), addr), data...))
+	if err != nil {
+		return err
+	}
+	_, err = expect(f, TWrote)
+	return err
+}
+
+// Ping round-trips an empty frame.
+func (c *Client) Ping(ctx context.Context) error {
+	f, err := c.do(ctx, TPing, nil)
+	if err != nil {
+		return err
+	}
+	_, err = expect(f, TPong)
+	return err
+}
+
+// Stats fetches the server's stats snapshot.
+func (c *Client) Stats(ctx context.Context) (ServerStats, error) {
+	f, err := c.do(ctx, TStats, nil)
+	if err != nil {
+		return ServerStats{}, err
+	}
+	f, err = expect(f, TStatsReply)
+	if err != nil {
+		return ServerStats{}, err
+	}
+	var st ServerStats
+	if err := json.Unmarshal(f.Payload, &st); err != nil {
+		return ServerStats{}, fmt.Errorf("netserve: stats payload: %w", err)
+	}
+	return st, nil
+}
+
+// Info fetches (and caches) the server's self-description.
+func (c *Client) Info(ctx context.Context) (Info, error) {
+	c.infoOnce.Do(func() {
+		f, err := c.do(ctx, TInfo, nil)
+		if err != nil {
+			c.infoErr = err
+			return
+		}
+		f, err = expect(f, TInfoReply)
+		if err != nil {
+			c.infoErr = err
+			return
+		}
+		c.info, c.infoErr = decodeInfo(f.Payload)
+	})
+	return c.info, c.infoErr
+}

@@ -1,0 +1,156 @@
+package netserve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Type: TRead, ID: 1, Payload: appendAddr(nil, 42)},
+		{Type: TWrite, ID: 1<<64 - 1, Payload: append(appendAddr(nil, 7), bytes.Repeat([]byte{0xAB}, 64)...)},
+		{Type: TStats, ID: 0},
+		{Type: TPing, ID: 3},
+		{Type: TInfo, ID: 4},
+		{Type: TValue, ID: 5, Payload: bytes.Repeat([]byte{0}, 64)},
+		{Type: TWrote, ID: 6},
+		{Type: TStatsReply, ID: 7, Payload: []byte(`{"conns":1}`)},
+		{Type: TPong, ID: 8},
+		{Type: TInfoReply, ID: 9, Payload: appendInfo(nil, Info{NumBlocks: 4096, BlockBytes: 64, Shards: 4, Scheme: 5})},
+		{Type: TError, ID: 10, Payload: appendStatus(nil, StatusOverloaded, time.Millisecond, "queue full")},
+	}
+	var wire []byte
+	for _, f := range frames {
+		wire = AppendFrame(wire, f)
+	}
+	r := bytes.NewReader(wire)
+	for i, want := range frames {
+		got, err := ReadFrame(r, 0)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Type != want.Type || got.ID != want.ID || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := ReadFrame(r, 0); err != io.EOF {
+		t.Fatalf("after last frame: err = %v, want io.EOF", err)
+	}
+}
+
+func TestFrameDecodeErrors(t *testing.T) {
+	good := AppendFrame(nil, Frame{Type: TPing, ID: 9})
+	mut := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), good...)
+		f(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		wire []byte
+		want error
+	}{
+		{"bad magic", mut(func(b []byte) { b[0] = 'X' }), ErrBadMagic},
+		{"bad version", mut(func(b []byte) { b[2] = 99 }), ErrBadVersion},
+		{"unknown type", mut(func(b []byte) { b[3] = 0x7F }), ErrUnknownType},
+		{"oversized payload", mut(func(b []byte) { binary.BigEndian.PutUint32(b[4:8], DefaultMaxPayload+1) }), ErrTooLarge},
+		{"truncated header", good[:HeaderLen-3], ErrTruncated},
+		{"truncated payload", AppendFrame(nil, Frame{Type: TValue, ID: 1, Payload: make([]byte, 64)})[:HeaderLen+10], ErrTruncated},
+		{"empty stream", nil, io.EOF},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadFrame(bytes.NewReader(tc.wire), 0)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestFrameOversizedNoAlloc: a hostile length field is rejected before
+// the payload buffer is allocated.
+func TestFrameOversizedNoAlloc(t *testing.T) {
+	var h [HeaderLen]byte
+	h[0], h[1], h[2], h[3] = 'P', 'S', Version, byte(TValue)
+	binary.BigEndian.PutUint32(h[4:8], 1<<31) // 2 GiB claim, no bytes behind it
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := ReadFrame(bytes.NewReader(h[:]), 0); !errors.Is(err, ErrTooLarge) {
+			t.Fatalf("err = %v, want ErrTooLarge", err)
+		}
+	})
+	// The error value itself allocates; the 2 GiB buffer must not. A
+	// handful of words per call is the error-path budget.
+	if allocs > 8 {
+		t.Fatalf("oversized frame rejection allocated %.0f objects/op", allocs)
+	}
+}
+
+func TestStatusErrorMapping(t *testing.T) {
+	cases := []struct {
+		code Status
+		want error
+	}{
+		{StatusOverloaded, serve.ErrOverloaded},
+		{StatusInterrupted, serve.ErrInterrupted},
+		{StatusClosing, serve.ErrPoolClosed},
+	}
+	for _, tc := range cases {
+		se, err := decodeStatus(appendStatus(nil, tc.code, 250*time.Microsecond, "x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !errors.Is(se, tc.want) {
+			t.Errorf("status %v does not unwrap to %v", tc.code, tc.want)
+		}
+	}
+	se, err := decodeStatus(appendStatus(nil, StatusOverloaded, 250*time.Microsecond, "queue full"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if se.RetryAfter != 250*time.Microsecond {
+		t.Errorf("RetryAfter = %v, want 250µs", se.RetryAfter)
+	}
+	if !strings.Contains(se.Error(), "retry after") {
+		t.Errorf("overload error string %q lacks the retry hint", se.Error())
+	}
+	if _, err := decodeStatus([]byte{1, 2}); !errors.Is(err, ErrShortPayload) {
+		t.Errorf("short status payload: err = %v, want ErrShortPayload", err)
+	}
+}
+
+func TestInfoRoundTrip(t *testing.T) {
+	want := Info{NumBlocks: 1 << 40, BlockBytes: 4096, Shards: 64, Scheme: 7}
+	got, err := decodeInfo(appendInfo(nil, want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("got %+v want %+v", got, want)
+	}
+	if _, err := decodeInfo(make([]byte, 19)); !errors.Is(err, ErrShortPayload) {
+		t.Fatalf("short info payload: err = %v, want ErrShortPayload", err)
+	}
+}
+
+func TestAddrRoundTrip(t *testing.T) {
+	for _, a := range []uint64{0, 1, 1<<32 - 1, 1<<64 - 1} {
+		got, err := decodeAddr(appendAddr(nil, a))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != a {
+			t.Fatalf("addr %d round-tripped to %d", a, got)
+		}
+	}
+	if _, err := decodeAddr([]byte{1, 2, 3}); !errors.Is(err, ErrShortPayload) {
+		t.Fatalf("short addr payload: err = %v, want ErrShortPayload", err)
+	}
+}

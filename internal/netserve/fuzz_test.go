@@ -1,0 +1,105 @@
+package netserve
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzFrameCodec holds the wire codec to its contract under arbitrary
+// input: decoding never panics and never over-allocates (the reader cap
+// bounds every buffer), every failure is one of the typed codec errors,
+// and every successfully decoded frame re-encodes byte-identically
+// (round-trip closure). The seed corpus covers each frame type plus the
+// interesting mutations (bad magic/version/type, hostile lengths,
+// truncations).
+func FuzzFrameCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendFrame(nil, Frame{Type: TRead, ID: 1, Payload: appendAddr(nil, 42)}))
+	f.Add(AppendFrame(nil, Frame{Type: TWrite, ID: 2, Payload: append(appendAddr(nil, 7), bytes.Repeat([]byte{0xA5}, 64)...)}))
+	f.Add(AppendFrame(nil, Frame{Type: TError, ID: 3, Payload: appendStatus(nil, StatusOverloaded, 1000, "q")}))
+	f.Add(AppendFrame(nil, Frame{Type: TInfoReply, ID: 4, Payload: appendInfo(nil, Info{NumBlocks: 9, BlockBytes: 64, Shards: 2, Scheme: 5})}))
+	// Two frames back to back: the decoder must consume exact frame
+	// boundaries.
+	f.Add(AppendFrame(AppendFrame(nil, Frame{Type: TPing, ID: 5}), Frame{Type: TPong, ID: 5}))
+	// Hostile length field: claims 2 GiB, carries nothing.
+	hostile := AppendFrame(nil, Frame{Type: TValue, ID: 6})
+	hostile[4], hostile[5], hostile[6], hostile[7] = 0x80, 0, 0, 0
+	f.Add(hostile)
+	// Truncations and mutations of a valid frame.
+	good := AppendFrame(nil, Frame{Type: TStatsReply, ID: 7, Payload: []byte(`{"conns":0}`)})
+	f.Add(good[:HeaderLen-1])
+	f.Add(good[:HeaderLen+3])
+	bad := append([]byte(nil), good...)
+	bad[2] = 9
+	f.Add(bad)
+
+	const maxPayload = 1 << 16 // small cap: over-allocation would be loud
+	f.Fuzz(func(t *testing.T, wire []byte) {
+		r := bytes.NewReader(wire)
+		for {
+			before := r.Len()
+			fr, err := ReadFrame(r, maxPayload)
+			if err != nil {
+				// Every failure must be typed — no anonymous errors, no
+				// panics (the fuzz engine catches those itself).
+				switch {
+				case errors.Is(err, io.EOF),
+					errors.Is(err, ErrBadMagic),
+					errors.Is(err, ErrBadVersion),
+					errors.Is(err, ErrUnknownType),
+					errors.Is(err, ErrTooLarge),
+					errors.Is(err, ErrTruncated):
+				default:
+					t.Fatalf("untyped decode error: %v", err)
+				}
+				return
+			}
+			if len(fr.Payload) > maxPayload {
+				t.Fatalf("decoded %d payload bytes past the %d cap", len(fr.Payload), maxPayload)
+			}
+			consumed := before - r.Len()
+			if consumed != HeaderLen+len(fr.Payload) {
+				t.Fatalf("consumed %d bytes for a %d-byte frame", consumed, HeaderLen+len(fr.Payload))
+			}
+			// Round-trip closure: re-encoding reproduces the consumed
+			// bytes exactly.
+			reenc := AppendFrame(nil, fr)
+			start := len(wire) - before
+			if !bytes.Equal(reenc, wire[start:start+consumed]) {
+				t.Fatalf("re-encode mismatch:\n got %x\nwant %x", reenc, wire[start:start+consumed])
+			}
+
+			// Typed payload decoders must also never panic, and their
+			// successful decodes must re-encode to the bytes they read.
+			switch fr.Type {
+			case TRead, TWrite:
+				if addr, err := decodeAddr(fr.Payload); err == nil {
+					if !bytes.Equal(appendAddr(nil, addr), fr.Payload[:8]) {
+						t.Fatal("addr re-encode mismatch")
+					}
+				} else if !errors.Is(err, ErrShortPayload) {
+					t.Fatalf("untyped addr error: %v", err)
+				}
+			case TError:
+				if se, err := decodeStatus(fr.Payload); err == nil {
+					re := appendStatus(nil, se.Code, se.RetryAfter, se.Msg)
+					if !bytes.Equal(re, fr.Payload) {
+						t.Fatalf("status re-encode mismatch: %x vs %x", re, fr.Payload)
+					}
+				} else if !errors.Is(err, ErrShortPayload) {
+					t.Fatalf("untyped status error: %v", err)
+				}
+			case TInfoReply:
+				if in, err := decodeInfo(fr.Payload); err == nil {
+					if !bytes.Equal(appendInfo(nil, in), fr.Payload[:20]) {
+						t.Fatal("info re-encode mismatch")
+					}
+				} else if !errors.Is(err, ErrShortPayload) {
+					t.Fatalf("untyped info error: %v", err)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,280 @@
+package netserve
+
+// Kill-mid-connection torture: the network analogue of the filestore
+// kill -9 suite (internal/storage/filestore/kill9_test.go). A child
+// process — this test binary re-executing itself — serves a durable
+// file-backed pool over real TCP; the parent connects as an ordinary
+// client, streams writes one at a time, and counts ACKNOWLEDGED
+// operations. A watcher SIGKILLs the child after a randomized number of
+// acks (plus jitter, so the kill lands mid-access, mid-persist, or
+// between frames). The contract under test:
+//
+//	an acked op is durable — the server only sends the reply frame
+//	after the shard's persist barrier returns — so with `done` acks
+//	counted, the recovered store must equal the reference replay of
+//	exactly done or done+1 ops (the one possibly-in-flight op either
+//	committed entirely or not at all).
+//
+// This is strictly stronger than the in-process torture tests: the
+// crash takes down the protocol stack, the connection, and the pool in
+// one blow, and "done" is counted from the only vantage point a real
+// client has — reply frames that crossed the wire.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/oracle"
+	"repro/internal/rng"
+	"repro/internal/serve"
+)
+
+const (
+	// 48 blocks on a 5-level tree per shard — the utilization the
+	// filestore kill9 suite proved keeps the initial placement out of
+	// the volatile stash, so a kill loses nothing it shouldn't.
+	nk9Shards = 2
+	nk9Blocks = nk9Shards * 48
+	nk9Levels = 5
+	nk9NumOps = 40
+	nk9BB     = 64
+
+	nk9EnvDir      = "PSORAM_NETKILL9_DIR"
+	nk9EnvSeed     = "PSORAM_NETKILL9_SEED"
+	nk9EnvAddrFile = "PSORAM_NETKILL9_ADDR"
+)
+
+func nk9PoolOpts(seed uint64, dir string) serve.Options {
+	return serve.Options{
+		Shards:    nk9Shards,
+		NumBlocks: nk9Blocks,
+		Scheme:    config.SchemePSORAM,
+		Levels:    nk9Levels,
+		Seed:      seed,
+		StoreDir:  dir,
+	}
+}
+
+// nk9GenOps derives the trial's op stream; parent-only (the child is a
+// plain server and never sees the workload).
+func nk9GenOps(seed uint64) []oracle.Op {
+	w := oracle.Workload{Name: "net-kill9", WriteRatio: 0.7}
+	return oracle.GenOps(w, nk9Blocks, nk9BB, nk9NumOps, seed)
+}
+
+// TestNetKill9Child is the victim: a real server over a durable pool,
+// serving until SIGKILL. It publishes its port via atomic rename so the
+// parent never reads a torn address. Skips under normal test runs.
+func TestNetKill9Child(t *testing.T) {
+	dir := os.Getenv(nk9EnvDir)
+	if dir == "" {
+		t.Skip("helper process: driven by TestNetKill9Recovery")
+	}
+	var seed uint64
+	if _, err := fmt.Sscan(os.Getenv(nk9EnvSeed), &seed); err != nil {
+		t.Fatalf("bad %s: %v", nk9EnvSeed, err)
+	}
+	addrFile := os.Getenv(nk9EnvAddrFile)
+	pool, err := serve.New(nk9PoolOpts(seed, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(pool, ServerOptions{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := addrFile + ".tmp"
+	if err := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, addrFile); err != nil {
+		t.Fatal(err)
+	}
+	// Serve until killed. No graceful path: SIGKILL is the point.
+	if err := srv.Serve(ln); err != ErrServerClosed {
+		t.Fatal(err)
+	}
+}
+
+// runNetKill9Trial spawns the child server, streams ops to it over TCP,
+// kills it after killAfter acks, recovers the store in-process, and
+// returns the violations found.
+func runNetKill9Trial(t *testing.T, seed uint64, killAfter int) []string {
+	t.Helper()
+	base := t.TempDir()
+	storeDir := filepath.Join(base, "store")
+	addrFile := filepath.Join(base, "addr")
+
+	cmd := exec.Command(os.Args[0], "-test.run=^TestNetKill9Child$", "-test.count=1")
+	cmd.Env = append(os.Environ(),
+		nk9EnvDir+"="+storeDir,
+		fmt.Sprintf("%s=%d", nk9EnvSeed, seed),
+		nk9EnvAddrFile+"="+addrFile,
+	)
+	var childOut strings.Builder
+	cmd.Stdout, cmd.Stderr = &childOut, &childOut
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	defer func() {
+		cmd.Process.Kill()
+		<-exited
+	}()
+
+	// Wait for the child to publish its address (pool construction —
+	// initial durable placement for every shard — happens first).
+	var addr string
+	for deadline := time.Now().Add(90 * time.Second); ; {
+		if raw, err := os.ReadFile(addrFile); err == nil {
+			addr = string(raw)
+			break
+		}
+		select {
+		case err := <-exited:
+			exited <- err
+			t.Fatalf("child died during startup: %v\n%s", err, childOut.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("child never published its address\n%s", childOut.String())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	c, err := Dial(addr, ClientOptions{})
+	if err != nil {
+		t.Fatalf("dial child: %v", err)
+	}
+	defer c.Close()
+
+	// Stream ops strictly one at a time: `done` counts replies that
+	// crossed the wire, so at the kill instant at most one op is in
+	// flight and the recovered store must sit at done or done+1. Once
+	// done reaches killAfter the SIGKILL is armed asynchronously with a
+	// jittered fuse and the parent KEEPS issuing ops, so the kill lands
+	// inside a later access — mid-persist, mid-reply, anywhere.
+	ops := nk9GenOps(seed)
+	rnd := rand.New(rand.NewSource(int64(seed)))
+	jitter := time.Duration(rnd.Intn(1500)) * time.Microsecond
+	ctx := context.Background()
+	done := 0
+	var opErr error
+	for _, op := range ops {
+		if done == killAfter {
+			go func() {
+				time.Sleep(jitter)
+				cmd.Process.Kill() // SIGKILL: no handlers, no flushing, no mercy
+			}()
+		}
+		cctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		if op.Write {
+			opErr = c.Write(cctx, op.Addr, op.Data)
+		} else {
+			_, opErr = c.Read(cctx, op.Addr)
+		}
+		cancel()
+		if opErr != nil {
+			break
+		}
+		done++
+	}
+	if opErr != nil && done < killAfter {
+		t.Fatalf("connection failed after %d acks, before the kill was armed at %d: %v\n%s",
+			done, killAfter, opErr, childOut.String())
+	}
+	cmd.Process.Kill() // idempotent: covers the ops-ran-out-first case
+	<-exited
+	exited <- nil // let the deferred drain find the channel non-empty
+	if opErr != nil {
+		t.Logf("SIGKILL landed after %d acks (armed at %d, jitter %v): %v", done, killAfter, jitter, opErr)
+	} else {
+		t.Logf("child outran the kill: all %d ops acked (armed at %d)", done, killAfter)
+	}
+
+	return nk9Check(t, seed, killAfter, done, storeDir, childOut.String())
+}
+
+// nk9Check reopens the durable pool over the dead child's store and
+// holds it to the done / done+1 prefix contract.
+func nk9Check(t *testing.T, seed uint64, killAfter, done int, storeDir, childLog string) []string {
+	t.Helper()
+	var violations []string
+	fail := func(format string, args ...any) {
+		violations = append(violations, fmt.Sprintf("seed %d killAfter %d done %d: %s",
+			seed, killAfter, done, fmt.Sprintf(format, args...)))
+	}
+	pool, err := serve.New(nk9PoolOpts(seed, storeDir))
+	if err != nil {
+		fail("recovery reopen failed: %v\nchild output:\n%s", err, childLog)
+		return violations
+	}
+	ctx := context.Background()
+	defer pool.Close(ctx)
+
+	recovered := make([][]byte, nk9Blocks)
+	for a := uint64(0); a < nk9Blocks; a++ {
+		if v, err := pool.Peek(ctx, a); err == nil {
+			recovered[a] = append([]byte(nil), v...)
+		}
+	}
+	ops := nk9GenOps(seed)
+	states := oracle.PrefixStates(ops, nk9BB)
+	matched := oracle.MatchedPrefixes(recovered, states, done+1, nk9BB)
+	if !nk9Contains(matched, done) && !nk9Contains(matched, done+1) {
+		lost := 0
+		for _, v := range recovered {
+			if v == nil {
+				lost++
+			}
+		}
+		fail("recovered store matches prefixes %v, want %d or %d (%d/%d blocks unreadable)",
+			matched, done, done+1, lost, nk9Blocks)
+	}
+	if errs := pool.Invariants(ctx); len(errs) != 0 {
+		fail("recovered pool invariants: %v", errs)
+	}
+	return violations
+}
+
+func nk9Contains(xs []int, x int) bool {
+	for _, y := range xs {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}
+
+// TestNetKill9Recovery is the headline torture: real SIGKILLs landing
+// on a live TCP server with writes in flight, graded from the client's
+// ack count. Full mode runs 6 kill points; -short a representative 2.
+func TestNetKill9Recovery(t *testing.T) {
+	trials := 6
+	if testing.Short() {
+		trials = 2
+	}
+	for i := 0; i < trials; i++ {
+		i := i
+		t.Run(fmt.Sprintf("trial%02d", i), func(t *testing.T) {
+			t.Parallel()
+			seed := rng.DeriveSeed(0x9e7, uint64(i))
+			rnd := rand.New(rand.NewSource(int64(seed)))
+			killAfter := 1 + rnd.Intn(nk9NumOps-10)
+			for _, v := range runNetKill9Trial(t, seed, killAfter) {
+				t.Error(v)
+			}
+		})
+	}
+}

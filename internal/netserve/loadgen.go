@@ -1,0 +1,523 @@
+package netserve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/oracle"
+	"repro/internal/rng"
+	"repro/internal/serve"
+	"repro/internal/stats"
+)
+
+// LoadOptions shapes one open-loop load run against a running server.
+type LoadOptions struct {
+	// Addr is the server's "host:port".
+	Addr string
+	// Conns is how many client connections to multiplex over (default 8).
+	Conns int
+	// Rate is the offered load in requests/second, Poisson arrivals
+	// (default 1000). Open loop: arrivals do not wait for completions,
+	// so a saturated server grows queueing latency instead of silently
+	// throttling the generator (no coordinated omission).
+	Rate float64
+	// Duration bounds the run (default 5s).
+	Duration time.Duration
+	// WriteRatio is the fraction of requests that are writes (default 0.5).
+	WriteRatio float64
+	// MaxOutstanding caps concurrently in-flight requests across all
+	// connections (default 4096); arrivals past the cap are recorded as
+	// dropped rather than stalling the arrival clock.
+	MaxOutstanding int
+	// SLO, when non-zero, is the latency objective the report grades
+	// p99 against.
+	SLO time.Duration
+	// Seed drives arrivals, address choice, and payloads (default 1).
+	Seed uint64
+	// Check runs the differential oracle through the wire: each
+	// connection owns a disjoint address stripe, its requests execute
+	// sequentially (arrivals still open-loop, queueing counted in
+	// latency), every read is diffed against a reference map, and the
+	// run ends with a full sweep of the stripe.
+	Check bool
+}
+
+func (o *LoadOptions) normalize() error {
+	if o.Addr == "" {
+		return errors.New("netserve: LoadOptions.Addr is required")
+	}
+	if o.Conns <= 0 {
+		o.Conns = 8
+	}
+	if o.Rate <= 0 {
+		o.Rate = 1000
+	}
+	if o.Duration <= 0 {
+		o.Duration = 5 * time.Second
+	}
+	if o.WriteRatio < 0 || o.WriteRatio > 1 {
+		return fmt.Errorf("netserve: WriteRatio %v outside [0,1]", o.WriteRatio)
+	}
+	if o.WriteRatio == 0 {
+		o.WriteRatio = 0.5
+	}
+	if o.MaxOutstanding <= 0 {
+		o.MaxOutstanding = 4096
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return nil
+}
+
+// LoadReport is one load run's outcome. Latency is measured from each
+// request's scheduled arrival time, so time spent queueing behind a
+// saturated server (or generator) is charged to the request.
+type LoadReport struct {
+	Conns     int           `json:"conns"`
+	Rate      float64       `json:"offered_rate_rps"`
+	Duration  time.Duration `json:"duration_ns"`
+	Offered   uint64        `json:"offered"`
+	Completed uint64        `json:"completed"`
+	Overload  uint64        `json:"overload_retries"`
+	Interrupt uint64        `json:"crash_interrupts"`
+	Dropped   uint64        `json:"dropped"`
+	Errors    uint64        `json:"errors"`
+	CheckFail uint64        `json:"check_failures"`
+
+	Throughput float64       `json:"throughput_rps"`
+	Mean       time.Duration `json:"mean_ns"`
+	P50        time.Duration `json:"p50_ns"`
+	P99        time.Duration `json:"p99_ns"`
+	P999       time.Duration `json:"p999_ns"`
+	Max        time.Duration `json:"max_ns"`
+
+	SLO      time.Duration `json:"slo_ns"`
+	SLOMet   bool          `json:"slo_met"`
+	UnderSLO float64       `json:"under_slo_frac"`
+}
+
+// String renders the report as a small text table.
+func (r LoadReport) String() string {
+	tab := stats.NewTable(
+		fmt.Sprintf("Open-loop load: %d conns, %.0f req/s offered for %v",
+			r.Conns, r.Rate, r.Duration.Round(time.Millisecond)),
+		"Metric", "Value")
+	tab.AddRow("offered", fmt.Sprintf("%d", r.Offered))
+	tab.AddRow("completed", fmt.Sprintf("%d (%.0f req/s)", r.Completed, r.Throughput))
+	tab.AddRow("overload retries", fmt.Sprintf("%d", r.Overload))
+	tab.AddRow("crash interrupts", fmt.Sprintf("%d", r.Interrupt))
+	tab.AddRow("dropped", fmt.Sprintf("%d", r.Dropped))
+	tab.AddRow("errors", fmt.Sprintf("%d", r.Errors))
+	tab.AddRow("latency mean", r.Mean.String())
+	tab.AddRow("latency p50", r.P50.String())
+	tab.AddRow("latency p99", r.P99.String())
+	tab.AddRow("latency p999", r.P999.String())
+	tab.AddRow("latency max", r.Max.String())
+	if r.SLO > 0 {
+		verdict := "MET"
+		if !r.SLOMet {
+			verdict = "MISSED"
+		}
+		tab.AddRow(fmt.Sprintf("SLO p99 <= %v", r.SLO),
+			fmt.Sprintf("%s (%.2f%% of requests under SLO)", verdict, 100*r.UnderSLO))
+	}
+	return tab.String()
+}
+
+// loadState is the shared accounting for one run.
+type loadState struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+
+	offered   atomic.Uint64
+	completed atomic.Uint64
+	overload  atomic.Uint64
+	interrupt atomic.Uint64
+	dropped   atomic.Uint64
+	errs      atomic.Uint64
+	checkFail atomic.Uint64
+	firstErr  atomic.Pointer[string]
+}
+
+func (st *loadState) observe(d time.Duration) {
+	st.mu.Lock()
+	st.latencies = append(st.latencies, d)
+	st.mu.Unlock()
+}
+
+func (st *loadState) fail(err error) {
+	st.errs.Add(1)
+	msg := err.Error()
+	st.firstErr.CompareAndSwap(nil, &msg)
+}
+
+// RunLoad drives one open-loop Poisson load run. The generator draws
+// exponential inter-arrival gaps at opts.Rate; each arrival is stamped
+// with its scheduled time, dispatched to one of opts.Conns multiplexed
+// connections, retried on StatusOverloaded frames (honouring the
+// server's retry-after hint) and on crash interruptions, and its
+// completion latency recorded against the scheduled arrival.
+func RunLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
+	if err := opts.normalize(); err != nil {
+		return LoadReport{}, err
+	}
+	clients := make([]*Client, opts.Conns)
+	for i := range clients {
+		c, err := Dial(opts.Addr, ClientOptions{MaxInFlight: 2 * opts.MaxOutstanding / opts.Conns})
+		if err != nil {
+			for _, prev := range clients[:i] {
+				prev.Close()
+			}
+			return LoadReport{}, err
+		}
+		clients[i] = c
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	info, err := clients[0].Info(ctx)
+	if err != nil {
+		return LoadReport{}, fmt.Errorf("netserve: info handshake: %w", err)
+	}
+	if info.NumBlocks == 0 || info.BlockBytes == 0 {
+		return LoadReport{}, fmt.Errorf("netserve: server reports empty store (%+v)", info)
+	}
+
+	st := &loadState{latencies: make([]time.Duration, 0, int(opts.Rate*opts.Duration.Seconds())+16)}
+	start := time.Now()
+	if opts.Check {
+		err = runLoadChecked(ctx, opts, clients, info, st)
+	} else {
+		err = runLoadOpen(ctx, opts, clients, info, st)
+	}
+	elapsed := time.Since(start)
+	if err != nil {
+		return LoadReport{}, err
+	}
+
+	rep := LoadReport{
+		Conns:     opts.Conns,
+		Rate:      opts.Rate,
+		Duration:  elapsed,
+		Offered:   st.offered.Load(),
+		Completed: st.completed.Load(),
+		Overload:  st.overload.Load(),
+		Interrupt: st.interrupt.Load(),
+		Dropped:   st.dropped.Load(),
+		Errors:    st.errs.Load(),
+		CheckFail: st.checkFail.Load(),
+		SLO:       opts.SLO,
+	}
+	if rep.Errors > 0 {
+		if msg := st.firstErr.Load(); msg != nil {
+			return rep, fmt.Errorf("netserve: load run saw %d errors; first: %s", rep.Errors, *msg)
+		}
+	}
+	lat := st.latencies
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	if n := len(lat); n > 0 {
+		var sum time.Duration
+		under := 0
+		for _, d := range lat {
+			sum += d
+			if opts.SLO > 0 && d <= opts.SLO {
+				under++
+			}
+		}
+		rep.Mean = sum / time.Duration(n)
+		rep.P50 = lat[quantIdx(n, 0.50)]
+		rep.P99 = lat[quantIdx(n, 0.99)]
+		rep.P999 = lat[quantIdx(n, 0.999)]
+		rep.Max = lat[n-1]
+		rep.UnderSLO = float64(under) / float64(n)
+		rep.SLOMet = opts.SLO == 0 || rep.P99 <= opts.SLO
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(rep.Completed) / elapsed.Seconds()
+	}
+	return rep, nil
+}
+
+func quantIdx(n int, q float64) int {
+	i := int(math.Ceil(q*float64(n))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// doOne runs one request with overload/interrupt retries, measuring
+// from the scheduled arrival time.
+func doOne(ctx context.Context, c *Client, st *loadState, scheduled time.Time,
+	write bool, addr uint64, data []byte) {
+	for {
+		var err error
+		if write {
+			err = c.Write(ctx, addr, data)
+		} else {
+			_, err = c.Read(ctx, addr)
+		}
+		switch {
+		case err == nil:
+			st.completed.Add(1)
+			st.observe(time.Since(scheduled))
+			return
+		case errors.Is(err, serve.ErrOverloaded):
+			st.overload.Add(1)
+			var se *StatusError
+			backoff := time.Millisecond
+			if errors.As(err, &se) && se.RetryAfter > 0 {
+				backoff = se.RetryAfter
+			}
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				st.dropped.Add(1)
+				return
+			}
+		case errors.Is(err, serve.ErrInterrupted):
+			st.interrupt.Add(1) // §4.3 recovered; the op is re-issuable
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			st.dropped.Add(1)
+			return
+		default:
+			st.fail(err)
+			return
+		}
+	}
+}
+
+// runLoadOpen is the throughput mode: arrivals dispatch to goroutines
+// round-robin across connections, fully concurrent.
+func runLoadOpen(ctx context.Context, opts LoadOptions, clients []*Client, info Info, st *loadState) error {
+	ctx, cancel := context.WithTimeout(ctx, opts.Duration)
+	defer cancel()
+	r := rng.New(rng.DeriveSeed(opts.Seed, rng.HashString("netserve.load")))
+	sem := make(chan struct{}, opts.MaxOutstanding)
+	var wg sync.WaitGroup
+	version := 0
+	next := time.Now()
+	deadline := next.Add(opts.Duration)
+	for i := 0; next.Before(deadline); i++ {
+		// Exponential inter-arrival gap: Poisson process at opts.Rate.
+		gap := time.Duration(-math.Log(1-r.Float64()) / opts.Rate * float64(time.Second))
+		next = next.Add(gap)
+		if d := time.Until(next); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+			}
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		st.offered.Add(1)
+		addr := r.Uint64n(info.NumBlocks)
+		write := r.Float64() < opts.WriteRatio
+		var data []byte
+		if write {
+			version++
+			data = oracle.Value(addr, version, int(info.BlockBytes))
+		}
+		scheduled := next
+		select {
+		case sem <- struct{}{}:
+		default:
+			st.dropped.Add(1)
+			continue
+		}
+		wg.Add(1)
+		go func(c *Client) {
+			defer func() { <-sem; wg.Done() }()
+			doOne(ctx, c, st, scheduled, write, addr, data)
+		}(clients[i%len(clients)])
+	}
+	wg.Wait()
+	return nil
+}
+
+// runLoadChecked is the differential-oracle mode: each connection owns
+// a disjoint address stripe and executes its arrivals sequentially
+// against a private reference map, so every returned value is exactly
+// checkable; arrivals are still scheduled open-loop and queue time is
+// charged to latency. Ends with a full read sweep of every stripe.
+func runLoadChecked(ctx context.Context, opts LoadOptions, clients []*Client, info Info, st *loadState) error {
+	perConn := info.NumBlocks / uint64(opts.Conns)
+	if perConn == 0 {
+		return fmt.Errorf("netserve: %d blocks cannot stripe over %d checked connections", info.NumBlocks, opts.Conns)
+	}
+	runCtx, cancel := context.WithTimeout(ctx, opts.Duration)
+	defer cancel()
+
+	type arrival struct {
+		scheduled time.Time
+		op        oracle.Op
+	}
+	queues := make([]chan arrival, opts.Conns)
+	for i := range queues {
+		queues[i] = make(chan arrival, 4*opts.MaxOutstanding/opts.Conns+1)
+	}
+	var wg sync.WaitGroup
+	bb := int(info.BlockBytes)
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *Client) {
+			defer wg.Done()
+			base := uint64(i) * perConn
+			ref := make(map[uint64][]byte)
+			zero := make([]byte, bb)
+			// Ops run under the outer ctx, not the run deadline: a write
+			// canceled mid-flight may still land server-side, which would
+			// silently poison the reference map. The deadline stops the
+			// arrival generator; workers drain their queues to the end.
+			for a := range queues[i] {
+				addr := base + a.op.Addr
+				if a.op.Write {
+					if err := writeChecked(ctx, c, st, a.scheduled, addr, a.op.Data); err == nil {
+						ref[addr] = a.op.Data
+					}
+				} else {
+					got, ok := readChecked(ctx, c, st, a.scheduled, addr)
+					if ok {
+						want, has := ref[addr]
+						if !has {
+							want = zero
+						}
+						if !bytes.Equal(got, want) {
+							st.checkFail.Add(1)
+							st.fail(fmt.Errorf("check: addr %d got %.16q want %.16q", addr, got, want))
+						}
+					}
+				}
+			}
+			// Final sweep: every stripe address must read back as the
+			// reference (outside the run deadline — use the outer ctx).
+			for addr := base; addr < base+perConn; addr++ {
+				got, err := readRetry(ctx, c, st, addr)
+				if err != nil {
+					st.fail(fmt.Errorf("check sweep: addr %d: %w", addr, err))
+					continue
+				}
+				want, has := ref[addr]
+				if !has {
+					want = zero
+				}
+				if !bytes.Equal(got, want) {
+					st.checkFail.Add(1)
+					st.fail(fmt.Errorf("check sweep: addr %d got %.16q want %.16q", addr, got, want))
+				}
+			}
+		}(i, c)
+	}
+
+	r := rng.New(rng.DeriveSeed(opts.Seed, rng.HashString("netserve.load.checked")))
+	version := 0
+	next := time.Now()
+	deadline := next.Add(opts.Duration)
+	for i := 0; next.Before(deadline) && runCtx.Err() == nil; i++ {
+		gap := time.Duration(-math.Log(1-r.Float64()) / opts.Rate * float64(time.Second))
+		next = next.Add(gap)
+		if d := time.Until(next); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-runCtx.Done():
+			}
+		}
+		if runCtx.Err() != nil {
+			break
+		}
+		conn := i % opts.Conns
+		local := r.Uint64n(perConn)
+		op := oracle.Op{Addr: local}
+		if r.Float64() < opts.WriteRatio {
+			version++
+			op.Write = true
+			op.Data = oracle.Value(uint64(conn)*perConn+local, version, bb)
+		}
+		st.offered.Add(1)
+		select {
+		case queues[conn] <- arrival{scheduled: next, op: op}:
+		default:
+			st.dropped.Add(1)
+		}
+	}
+	for _, q := range queues {
+		close(q)
+	}
+	wg.Wait()
+	return nil
+}
+
+func writeChecked(ctx context.Context, c *Client, st *loadState, scheduled time.Time, addr uint64, data []byte) error {
+	for {
+		err := c.Write(ctx, addr, data)
+		switch {
+		case err == nil:
+			st.completed.Add(1)
+			st.observe(time.Since(scheduled))
+			return nil
+		case errors.Is(err, serve.ErrOverloaded):
+			st.overload.Add(1)
+		case errors.Is(err, serve.ErrInterrupted):
+			st.interrupt.Add(1)
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			st.dropped.Add(1)
+			return err
+		default:
+			st.fail(err)
+			return err
+		}
+	}
+}
+
+func readChecked(ctx context.Context, c *Client, st *loadState, scheduled time.Time, addr uint64) ([]byte, bool) {
+	for {
+		v, err := c.Read(ctx, addr)
+		switch {
+		case err == nil:
+			st.completed.Add(1)
+			st.observe(time.Since(scheduled))
+			return v, true
+		case errors.Is(err, serve.ErrOverloaded):
+			st.overload.Add(1)
+		case errors.Is(err, serve.ErrInterrupted):
+			st.interrupt.Add(1)
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			st.dropped.Add(1)
+			return nil, false
+		default:
+			st.fail(err)
+			return nil, false
+		}
+	}
+}
+
+// readRetry reads with overload/interrupt retries (the sweep path).
+func readRetry(ctx context.Context, c *Client, st *loadState, addr uint64) ([]byte, error) {
+	for {
+		v, err := c.Read(ctx, addr)
+		switch {
+		case err == nil:
+			return v, nil
+		case errors.Is(err, serve.ErrOverloaded):
+			st.overload.Add(1)
+		case errors.Is(err, serve.ErrInterrupted):
+			st.interrupt.Add(1)
+		default:
+			return nil, err
+		}
+	}
+}

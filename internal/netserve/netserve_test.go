@@ -1,0 +1,501 @@
+package netserve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/oracle"
+	"repro/internal/oram"
+	"repro/internal/serve"
+)
+
+// startTestServer stands up a pool + front-end on a loopback listener
+// and tears both down with the test.
+func startTestServer(t testing.TB, popts serve.Options, sopts ServerOptions) (*serve.Pool, *Server, string) {
+	t.Helper()
+	pool, err := serve.New(popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(pool, sopts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil && err != ErrServerClosed {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-done; err != ErrServerClosed {
+			t.Errorf("Serve returned %v, want ErrServerClosed", err)
+		}
+		if !pool.Closed() {
+			if err := pool.Close(ctx); err != nil {
+				t.Errorf("pool close: %v", err)
+			}
+		}
+	})
+	return pool, srv, ln.Addr().String()
+}
+
+func dialTest(t testing.TB, addr string, opts ClientOptions) *Client {
+	t.Helper()
+	c, err := Dial(addr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func smallPoolOpts() serve.Options {
+	return serve.Options{
+		Shards:    4,
+		NumBlocks: 256,
+		Scheme:    config.SchemePSORAM,
+		Levels:    5,
+		Seed:      7,
+	}
+}
+
+// TestNetRoundTrip: the full stack end to end — info handshake, writes,
+// reads, ping, stats — over one real TCP connection.
+func TestNetRoundTrip(t *testing.T) {
+	pool, _, addr := startTestServer(t, smallPoolOpts(), ServerOptions{})
+	c := dialTest(t, addr, ClientOptions{})
+	ctx := context.Background()
+
+	info, err := c.Info(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.NumBlocks != pool.NumBlocks() || int(info.BlockBytes) != pool.BlockBytes() ||
+		int(info.Shards) != pool.Shards() || config.Scheme(info.Scheme) != pool.Scheme() {
+		t.Fatalf("info %+v does not describe the pool", info)
+	}
+	if err := c.Ping(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	bb := int(info.BlockBytes)
+	want := make(map[uint64][]byte)
+	for i := 0; i < 64; i++ {
+		addr := uint64(i * 3 % 256)
+		v := oracle.Value(addr, i, bb)
+		if err := c.Write(ctx, addr, v); err != nil {
+			t.Fatalf("write %d: %v", addr, err)
+		}
+		want[addr] = v
+	}
+	zero := make([]byte, bb)
+	for a := uint64(0); a < info.NumBlocks; a++ {
+		got, err := c.Read(ctx, a)
+		if err != nil {
+			t.Fatalf("read %d: %v", a, err)
+		}
+		w, ok := want[a]
+		if !ok {
+			w = zero
+		}
+		if !bytes.Equal(got, w) {
+			t.Fatalf("addr %d = %.16q, want %.16q", a, got, w)
+		}
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Conns != 1 {
+		t.Errorf("stats report %d conns, want 1", st.Conns)
+	}
+	if sub, _, completed, _ := st.Pool.Totals(); sub == 0 || completed == 0 {
+		t.Errorf("pool stats flat: submitted=%d completed=%d", sub, completed)
+	}
+	if st.FramesIn == 0 || st.FramesOut == 0 {
+		t.Errorf("frame counters flat: in=%d out=%d", st.FramesIn, st.FramesOut)
+	}
+}
+
+// TestNetBadRequests: malformed but well-framed requests get in-band
+// StatusBadRequest answers and the connection survives them.
+func TestNetBadRequests(t *testing.T) {
+	pool, _, addr := startTestServer(t, smallPoolOpts(), ServerOptions{})
+	c := dialTest(t, addr, ClientOptions{})
+	ctx := context.Background()
+
+	checkBad := func(err error) {
+		t.Helper()
+		var se *StatusError
+		if !errors.As(err, &se) || se.Code != StatusBadRequest {
+			t.Fatalf("err = %v, want StatusBadRequest", err)
+		}
+	}
+	// Out-of-range addr, short read payload, wrong write size,
+	// response-typed frame as request.
+	_, err := c.Read(ctx, pool.NumBlocks()+1)
+	checkBad(err)
+	f, err := c.do(ctx, TRead, []byte{1, 2, 3})
+	if err == nil {
+		_, err = expect(f, TValue)
+	}
+	checkBad(err)
+	if err := c.Write(ctx, 0, make([]byte, pool.BlockBytes()-1)); err == nil {
+		t.Fatal("short write accepted")
+	} else {
+		checkBad(err)
+	}
+	f, err = c.do(ctx, Type(TValue), nil) // response type as request
+	if err == nil {
+		_, err = expect(f, TValue)
+	}
+	checkBad(err)
+
+	// The stream is still healthy.
+	if err := c.Ping(ctx); err != nil {
+		t.Fatalf("connection did not survive bad requests: %v", err)
+	}
+}
+
+// TestNetConcurrentOracle is the concurrency proof: N connections × M
+// pipelined streams per connection, every stream running the
+// differential oracle against a private reference over its own address
+// stripe, with a full sweep plus structural invariants at the end. Run
+// under -race this exercises reader/writer/handler interleavings on
+// both sides of the wire.
+func TestNetConcurrentOracle(t *testing.T) {
+	const (
+		conns          = 6
+		streamsPerConn = 8
+		opsPerStream   = 40
+	)
+	popts := serve.Options{
+		Shards:    4,
+		NumBlocks: 384,
+		Scheme:    config.SchemePSORAM,
+		Levels:    5,
+		Seed:      11,
+		// A deep queue: this test proves values, not shedding.
+		QueueDepth: 4096,
+	}
+	ops := opsPerStream
+	if testing.Short() {
+		ops = 12
+	}
+	pool, _, addr := startTestServer(t, popts, ServerOptions{MaxInFlight: streamsPerConn * 2})
+	ctx := context.Background()
+	bb := pool.BlockBytes()
+	stripe := popts.NumBlocks / (conns * streamsPerConn) // 8 addrs per stream
+
+	var wg sync.WaitGroup
+	var failures atomic.Uint64
+	for ci := 0; ci < conns; ci++ {
+		c := dialTest(t, addr, ClientOptions{MaxInFlight: streamsPerConn * 2})
+		for si := 0; si < streamsPerConn; si++ {
+			wg.Add(1)
+			go func(ci, si int, c *Client) {
+				defer wg.Done()
+				stream := uint64(ci*streamsPerConn + si)
+				base := stream * stripe
+				w := oracle.Workload{Name: fmt.Sprintf("net-%d", stream), WriteRatio: 0.6}
+				genOps := oracle.GenOps(w, stripe, bb, ops, 1000+stream)
+				ref := make(map[uint64][]byte)
+				zero := make([]byte, bb)
+				for i, op := range genOps {
+					a := base + op.Addr
+					for {
+						var err error
+						var got []byte
+						if op.Write {
+							err = c.Write(ctx, a, op.Data)
+						} else {
+							got, err = c.Read(ctx, a)
+						}
+						if errors.Is(err, serve.ErrOverloaded) || errors.Is(err, serve.ErrInterrupted) {
+							continue // back off and re-issue
+						}
+						if err != nil {
+							failures.Add(1)
+							t.Errorf("stream %d op %d: %v", stream, i, err)
+							return
+						}
+						if !op.Write {
+							want, ok := ref[a]
+							if !ok {
+								want = zero
+							}
+							if !bytes.Equal(got, want) {
+								failures.Add(1)
+								t.Errorf("stream %d op %d addr %d: got %.16q want %.16q", stream, i, a, got, want)
+								return
+							}
+						}
+						break
+					}
+					if op.Write {
+						ref[a] = op.Data
+					}
+				}
+				// Stream-final sweep through the wire.
+				for a := base; a < base+stripe; a++ {
+					got, err := c.Read(ctx, a)
+					if err != nil {
+						failures.Add(1)
+						t.Errorf("sweep addr %d: %v", a, err)
+						return
+					}
+					want, ok := ref[a]
+					if !ok {
+						want = zero
+					}
+					if !bytes.Equal(got, want) {
+						failures.Add(1)
+						t.Errorf("sweep addr %d: got %.16q want %.16q", a, got, want)
+					}
+				}
+			}(ci, si, c)
+		}
+	}
+	wg.Wait()
+	if failures.Load() > 0 {
+		t.Fatalf("%d oracle violations", failures.Load())
+	}
+	if errs := pool.Invariants(ctx); len(errs) != 0 {
+		t.Fatalf("structural invariants violated after network load: %v", errs)
+	}
+}
+
+// TestNetSlowReaderIsolation: one connection that floods requests and
+// never reads a byte of its replies must not delay another connection's
+// round-trips. This is the per-connection backpressure argument made
+// concrete: the stalled pipeline fills its own in-flight budget and its
+// own reply channel, and stops there.
+func TestNetSlowReaderIsolation(t *testing.T) {
+	popts := smallPoolOpts()
+	popts.QueueDepth = 1024
+	_, _, addr := startTestServer(t, popts, ServerOptions{MaxInFlight: 8})
+
+	// The slow reader: a raw TCP conn spraying read requests, never
+	// consuming replies.
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	var flood []byte
+	for i := uint64(0); i < 512; i++ {
+		flood = AppendFrame(flood, Frame{Type: TRead, ID: i, Payload: appendAddr(nil, i%256)})
+	}
+	floodDone := make(chan struct{})
+	go func() {
+		defer close(floodDone)
+		raw.Write(flood) // blocks once the server stops draining it; fine
+	}()
+
+	// Give the flood a head start so the victim conn competes against a
+	// fully wedged pipeline.
+	time.Sleep(50 * time.Millisecond)
+
+	c := dialTest(t, addr, ClientOptions{})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i := 0; i < 100; i++ {
+		if _, err := c.Read(ctx, uint64(i%256)); err != nil {
+			t.Fatalf("victim conn read %d stalled behind the slow reader: %v", i, err)
+		}
+	}
+	raw.Close()
+	<-floodDone
+}
+
+// slowBackend wraps a plain in-memory store with a configurable access
+// delay, so tests can wedge shard workers deterministically.
+type slowBackend struct {
+	serve.Backend
+	delay time.Duration
+	gate  chan struct{} // when non-nil, every access also waits for a tick
+}
+
+func (s *slowBackend) Access(op oram.Op, addr oram.Addr, data []byte) ([]byte, oram.Leaf, error) {
+	if s.gate != nil {
+		<-s.gate
+	}
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	return s.Backend.Access(op, addr, data)
+}
+
+func slowFactory(delay time.Duration, gate chan struct{}) serve.Factory {
+	return func(shard int, local uint64) (serve.Backend, error) {
+		t, err := oracle.NewTarget(oracle.Params{
+			Scheme:    config.SchemeNonORAM,
+			NumBlocks: local,
+			Seed:      uint64(shard) + 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &slowBackend{Backend: t.(serve.Backend), delay: delay, gate: gate}, nil
+	}
+}
+
+// TestNetOverloadRetryAfter: a wedged shard queue surfaces as a
+// RETRY_AFTER status frame carrying the server's hint, and unwraps to
+// serve.ErrOverloaded on the client — admission control end to end.
+func TestNetOverloadRetryAfter(t *testing.T) {
+	gate := make(chan struct{})
+	popts := serve.Options{
+		Shards:     1,
+		NumBlocks:  64,
+		QueueDepth: 1,
+		MaxBatch:   1,
+		Factory:    slowFactory(0, gate),
+	}
+	hint := 3 * time.Millisecond
+	_, _, addr := startTestServer(t, popts, ServerOptions{MaxInFlight: 64, RetryAfter: hint})
+	c := dialTest(t, addr, ClientOptions{MaxInFlight: 64})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Flood: with the worker gated, the one-deep queue must reject most
+	// of these with an overload frame.
+	const n = 32
+	errs := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := c.Read(ctx, uint64(i%64))
+			errs <- err
+		}(i)
+	}
+	// Let every request reach the server before releasing the worker,
+	// then tick it until the flood drains.
+	time.Sleep(100 * time.Millisecond)
+	drain := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case gate <- struct{}{}:
+			case <-drain:
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(drain)
+	close(errs)
+
+	var overloaded, ok int
+	for err := range errs {
+		switch {
+		case err == nil:
+			ok++
+		case errors.Is(err, serve.ErrOverloaded):
+			overloaded++
+			var se *StatusError
+			if !errors.As(err, &se) {
+				t.Fatalf("overload error %v is not a StatusError", err)
+			}
+			if se.RetryAfter != hint {
+				t.Fatalf("RetryAfter = %v, want the server's hint %v", se.RetryAfter, hint)
+			}
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if overloaded == 0 {
+		t.Fatalf("no overload frames seen (%d ok) — admission control never engaged", ok)
+	}
+	if ok == 0 {
+		t.Fatal("every request shed — the queue never admitted anything")
+	}
+	t.Logf("%d served, %d shed with RETRY_AFTER", ok, overloaded)
+}
+
+// TestNetGracefulDrain: Shutdown completes in-flight requests and
+// flushes their replies before connections close; requests after the
+// drain fail fast.
+func TestNetGracefulDrain(t *testing.T) {
+	gate := make(chan struct{})
+	popts := serve.Options{
+		Shards:     1,
+		NumBlocks:  64,
+		QueueDepth: 64,
+		Factory:    slowFactory(0, gate),
+	}
+	pool, srv, addr := startTestServer(t, popts, ServerOptions{})
+	c := dialTest(t, addr, ClientOptions{})
+	ctx := context.Background()
+
+	// Park requests in flight, then drain while they are unanswered.
+	const n = 8
+	results := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			_, err := c.Read(ctx, uint64(i))
+			results <- err
+		}(i)
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(sctx)
+	}()
+	// Shutdown must wait for the in-flight requests: release them now.
+	go func() {
+		for i := 0; i < n; i++ {
+			gate <- struct{}{}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("in-flight request %d lost to the drain: %v", i, err)
+		}
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := pool.Close(ctx); err != nil {
+		t.Fatalf("pool close: %v", err)
+	}
+
+	// The drained server is gone: new requests on the old conn fail,
+	// new dials are refused.
+	if err := c.Ping(ctx); err == nil {
+		t.Fatal("ping succeeded after drain")
+	}
+	if _, err := Dial(addr, ClientOptions{DialTimeout: time.Second}); err == nil {
+		t.Fatal("dial succeeded after drain")
+	}
+}
+
+// TestNetStatsDraining: the stats frame reports draining state through
+// the serve.Pool.Closed hook once the pool is shut.
+func TestNetStatsDraining(t *testing.T) {
+	popts := smallPoolOpts()
+	pool, srv, _ := startTestServer(t, popts, ServerOptions{})
+	if srv.Stats().Draining {
+		t.Fatal("fresh server reports draining")
+	}
+	if pool.Closed() {
+		t.Fatal("fresh pool reports closed")
+	}
+}

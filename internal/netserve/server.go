@@ -1,0 +1,450 @@
+package netserve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// ErrServerClosed is returned by Serve after Shutdown begins, mirroring
+// net/http's contract.
+var ErrServerClosed = errors.New("netserve: server closed")
+
+// ServerOptions tunes the front-end. The zero value is usable.
+type ServerOptions struct {
+	// MaxInFlight caps how many requests one connection may have in
+	// flight at once (default 64). The cap is per connection, so one
+	// greedy or stalled client can exhaust only its own budget.
+	MaxInFlight int
+	// MaxPayload caps request frame payloads (default DefaultMaxPayload).
+	MaxPayload uint32
+	// RetryAfter is the backoff hint carried in StatusOverloaded frames
+	// (default 1ms — roughly the drain time of one full shard queue).
+	RetryAfter time.Duration
+	// Logf, when set, receives connection-level diagnostics (accept
+	// errors, protocol violations). Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (o *ServerOptions) normalize() {
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 64
+	}
+	if o.MaxPayload == 0 {
+		o.MaxPayload = DefaultMaxPayload
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Millisecond
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+}
+
+// ServerStats snapshots the front-end plus the pool behind it (the
+// TStats reply payload, JSON-encoded).
+type ServerStats struct {
+	Conns      int             `json:"conns"`       // open connections now
+	TotalConns uint64          `json:"total_conns"` // accepted since start
+	FramesIn   uint64          `json:"frames_in"`
+	FramesOut  uint64          `json:"frames_out"`
+	Errors     uint64          `json:"errors"` // TError frames sent
+	Draining   bool            `json:"draining"`
+	Pool       serve.PoolStats `json:"pool"`
+}
+
+// Server speaks the frame protocol over a serve.Pool. One Server serves
+// one pool; connections are independent (per-connection reader and
+// writer goroutines, per-connection in-flight budget), so a slow or
+// dead connection never blocks another's replies.
+type Server struct {
+	pool *serve.Pool
+	opts ServerOptions
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[*srvConn]struct{}
+	draining bool
+
+	wg sync.WaitGroup // accept loop + one per connection
+
+	totalConns atomic.Uint64
+	framesIn   atomic.Uint64
+	framesOut  atomic.Uint64
+	errFrames  atomic.Uint64
+}
+
+// NewServer builds a front-end over pool. The pool's lifecycle stays
+// with the caller: Shutdown drains connections but does not close the
+// pool.
+func NewServer(pool *serve.Pool, opts ServerOptions) *Server {
+	opts.normalize()
+	return &Server{pool: pool, opts: opts, conns: make(map[*srvConn]struct{})}
+}
+
+// Serve accepts connections on ln until Shutdown (ErrServerClosed) or a
+// fatal accept error. Like net/http, it blocks; run it in a goroutine.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return ErrServerClosed
+			}
+			return err
+		}
+		c := &srvConn{srv: s, nc: nc}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			nc.Close()
+			return ErrServerClosed
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.totalConns.Add(1)
+		s.wg.Add(1)
+		go c.run()
+	}
+}
+
+// ListenAndServe listens on addr ("host:port"; ":0" picks a free port)
+// and serves. The bound address is recoverable via Addr once Serve has
+// started — use NewServer + net.Listen directly when the caller needs
+// the port before serving.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the listener's address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Stats snapshots the server and its pool.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	n, draining := len(s.conns), s.draining
+	s.mu.Unlock()
+	return ServerStats{
+		Conns:      n,
+		TotalConns: s.totalConns.Load(),
+		FramesIn:   s.framesIn.Load(),
+		FramesOut:  s.framesOut.Load(),
+		Errors:     s.errFrames.Load(),
+		Draining:   draining,
+		Pool:       s.pool.Stats(),
+	}
+}
+
+// Shutdown gracefully drains the server: the listener closes, every
+// connection's read side is shut so clients see EOF after their final
+// reply, in-flight requests complete and their responses are flushed,
+// and Shutdown returns once every connection has wound down. If ctx
+// expires first the remaining connections are torn down hard and the
+// context error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	ln := s.ln
+	conns := make([]*srvConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if already {
+		return ErrServerClosed
+	}
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.closeRead()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	if ctx == nil {
+		<-done
+		return nil
+	}
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.nc.Close()
+		}
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// srvConn is one accepted connection: a reader goroutine decoding and
+// dispatching request frames, handler goroutines (bounded by the
+// in-flight budget) running pool operations, and a writer goroutine
+// serializing response frames. Responses flow through a bounded channel
+// sized to the in-flight budget, so the pipeline backpressures a client
+// that stops reading without touching any shared state.
+type srvConn struct {
+	srv *Server
+	nc  net.Conn
+
+	out        chan []byte   // encoded response frames
+	inflight   chan struct{} // per-connection budget
+	writerDead chan struct{} // closed when the writer gives up (write error)
+	handlers   sync.WaitGroup
+
+	readClosed atomic.Bool
+}
+
+func (c *srvConn) run() {
+	defer c.srv.wg.Done()
+	max := c.srv.opts.MaxInFlight
+	c.out = make(chan []byte, max)
+	c.inflight = make(chan struct{}, max)
+	c.writerDead = make(chan struct{})
+
+	// The connection context covers pool submissions: when the writer
+	// dies (client gone mid-reply) pending pool requests are abandoned
+	// instead of finishing work nobody will read.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		c.writeLoop()
+	}()
+
+	c.readLoop(ctx)
+
+	// Reader is done (EOF, protocol error, or drain): let in-flight
+	// handlers finish and flush, then wind the writer down and close.
+	c.handlers.Wait()
+	close(c.out)
+	writerWG.Wait()
+	c.nc.Close()
+	c.srv.mu.Lock()
+	delete(c.srv.conns, c)
+	c.srv.mu.Unlock()
+}
+
+// closeRead shuts the connection's read side (graceful drain): the
+// reader sees EOF, already-accepted requests still complete and their
+// responses still flush.
+func (c *srvConn) closeRead() {
+	if !c.readClosed.CompareAndSwap(false, true) {
+		return
+	}
+	type readCloser interface{ CloseRead() error }
+	if rc, ok := c.nc.(readCloser); ok {
+		rc.CloseRead()
+		return
+	}
+	// Non-TCP transports (tests with pipes): a hard close still drains
+	// handlers, only the final replies are lost.
+	c.nc.Close()
+}
+
+func (c *srvConn) readLoop(ctx context.Context) {
+	br := bufio.NewReaderSize(c.nc, 32<<10)
+	for {
+		f, err := ReadFrame(br, c.srv.opts.MaxPayload)
+		if err != nil {
+			if !isCleanClose(err) {
+				c.srv.opts.Logf("netserve: %s: read: %v", c.nc.RemoteAddr(), err)
+			}
+			return
+		}
+		c.srv.framesIn.Add(1)
+		if !f.Type.Request() {
+			// Well-formed but nonsensical: answer in-band and keep the
+			// stream (the framing is still intact).
+			c.respond(c.errorFrame(f.ID, StatusBadRequest, 0, "response-typed frame sent as request"))
+			continue
+		}
+		select {
+		case c.inflight <- struct{}{}:
+		case <-c.writerDead:
+			return
+		}
+		c.handlers.Add(1)
+		go c.handle(ctx, f)
+	}
+}
+
+func (c *srvConn) writeLoop() {
+	bw := bufio.NewWriterSize(c.nc, 32<<10)
+	dead := false
+	for buf := range c.out {
+		if dead {
+			continue // keep draining so handlers never block
+		}
+		if _, err := bw.Write(buf); err == nil {
+			// Flush only when no more responses are queued: pipelined
+			// replies coalesce into one syscall.
+			if len(c.out) == 0 {
+				if err := bw.Flush(); err != nil {
+					dead = true
+				}
+			}
+		} else {
+			dead = true
+		}
+		if dead {
+			close(c.writerDead)
+		}
+	}
+	if !dead {
+		bw.Flush()
+	}
+}
+
+// respond queues one encoded frame, giving up if the writer is gone.
+func (c *srvConn) respond(buf []byte) {
+	select {
+	case c.out <- buf:
+		c.srv.framesOut.Add(1)
+	case <-c.writerDead:
+	}
+}
+
+func (c *srvConn) errorFrame(id uint64, code Status, retryAfter time.Duration, msg string) []byte {
+	c.srv.errFrames.Add(1)
+	return AppendFrame(nil, Frame{
+		Type:    TError,
+		ID:      id,
+		Payload: appendStatus(nil, code, retryAfter, msg),
+	})
+}
+
+// handle runs one request against the pool and queues the response.
+func (c *srvConn) handle(ctx context.Context, f Frame) {
+	defer func() {
+		<-c.inflight
+		c.handlers.Done()
+	}()
+	pool := c.srv.pool
+	var buf []byte
+	switch f.Type {
+	case TRead:
+		addr, err := decodeAddr(f.Payload)
+		if err != nil {
+			buf = c.errorFrame(f.ID, StatusBadRequest, 0, err.Error())
+			break
+		}
+		if addr >= pool.NumBlocks() {
+			buf = c.errorFrame(f.ID, StatusBadRequest, 0,
+				fmt.Sprintf("addr %d outside [0,%d)", addr, pool.NumBlocks()))
+			break
+		}
+		v, err := pool.Read(ctx, addr)
+		if err != nil {
+			buf = c.poolErrorFrame(f.ID, err)
+			break
+		}
+		buf = AppendFrame(nil, Frame{Type: TValue, ID: f.ID, Payload: v})
+	case TWrite:
+		addr, err := decodeAddr(f.Payload)
+		if err != nil {
+			buf = c.errorFrame(f.ID, StatusBadRequest, 0, err.Error())
+			break
+		}
+		data := f.Payload[8:]
+		switch {
+		case addr >= pool.NumBlocks():
+			buf = c.errorFrame(f.ID, StatusBadRequest, 0,
+				fmt.Sprintf("addr %d outside [0,%d)", addr, pool.NumBlocks()))
+		case len(data) != pool.BlockBytes():
+			buf = c.errorFrame(f.ID, StatusBadRequest, 0,
+				fmt.Sprintf("write of %d bytes, block size %d", len(data), pool.BlockBytes()))
+		default:
+			if err := pool.Write(ctx, addr, data); err != nil {
+				buf = c.poolErrorFrame(f.ID, err)
+			} else {
+				buf = AppendFrame(nil, Frame{Type: TWrote, ID: f.ID})
+			}
+		}
+	case TStats:
+		js, err := json.Marshal(c.srv.Stats())
+		if err != nil {
+			buf = c.errorFrame(f.ID, StatusInternal, 0, err.Error())
+			break
+		}
+		buf = AppendFrame(nil, Frame{Type: TStatsReply, ID: f.ID, Payload: js})
+	case TPing:
+		buf = AppendFrame(nil, Frame{Type: TPong, ID: f.ID})
+	case TInfo:
+		buf = AppendFrame(nil, Frame{Type: TInfoReply, ID: f.ID, Payload: appendInfo(nil, Info{
+			NumBlocks:  pool.NumBlocks(),
+			BlockBytes: uint32(pool.BlockBytes()),
+			Shards:     uint32(pool.Shards()),
+			Scheme:     uint32(pool.Scheme()),
+		})})
+	default:
+		buf = c.errorFrame(f.ID, StatusBadRequest, 0, "unhandled request type "+f.Type.String())
+	}
+	c.respond(buf)
+}
+
+// poolErrorFrame maps a serving-layer error to its wire status. This is
+// the admission-control boundary: ErrOverloaded becomes a RETRY_AFTER
+// status frame the client backs off on, instead of TCP pushback that
+// would stall the whole connection (DESIGN.md, "Backpressure as data").
+func (c *srvConn) poolErrorFrame(id uint64, err error) []byte {
+	switch {
+	case errors.Is(err, serve.ErrOverloaded):
+		return c.errorFrame(id, StatusOverloaded, c.srv.opts.RetryAfter, "shard queue full")
+	case errors.Is(err, serve.ErrInterrupted):
+		return c.errorFrame(id, StatusInterrupted, 0, "access interrupted by power failure; shard recovered, re-issue")
+	case errors.Is(err, serve.ErrPoolClosed):
+		return c.errorFrame(id, StatusClosing, 0, "server draining")
+	default:
+		return c.errorFrame(id, StatusInternal, 0, err.Error())
+	}
+}
+
+// isCleanClose reports whether a read error is an expected end of
+// stream (client hung up, or our own drain/teardown closed the socket)
+// rather than a protocol violation worth logging.
+func isCleanClose(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, ErrTruncated)
+}

@@ -493,6 +493,11 @@ func (p *Pool) ArmCrash(ctx context.Context, shard int, fire func(oracle.CrashSp
 // NumBlocks returns the pool's total logical block count.
 func (p *Pool) NumBlocks() uint64 { return p.opts.NumBlocks }
 
+// Closed reports whether Close has begun: the drain hook for front-ends
+// that must stop admitting work (and advertise "closing" to clients)
+// before the pool stops answering.
+func (p *Pool) Closed() bool { return p.closed.Load() }
+
 // BlockBytes returns the block payload size in bytes.
 func (p *Pool) BlockBytes() int { return p.shards[0].backend.BlockBytes() }
 

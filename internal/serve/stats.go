@@ -6,37 +6,39 @@ import (
 	"repro/internal/stats"
 )
 
-// ShardStats is a point-in-time snapshot of one shard's counters.
+// ShardStats is a point-in-time snapshot of one shard's counters. The
+// JSON form is the wire shape served by the network front-end's stats
+// frame (internal/netserve).
 type ShardStats struct {
-	Shard  int
-	Blocks uint64
+	Shard  int    `json:"shard"`
+	Blocks uint64 `json:"blocks"`
 
 	// Request accounting.
-	Submitted  uint64 // accepted into the queue
-	Rejected   uint64 // bounced with ErrOverloaded
-	Completed  uint64 // executed (including crash-recovered accesses)
-	Expired    uint64 // context dead at dequeue; backend untouched
-	Crashes    uint64 // injected power failures observed
-	Recoveries uint64 // successful §4.3 recoveries
+	Submitted  uint64 `json:"submitted"`  // accepted into the queue
+	Rejected   uint64 `json:"rejected"`   // bounced with ErrOverloaded
+	Completed  uint64 `json:"completed"`  // executed (including crash-recovered accesses)
+	Expired    uint64 `json:"expired"`    // context dead at dequeue; backend untouched
+	Crashes    uint64 `json:"crashes"`    // injected power failures observed
+	Recoveries uint64 `json:"recoveries"` // successful §4.3 recoveries
 
 	// Scheduler shape.
-	Batches    uint64  // protocol rounds run
-	BatchMean  float64 // mean requests coalesced per round
-	BatchMax   uint64
-	QueueDepth int // queued requests at snapshot time
+	Batches    uint64  `json:"batches"`    // protocol rounds run
+	BatchMean  float64 `json:"batch_mean"` // mean requests coalesced per round
+	BatchMax   uint64  `json:"batch_max"`
+	QueueDepth int     `json:"queue_depth"` // queued requests at snapshot time
 
 	// Service latency per access, in simulated cycles. Zero for
 	// backends without a cycle clock (Ring, NonORAM).
-	LatencyMean float64
-	LatencyP50  uint64
-	LatencyP99  uint64
-	LatencyMax  uint64
-	Cycles      uint64 // shard clock at snapshot time
+	LatencyMean float64 `json:"latency_mean"`
+	LatencyP50  uint64  `json:"latency_p50"`
+	LatencyP99  uint64  `json:"latency_p99"`
+	LatencyMax  uint64  `json:"latency_max"`
+	Cycles      uint64  `json:"cycles"` // shard clock at snapshot time
 }
 
 // PoolStats aggregates every shard's snapshot.
 type PoolStats struct {
-	Shards []ShardStats
+	Shards []ShardStats `json:"shards"`
 }
 
 // Totals sums the request accounting across shards.

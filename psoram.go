@@ -31,6 +31,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/crash"
+	"repro/internal/netserve"
 	"repro/internal/oram"
 	"repro/internal/report"
 	"repro/internal/serve"
@@ -350,6 +351,44 @@ var (
 //	defer pool.Close(ctx)
 //	v, err := pool.Read(ctx, 17)
 func Serve(opts PoolOptions) (*Pool, error) { return serve.New(opts) }
+
+// ---------------------------------------------------------------------
+// Network front-end
+// ---------------------------------------------------------------------
+
+// NetServer serves a Pool over a length-prefixed binary TCP protocol
+// (versioned frames, request-id multiplexing, pipelining, in-band
+// RETRY_AFTER backpressure). See internal/netserve and the README's
+// "Network serving" section for the wire format.
+type NetServer = netserve.Server
+
+// NetServerOptions tunes the network front-end.
+type NetServerOptions = netserve.ServerOptions
+
+// NetClient is the matching client: one multiplexed connection, safe
+// for concurrent use, honouring context deadlines at every stage.
+type NetClient = netserve.Client
+
+// NetClientOptions tunes DialNet.
+type NetClientOptions = netserve.ClientOptions
+
+// NewNetServer wraps pool in a network front-end. Start it with
+// Serve/ListenAndServe; stop it with Shutdown (which drains connections
+// but leaves closing the pool to the caller):
+//
+//	srv := psoram.NewNetServer(pool, psoram.NetServerOptions{})
+//	go srv.ListenAndServe(":7333")
+func NewNetServer(pool *Pool, opts NetServerOptions) *NetServer {
+	return netserve.NewServer(pool, opts)
+}
+
+// DialNet connects to a NetServer:
+//
+//	c, err := psoram.DialNet("localhost:7333", psoram.NetClientOptions{})
+//	v, err := c.Read(ctx, 17)
+func DialNet(addr string, opts NetClientOptions) (*NetClient, error) {
+	return netserve.Dial(addr, opts)
+}
 
 // ---------------------------------------------------------------------
 // Timing simulation
