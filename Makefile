@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check sweep-smoke crash-matrix oracle-smoke serve-smoke net-smoke kill9-smoke fuzz-smoke bench-oracle bench-sim bench-serve bench-store bench-net profile perf-smoke bless-golden clean
+.PHONY: all build vet test race check sweep-smoke crash-matrix oracle-smoke serve-smoke net-smoke kill9-smoke pipeline-smoke fuzz-smoke bench-oracle bench-sim bench-serve bench-store bench-net bench-compare profile perf-smoke bless-golden clean
 
 all: check
 
@@ -16,12 +16,14 @@ test:
 race:
 	$(GO) test -race ./...
 
-# check is the pre-commit gate: build, vet, and the full suite under the
-# race detector. -short shrinks the sweep grid cells (see
-# internal/sweep.testGrid) so the parallel engine is still exercised
-# end-to-end without multi-minute cells.
+# check is the pre-commit gate: build, vet, the full suite under the
+# race detector, and the pipelining matrix smoke (workers x depth
+# through the serving oracle plus a crashing CLI run). -short shrinks
+# the sweep grid cells (see internal/sweep.testGrid) so the parallel
+# engine is still exercised end-to-end without multi-minute cells.
 check: build vet
 	$(GO) test -short -race ./...
+	$(MAKE) pipeline-smoke
 
 # sweep-smoke regenerates the acceptance grid (3 schemes x 2 workloads x
 # 2 channel counts) through the CLI on 4 workers, printing the summary
@@ -68,6 +70,19 @@ net-smoke: build
 # `make race` (no -short).
 kill9-smoke: build
 	$(GO) test -race -short -count=1 -run 'TestKill9|TestCorruptionTable|TestFreshDirIsNoStore' ./internal/storage/filestore
+
+# pipeline-smoke sweeps the intra-shard pipelining matrix — crypto
+# workers {1,4} x pipeline depth {1,4} — through the serving-layer
+# differential oracle, the Depth(1)+Workers(1) byte-equivalence check
+# against the bare serial controller, and the read-combining suite,
+# all under the race detector; then the kill -9 recovery torture
+# (-short slice) and a crash-torture CLI run with the whole machinery
+# armed.
+pipeline-smoke: build
+	$(GO) test -race -count=1 -run 'TestPipelineMatrixOracle|TestDepthOneByteIdenticalToSerial|TestReadCombining|TestWritesNeverCombine|TestPipelined' ./internal/serve
+	$(GO) test -race -short -count=1 -run 'TestKill9' ./internal/storage/filestore
+	$(GO) run -race ./cmd/psoram-serve -shards 2 -clients 4 -ops 150 -blocks 256 -levels 6 \
+		-check -crash-every 250 -crypto-workers 4 -pipeline-depth 4
 
 # fuzz-smoke gives each oracle fuzz target a short coverage-guided run
 # (the CI budget; raise FUZZTIME locally for a deeper session).
@@ -124,6 +139,17 @@ bench-net:
 	$(GO) test -run '^$$' -bench '^BenchmarkNetThroughput$$' -benchmem -benchtime=1s -json ./internal/netserve > BENCH_net.json
 	@grep -o '"Output":"[^"]*ns/op[^"]*' BENCH_net.json | sed 's/"Output":"//;s/\\t/  /g;s/\\n//'
 
+# bench-compare re-runs the serving benchmarks into a scratch file and
+# diffs them against the tracked pin with the local comparer (benchstat
+# is not assumed installed; psoram-benchcmp parses the -json pins and
+# exits 1 on a >15% ns/op regression — above this machine's observed
+# run-to-run noise). Compare any two pins directly with
+# `go run ./cmd/psoram-benchcmp OLD.json NEW.json`.
+BENCH_NEW ?= /tmp/BENCH_serve.new.json
+bench-compare:
+	$(GO) test -run '^$$' -bench 'BenchmarkPoolThroughput|^BenchmarkStoreAccess$$' -benchmem -benchtime=1s -json ./internal/serve . > $(BENCH_NEW)
+	$(GO) run ./cmd/psoram-benchcmp -threshold 15 BENCH_serve.json $(BENCH_NEW)
+
 # profile captures CPU + heap pprof for a representative sweep via the
 # psoram-sweep -profile flag; inspect with `go tool pprof profiles/cpu.pprof`.
 PROFILE_DIR ?= profiles
@@ -139,8 +165,8 @@ profile: build
 # -benchtime=1x (harness correctness, not timing).
 perf-smoke:
 	$(GO) test ./internal/sim -run 'TestSteadyStateZeroAllocs|TestGoldenDeterminismRegression' -v
-	$(GO) test ./internal/core -run 'TestCoreSteadyStateAllocs|TestCoreFileStoreSteadyStateAllocs' -short -v
-	$(GO) test ./internal/serve -run 'TestServeSteadyStateAllocs|TestServeFileStoreSteadyStateAllocs' -short -v
+	$(GO) test ./internal/core -run 'TestCoreSteadyStateAllocs|TestCorePooledSteadyStateAllocs|TestCoreFileStoreSteadyStateAllocs' -short -v
+	$(GO) test ./internal/serve -run 'TestServeSteadyStateAllocs|TestServePipelinedSteadyStateAllocs|TestServeFileStoreSteadyStateAllocs' -short -v
 	$(GO) test -run '^$$' -bench BenchmarkSim -benchtime=1x -benchmem ./internal/sim
 	$(GO) test -run '^$$' -bench 'BenchmarkPoolThroughput|^BenchmarkStoreAccess$$|^BenchmarkFileStoreAccess$$' -benchtime=1x -benchmem ./internal/serve .
 

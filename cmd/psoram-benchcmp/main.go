@@ -1,0 +1,170 @@
+// Command psoram-benchcmp compares two pinned benchmark files (the
+// `go test -json` streams that `make bench-*` writes into BENCH_*.json)
+// and prints per-benchmark deltas for ns/op, B/op, and allocs/op — a
+// local, dependency-free stand-in for benchstat, so a perf PR can show
+// its before/after table from the tracked pins alone.
+//
+// Usage:
+//
+//	psoram-benchcmp OLD.json NEW.json
+//	psoram-benchcmp -threshold 5 BENCH_serve.json /tmp/BENCH_serve.new.json
+//
+// Exit status 1 if any benchmark regressed by more than -threshold
+// percent (ns/op), so CI can gate on it.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	nsPerOp  float64
+	bPerOp   int64
+	allocs   int64
+	hasAlloc bool
+}
+
+// test2json splits one benchmark's result line across several Output
+// events, so parsing concatenates all output first and then scans whole
+// lines.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:(?:\s+[\d.]+ [\w/-]+)*?\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+func parse(path string) (map[string]result, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	var text strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev struct {
+			Action string `json:"Action"`
+			Output string `json:"Output"`
+		}
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if err := json.Unmarshal(line, &ev); err != nil {
+			// Tolerate plain `go test -bench` output files too.
+			text.Write(line)
+			text.WriteByte('\n')
+			continue
+		}
+		if ev.Action == "output" {
+			text.WriteString(ev.Output)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	out := make(map[string]result)
+	var order []string
+	for _, line := range strings.Split(text.String(), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		var r result
+		r.nsPerOp, _ = strconv.ParseFloat(m[2], 64)
+		if m[3] != "" {
+			r.bPerOp, _ = strconv.ParseInt(m[3], 10, 64)
+			r.allocs, _ = strconv.ParseInt(m[4], 10, 64)
+			r.hasAlloc = true
+		}
+		if _, seen := out[m[1]]; !seen {
+			order = append(order, m[1])
+		}
+		out[m[1]] = r // last run wins, like benchstat with -count=1
+	}
+	return out, order, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0, "exit 1 if any ns/op regression exceeds this percent (0 = report only)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: psoram-benchcmp [-threshold PCT] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldR, oldOrder, err := parse(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	newR, newOrder, err := parse(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	if len(oldR) == 0 || len(newR) == 0 {
+		fatal(fmt.Errorf("no benchmark results in %s or %s", flag.Arg(0), flag.Arg(1)))
+	}
+
+	// Shared benchmarks in old-file order, then new-only ones.
+	var names []string
+	for _, n := range oldOrder {
+		if _, ok := newR[n]; ok {
+			names = append(names, n)
+		}
+	}
+	var added []string
+	for _, n := range newOrder {
+		if _, ok := oldR[n]; !ok {
+			added = append(added, n)
+		}
+	}
+	sort.Strings(added)
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "%-44s %14s %14s %9s %16s %12s\n", "benchmark", "old ns/op", "new ns/op", "delta", "old B/op:allocs", "new")
+	regressed := false
+	for _, n := range names {
+		o, nw := oldR[n], newR[n]
+		pct := (nw.nsPerOp - o.nsPerOp) / o.nsPerOp * 100
+		if *threshold > 0 && pct > *threshold {
+			regressed = true
+		}
+		fmt.Fprintf(w, "%-44s %14.0f %14.0f %+8.1f%% %16s %12s\n",
+			n, o.nsPerOp, nw.nsPerOp, pct, allocCol(o), allocCol(nw))
+	}
+	for _, n := range added {
+		nw := newR[n]
+		fmt.Fprintf(w, "%-44s %14s %14.0f %9s %16s %12s\n", n, "-", nw.nsPerOp, "new", "-", allocCol(nw))
+	}
+	for _, n := range oldOrder {
+		if _, ok := newR[n]; !ok {
+			fmt.Fprintf(w, "%-44s %14.0f %14s %9s\n", n, oldR[n].nsPerOp, "-", "gone")
+		}
+	}
+	w.Flush()
+	if regressed {
+		fmt.Fprintf(os.Stderr, "psoram-benchcmp: ns/op regression above %.1f%%\n", *threshold)
+		os.Exit(1)
+	}
+}
+
+func allocCol(r result) string {
+	if !r.hasAlloc {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", r.bPerOp, r.allocs)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "psoram-benchcmp: %v\n", err)
+	os.Exit(1)
+}

@@ -46,6 +46,8 @@ func main() {
 		crashEvery = flag.Int("crash-every", 0, "fire a power failure every Nth crash point (0 = off)")
 		check      = flag.Bool("check", false, "diff every value against a reference and sweep the keyspace at the end")
 		storeDir   = flag.String("store", "", "back every shard with a durable on-disk store under DIR (create-or-recover; flat schemes only)")
+		cryptoW    = flag.Int("crypto-workers", 0, "per-shard seal fan-out workers (0/1 = inline serial sealing)")
+		pipeline   = flag.Int("pipeline-depth", 0, "intra-shard pipelining depth (1 = strict serial protocol, 0 = default 4)")
 	)
 	flag.Parse()
 
@@ -57,14 +59,16 @@ func main() {
 		fatal(fmt.Errorf("need at least 1 client and 1 op"))
 	}
 	pool, err := serve.New(serve.Options{
-		Shards:     *shards,
-		NumBlocks:  *blocks,
-		Scheme:     scheme,
-		Levels:     *levels,
-		Seed:       *seed,
-		QueueDepth: *queue,
-		MaxBatch:   *batch,
-		StoreDir:   *storeDir,
+		Shards:        *shards,
+		NumBlocks:     *blocks,
+		Scheme:        scheme,
+		Levels:        *levels,
+		Seed:          *seed,
+		QueueDepth:    *queue,
+		MaxBatch:      *batch,
+		StoreDir:      *storeDir,
+		CryptoWorkers: *cryptoW,
+		PipelineDepth: *pipeline,
 	})
 	if err != nil {
 		fatal(err)
@@ -218,6 +222,9 @@ func main() {
 	}
 
 	fmt.Println(st.Table())
+	if stages := st.StageTable(); stages != nil {
+		fmt.Println(stages)
+	}
 	done := completed.Load()
 	fmt.Printf("\n%d clients x %d ops on %d shards (%s, %d blocks): %d ops in %v (%.0f ops/s wall)\n",
 		*clients, *ops, *shards, scheme, *blocks, done, wall.Round(time.Millisecond),

@@ -53,6 +53,8 @@ func main() {
 		inflight   = flag.Int("inflight", 64, "per-connection in-flight request cap")
 		retryAfter = flag.Duration("retry-after", time.Millisecond, "backoff hint in overload frames")
 		crashEvery = flag.Int("crash-every", 0, "fire a simulated power failure every Nth crash point (0 = off)")
+		cryptoW    = flag.Int("crypto-workers", 0, "per-shard seal fan-out workers (0/1 = inline serial sealing)")
+		pipeline   = flag.Int("pipeline-depth", 0, "intra-shard pipelining depth (1 = strict serial protocol, 0 = default 4)")
 		drainWait  = flag.Duration("drain", 30*time.Second, "graceful drain budget on SIGTERM")
 
 		// Load-mode flags.
@@ -71,7 +73,7 @@ func main() {
 	switch {
 	case *self:
 		pool, srv, ln := startServer(*listen, *shards, *blocks, *levels, *schemeName, *seed,
-			*queue, *batch, *storeDir, *inflight, *retryAfter, *crashEvery)
+			*queue, *batch, *storeDir, *inflight, *retryAfter, *crashEvery, *cryptoW, *pipeline)
 		serveDone := make(chan error, 1)
 		go func() { serveDone <- srv.Serve(ln) }()
 		ok := runLoad(ln.Addr().String(), *conns, *rate, *duration, *writeRatio, *slo, *strictSLO, *check, *jsonOut, *seed)
@@ -92,7 +94,7 @@ func main() {
 		}
 	default:
 		pool, srv, ln := startServer(*listen, *shards, *blocks, *levels, *schemeName, *seed,
-			*queue, *batch, *storeDir, *inflight, *retryAfter, *crashEvery)
+			*queue, *batch, *storeDir, *inflight, *retryAfter, *crashEvery, *cryptoW, *pipeline)
 		fmt.Printf("psoram-server: serving %d blocks on %d shards (%s) at %s\n",
 			*blocks, *shards, *schemeName, ln.Addr())
 		sig := make(chan os.Signal, 1)
@@ -116,20 +118,22 @@ func main() {
 // startServer builds the pool and front-end and binds the listener.
 func startServer(listen string, shards int, blocks uint64, levels int, schemeName string,
 	seed uint64, queue, batch int, storeDir string, inflight int,
-	retryAfter time.Duration, crashEvery int) (*serve.Pool, *netserve.Server, net.Listener) {
+	retryAfter time.Duration, crashEvery, cryptoWorkers, pipelineDepth int) (*serve.Pool, *netserve.Server, net.Listener) {
 	scheme, err := parseScheme(schemeName)
 	if err != nil {
 		fatal(err)
 	}
 	pool, err := serve.New(serve.Options{
-		Shards:     shards,
-		NumBlocks:  blocks,
-		Scheme:     scheme,
-		Levels:     levels,
-		Seed:       seed,
-		QueueDepth: queue,
-		MaxBatch:   batch,
-		StoreDir:   storeDir,
+		Shards:        shards,
+		NumBlocks:     blocks,
+		Scheme:        scheme,
+		Levels:        levels,
+		Seed:          seed,
+		QueueDepth:    queue,
+		MaxBatch:      batch,
+		StoreDir:      storeDir,
+		CryptoWorkers: cryptoWorkers,
+		PipelineDepth: pipelineDepth,
 	})
 	if err != nil {
 		fatal(err)

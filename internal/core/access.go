@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/integrity"
@@ -10,6 +11,87 @@ import (
 	"repro/internal/nvm"
 	"repro/internal/oram"
 )
+
+// Wall-time stage indices for StageNanos: where an access's real time
+// goes, as opposed to the simulated NVM cycles the timing model tracks.
+const (
+	StageLoad   = 0 // path fetch + header/payload decode
+	StageCrypto = 1 // eviction seal AES (near-zero under lazy seal)
+	StageEvict  = 2 // eviction planning + batch staging
+	StageSeal   = 3 // batch commit + write-back bookkeeping
+	NumStages   = 4
+)
+
+// StageNames labels StageNanos indices for display layers.
+var StageNames = [NumStages]string{"load", "crypto", "evict", "seal"}
+
+// StageNanos returns cumulative wall nanoseconds per protocol stage.
+// Serving layers difference consecutive snapshots to build per-access
+// stage histograms.
+func (c *Controller) StageNanos() [NumStages]int64 { return c.stageNanos }
+
+// stageMark/stageAdd maintain a single wall-clock cursor across the
+// stage boundaries of one access: each stageAdd charges the time since
+// the previous mark (or add) to one stage and advances the cursor, so a
+// chain of adjacent stages costs one clock read per boundary instead of
+// a start/stop pair per stage.
+func (c *Controller) stageMark() { c.tMark = time.Now() }
+
+func (c *Controller) stageAdd(stage int) {
+	now := time.Now()
+	c.stageNanos[stage] += int64(now.Sub(c.tMark))
+	c.tMark = now
+}
+
+// prefetchedHdr is one decoded slot header from a Prefetch pass.
+type prefetchedHdr struct {
+	addr oram.Addr
+	leaf oram.Leaf
+	ver  uint32
+	ok   bool
+}
+
+// Prefetch decodes the slot headers of addr's current path into the
+// controller's prefetch cache, so a subsequent Access(addr) skips those
+// header opens. It performs no protocol step: no PosMap mutation, no
+// stash change, no simulated NVM traffic — the physical access sequence
+// of the following Access is exactly what it would have been. Validity
+// is tracked per bucket via the image write sequence, so an intervening
+// access that rewrites part of the path only invalidates the buckets it
+// touched. Only armed for in-memory lazy-seal images (durable backends
+// do not track write sequences).
+func (c *Controller) Prefetch(addr oram.Addr) {
+	if c.crashed || uint64(addr) >= c.ORAM.NumBlocks() || !c.ORAM.Image.LazySeal() {
+		return
+	}
+	img := c.ORAM.Image
+	eng := c.ORAM.Engine
+	t := c.ORAM.Tree
+	pf := &c.prefetch
+	l := c.currentLeaf(addr)
+	pf.path = t.PathInto(pf.path[:0], l)
+	pf.seqs = pf.seqs[:0]
+	pf.hdrs = pf.hdrs[:0]
+	for _, bucket := range pf.path {
+		pf.seqs = append(pf.seqs, img.BucketSeq(bucket))
+		for z := 0; z < t.Z; z++ {
+			var h prefetchedHdr
+			if a, lf, v, dummy, ok := img.PlainHeader(bucket, z); ok {
+				if dummy {
+					h = prefetchedHdr{addr: oram.DummyAddr, ok: true}
+				} else {
+					h = prefetchedHdr{addr: a, leaf: lf, ver: v, ok: true}
+				}
+			} else if a, lf, v, err := oram.OpenSlotHeader(eng, img.Slot(bucket, z)); err == nil {
+				h = prefetchedHdr{addr: a, leaf: lf, ver: v, ok: true}
+			}
+			pf.hdrs = append(pf.hdrs, h)
+		}
+	}
+	pf.leaf = l
+	pf.valid = true
+	c.counters.Inc("core.prefetches")
+}
 
 // Result reports what one access did, for the timing and traffic layers.
 //
@@ -119,7 +201,9 @@ func (c *Controller) accessFlat(op oram.Op, addr oram.Addr, data []byte) (Result
 	}
 
 	// -- Step 3: load path l.
+	c.stageMark()
 	loaded, loadDone, err := c.loadPathTimed(l, addr, start)
+	c.stageAdd(StageLoad)
 	if err != nil {
 		return Result{}, err
 	}
@@ -233,7 +317,7 @@ func (c *Controller) loadPathTimed(l oram.Leaf, target oram.Addr, earliest mem.C
 		}
 		// Functional load of this bucket.
 		before := len(c.scratch.loaded)
-		if err := c.loadBucket(bucket, oracle); err != nil {
+		if err := c.loadBucket(i, bucket, oracle); err != nil {
 			return nil, 0, err
 		}
 		if c.onchipNVM != nil {
@@ -250,21 +334,52 @@ func (c *Controller) loadPathTimed(l oram.Leaf, target oram.Addr, earliest mem.C
 }
 
 // loadBucket is the functional half of loading one bucket: blocks it
-// brings into the stash are appended to c.scratch.loaded. Headers are
-// opened first; a payload is only decrypted for blocks that actually
-// enter (or refresh) the stash, so dummies and stale copies cost one
-// 16-byte header open instead of a full slot.
-func (c *Controller) loadBucket(bucket uint64, oracle func(oram.Addr) oram.Leaf) error {
+// brings into the stash are appended to c.scratch.loaded. Headers come
+// from the cheapest valid source — a still-valid prefetch entry, the
+// lazy-seal overlay's plaintext descriptor, or a real header open —
+// and a payload is only decrypted for blocks that actually enter (or
+// refresh) the stash. Overlay-resident payloads copy plaintext directly:
+// the steady-state bucket load runs without any AES at all. pi is the
+// bucket's index on the current path (for prefetch matching).
+func (c *Controller) loadBucket(pi int, bucket uint64, oracle func(oram.Addr) oram.Leaf) error {
 	eng := c.ORAM.Engine
+	img := c.ORAM.Image
+	pf := &c.prefetch
+	usePf := pf.valid && pi < len(pf.seqs) && pi < len(pf.path) &&
+		pf.path[pi] == bucket && pf.seqs[pi] == img.BucketSeq(bucket)
 	for z := 0; z < c.ORAM.Tree.Z; z++ {
-		s := c.ORAM.Image.Slot(bucket, z)
-		addr, leaf, ver, err := oram.OpenSlotHeader(eng, s)
-		if err != nil {
-			return fmt.Errorf("core: bucket %d slot %d: %w", bucket, z, err)
+		var (
+			addr  oram.Addr
+			leaf  oram.Leaf
+			ver   uint32
+			plain []byte // overlay plaintext payload, nil if sealed-only
+			have  bool
+		)
+		if usePf {
+			if h := pf.hdrs[pi*c.ORAM.Tree.Z+z]; h.ok {
+				addr, leaf, ver, have = h.addr, h.leaf, h.ver, true
+				*c.hPfHit++
+			}
+		}
+		if !have {
+			if a, lf, v, dummy, ok := img.PlainHeader(bucket, z); ok {
+				if dummy {
+					continue
+				}
+				addr, leaf, ver, have = a, lf, v, true
+			}
+		}
+		if !have {
+			a, lf, v, err := oram.OpenSlotHeader(eng, img.Slot(bucket, z))
+			if err != nil {
+				return fmt.Errorf("core: bucket %d slot %d: %w", bucket, z, err)
+			}
+			addr, leaf, ver = a, lf, v
 		}
 		if addr == oram.DummyAddr {
 			continue
 		}
+		plain = img.PlainData(bucket, z)
 		if uint64(addr) >= c.ORAM.NumBlocks() {
 			return fmt.Errorf("core: tree contains out-of-range addr %d", addr)
 		}
@@ -288,13 +403,21 @@ func (c *Controller) loadBucket(bucket uint64, oracle func(oram.Addr) oram.Leaf)
 			// a block and its backup), the higher seal version wins.
 			if existing.OriginEpoch == c.epoch && ver > existing.Ver {
 				existing.Ver = ver
-				existing.Data = oram.OpenSlotDataInto(eng, s, existing.Data[:0])
+				if plain != nil {
+					existing.Data = append(existing.Data[:0], plain...)
+				} else {
+					existing.Data = oram.OpenSlotDataInto(eng, img.Slot(bucket, z), existing.Data[:0])
+				}
 			}
 			continue
 		}
 		sb := c.getStashBlock()
 		sb.Addr, sb.Leaf, sb.Ver = addr, leaf, ver
-		sb.Data = oram.OpenSlotDataInto(eng, s, sb.Data)
+		if plain != nil {
+			sb.Data = append(sb.Data, plain...)
+		} else {
+			sb.Data = oram.OpenSlotDataInto(eng, img.Slot(bucket, z), sb.Data)
+		}
 		sb.OriginBucket, sb.OriginSlot = bucket, z
 		c.ORAM.Stash.Put(sb)
 		c.scratch.loaded = append(c.scratch.loaded, sb)
@@ -343,11 +466,14 @@ func (c *Controller) evictionOrder(l oram.Leaf) []*oram.StashBlock {
 			rest = append(rest, b)
 		}
 	}
-	c.depthS = depthSorter{t: t, l: l, b: must}
+	c.depthS.t, c.depthS.l = t, l
+	c.depthS.b = must
+	c.depthS.prepare()
 	sort.Sort(&c.depthS)
 	c.seqS.b = pending
 	sort.Sort(&c.seqS)
 	c.depthS.b = rest
+	c.depthS.prepare()
 	sort.Sort(&c.depthS)
 	c.scratch.must, c.scratch.pending, c.scratch.rest = must, pending, rest
 	order := append(c.scratch.order[:0], must...)
@@ -394,6 +520,7 @@ func (c *Controller) evictTimed(l oram.Leaf) (int, int, error) {
 	}
 	clear(c.endangered)
 
+	c.stageMark()
 	smallWPQ := c.ORAM.Tree.PathBlocks() > c.Cfg.DataWPQEntries ||
 		(c.Scheme == config.SchemeNaivePSORAM && c.ORAM.Tree.PathBlocks() > c.Cfg.PosMapWPQEntries)
 	var plan [][]*oram.StashBlock
@@ -417,6 +544,7 @@ func (c *Controller) evictTimed(l oram.Leaf) (int, int, error) {
 		}
 	}
 	c.now += mem.Cycle(c.ORAM.Engine.EncryptLatency(c.ORAM.Tree.PathBlocks()))
+	c.stageAdd(StageEvict)
 
 	switch c.Scheme {
 	case config.SchemeNaivePSORAM, config.SchemePSORAM:

@@ -53,6 +53,42 @@ func TestCoreSteadyStateAllocs(t *testing.T) {
 	t.Logf("steady-state allocs/op: write %.2f, read %.2f (budget %.1f)", writes, reads, budget)
 }
 
+// TestCorePooledSteadyStateAllocs pins the same budget with the seal
+// fan-out pool armed (CryptoWorkers 4) on an eager-sealing controller,
+// so every eviction actually dispatches through the pool. The chunked
+// Run hands workers pre-forked engines and caller-owned slot ranges;
+// the only steady-state costs allowed over the serial path are the
+// pool's task sends, which stay within the shared 2-alloc budget.
+func TestCorePooledSteadyStateAllocs(t *testing.T) {
+	const budget = 2.0
+
+	cfg := config.Default()
+	ctl, err := New(config.SchemePSORAM, cfg, Options{NumBlocks: 512, Levels: 8, CryptoWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	ctl.ORAM.Image.DisableLazySeal()
+	buf := make([]byte, cfg.BlockBytes)
+	for i := 0; i < 2000; i++ {
+		if _, err := ctl.Access(oram.OpWrite, oram.Addr(i%512), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	i := 0
+	writes := testing.AllocsPerRun(500, func() {
+		i++
+		if _, err := ctl.Access(oram.OpWrite, oram.Addr((i*7)%512), buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if writes > budget {
+		t.Errorf("pooled steady-state write access allocates %.2f/op, budget %.1f", writes, budget)
+	}
+	t.Logf("pooled steady-state allocs/op: write %.2f (budget %.1f)", writes, budget)
+}
+
 // TestCoreFileStoreSteadyStateAllocs pins the file-backed controller's
 // allocation budget separately from the in-memory one (which stays at
 // zero). Real I/O is inherently allocating in Go — each persist opens

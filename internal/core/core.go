@@ -20,8 +20,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/config"
+	"repro/internal/cryptoeng"
 	"repro/internal/integrity"
 	"repro/internal/mem"
 	"repro/internal/nvm"
@@ -116,24 +118,53 @@ type Controller struct {
 	// aliases scratch.prev, which is why it is only valid until the next
 	// Access on this controller.
 	scratch struct {
-		prev     []byte                // previous-value copy for Result.Value
-		path     []uint64              // current path's buckets (PathInto)
-		loaded   []*oram.StashBlock    // blocks brought in by this load
-		must     []*oram.StashBlock    // evictionOrder partitions
+		prev     []byte             // previous-value copy for Result.Value
+		path     []uint64           // current path's buckets (PathInto)
+		loaded   []*oram.StashBlock // blocks brought in by this load
+		must     []*oram.StashBlock // evictionOrder partitions
 		pending  []*oram.StashBlock
 		rest     []*oram.StashBlock
-		order    []*oram.StashBlock    // concatenated candidate order
-		movers   []*oram.StashBlock    // planIdentity working sets
+		order    []*oram.StashBlock // concatenated candidate order
+		movers   []*oram.StashBlock // planIdentity working sets
 		loose    []*oram.StashBlock
-		plan     [][]*oram.StashBlock  // L+1 rows of Z plan slots
+		plan     [][]*oram.StashBlock // L+1 rows of Z plan slots
 		planUsed []int
 		unplaced []*oram.StashBlock
 		slots    []plannedSlot // sealed eviction plan
+		// planDirty is the dirty-PosMap-entry tally of the last planSlots
+		// pass (folded into the plan loop; posMapEntriesFor reads it).
+		planDirty int
 	}
 
 	// applySlots is the slot set the currently committing batch's tagged
 	// entries index into (see ApplyEntry).
 	applySlots []plannedSlot
+	// pool fans the eviction's per-slot seals across forked engines;
+	// sealing is the slot set a pool Run is working on, and sealRangeFn
+	// the bound method value (created once so Run costs no closure).
+	pool        *cryptoeng.Pool
+	sealing     []plannedSlot
+	sealRangeFn func(e *cryptoeng.Engine, lo, hi int)
+
+	// stageNanos accumulates wall time per protocol stage (see the
+	// stage* constants): the serving layer turns deltas into per-stage
+	// latency histograms. tMark is the stage cursor (stageMark/stageAdd).
+	stageNanos [4]int64
+	tMark      time.Time
+
+	// prefetch caches the decoded headers of the next expected access's
+	// path, validated per bucket against the image's write sequence. A
+	// serving worker calls Prefetch(addr) for a queued request while the
+	// current one is still evicting; loadBucket then skips the header
+	// decodes that are still valid.
+	prefetch struct {
+		valid bool
+		leaf  oram.Leaf
+		path  []uint64
+		seqs  []uint64
+		hdrs  []prefetchedHdr
+	}
+	hPfHit *int64 // counter handle: core.prefetch_hits
 	// recycle gates buffer reuse during commit: true only on the
 	// single-batch eviction path, where an overwritten image slot's
 	// buffers and an evicted block's StashBlock are provably dead. The
@@ -179,6 +210,11 @@ type Options struct {
 	// controller builds its initial image into (flat schemes only). Use
 	// Open/NewDurable to reattach to an existing one.
 	Storage DurableStorage
+	// CryptoWorkers sizes the seal fan-out pool. 0 or 1 keeps every seal
+	// inline on the controller's engine (byte- and allocation-identical
+	// to the serial path); N > 1 forks N engines and chunks eviction
+	// seals across them.
+	CryptoWorkers int
 }
 
 // New builds a controller for the scheme. cfg supplies Z, stash size,
@@ -316,6 +352,21 @@ func newController(scheme config.Scheme, cfg config.Config, opts Options, attach
 		}
 		c.Merkle = integrity.New(c.ORAM.Tree, c.bucketSlots)
 	}
+	workers := opts.CryptoWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	c.pool = cryptoeng.NewPool(oc.Engine, workers)
+	c.sealRangeFn = c.sealRange
+	c.hPfHit = c.counters.Handle("core.prefetch_hits")
+	if opts.Storage == nil && c.Merkle == nil {
+		// In-memory, non-integrity image: arm the lazy-seal overlay. The
+		// controller is the only writer and re-reads its own plaintext, so
+		// steady-state evictions commit descriptors and skip the AES; any
+		// observer of the sealed bytes (snapshots, equivalence tests) gets
+		// them materialized byte-identically on demand.
+		c.ORAM.Image.EnableLazySeal(oc.Engine)
+	}
 	return c, nil
 }
 
@@ -398,6 +449,7 @@ func (c *Controller) maybeCrash(step, sub int) bool {
 // persistence domain.
 func (c *Controller) powerFail() {
 	c.crashed = true
+	c.prefetch.valid = false
 	c.counters.Inc("crash.count")
 	if c.Scheme == config.SchemeEADRORAM {
 		// eADR's persistence domain covers the buffers: drain, not drop.

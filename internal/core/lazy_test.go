@@ -1,0 +1,186 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/oram"
+)
+
+// runTwin drives two controllers through the same op mix and fails on
+// the first divergence in returned value or path leaf. before(b, addr)
+// runs on the second controller ahead of each access (prefetch hooks).
+func runTwin(t *testing.T, a, b *Controller, nOps int, before func(b *Controller, addr oram.Addr)) {
+	t.Helper()
+	n := a.ORAM.NumBlocks()
+	bb := a.Cfg.BlockBytes
+	r := lcg{s: 99}
+	for i := 0; i < nOps; i++ {
+		addr := oram.Addr(r.n(int(n)))
+		op, data := oram.OpRead, []byte(nil)
+		if r.n(2) == 0 {
+			op = oram.OpWrite
+			data = blockVal(addr, i, bb)
+		}
+		if before != nil {
+			before(b, addr)
+		}
+		ra, errA := a.Access(op, addr, data)
+		rb, errB := b.Access(op, addr, data)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("op %d: error divergence: %v vs %v", i, errA, errB)
+		}
+		if errA != nil {
+			t.Fatalf("op %d: %v", i, errA)
+		}
+		if !bytes.Equal(ra.Value, rb.Value) {
+			t.Fatalf("op %d addr %d: value divergence", i, addr)
+		}
+		if ra.PathLeaf != rb.PathLeaf {
+			t.Fatalf("op %d addr %d: leaf divergence %d vs %d", i, addr, ra.PathLeaf, rb.PathLeaf)
+		}
+	}
+}
+
+// compareImages materializes any deferred seals and requires the two
+// tree images to agree byte-for-byte: same IVs, same sealed header, same
+// sealed payload in every slot.
+func compareImages(t *testing.T, a, b *Controller) {
+	t.Helper()
+	a.ORAM.Image.DisableLazySeal()
+	b.ORAM.Image.DisableLazySeal()
+	tree := a.ORAM.Tree
+	for bucket := uint64(0); bucket < tree.Buckets(); bucket++ {
+		for z := 0; z < tree.Z; z++ {
+			sa := a.ORAM.Image.Slot(bucket, z)
+			sb := b.ORAM.Image.Slot(bucket, z)
+			if sa.IV1 != sb.IV1 || sa.IV2 != sb.IV2 {
+				t.Fatalf("bucket %d slot %d: IV divergence", bucket, z)
+			}
+			if !bytes.Equal(sa.SealedHeader, sb.SealedHeader) {
+				t.Fatalf("bucket %d slot %d: sealed header divergence", bucket, z)
+			}
+			if !bytes.Equal(sa.SealedData, sb.SealedData) {
+				t.Fatalf("bucket %d slot %d: sealed data divergence", bucket, z)
+			}
+		}
+	}
+}
+
+// TestLazySealByteEquivalence is the lazy-seal overlay's acceptance
+// check: a controller running with deferred seals must return the same
+// values and leaves as an eager twin, and after materialization the two
+// sealed tree images must be byte-identical — the overlay only moves the
+// AES in time, never changes a single ciphertext bit.
+func TestLazySealByteEquivalence(t *testing.T) {
+	for _, scheme := range []config.Scheme{config.SchemePSORAM, config.SchemeBaseline, config.SchemeNaivePSORAM} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			cfg := testCfg()
+			lazy, err := New(scheme, cfg, Options{NumBlocks: 128, Levels: 6})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !lazy.ORAM.Image.LazySeal() {
+				t.Fatal("in-memory controller did not arm the lazy-seal overlay")
+			}
+			eager, err := New(scheme, cfg, Options{NumBlocks: 128, Levels: 6})
+			if err != nil {
+				t.Fatal(err)
+			}
+			eager.ORAM.Image.DisableLazySeal() // strict pre-overlay eager path
+			runTwin(t, eager, lazy, 300, nil)
+			compareImages(t, eager, lazy)
+		})
+	}
+}
+
+// TestPrefetchTransparent proves Prefetch is protocol-free: a controller
+// that prefetches every upcoming address behaves identically — values,
+// leaves, final sealed image — to one that never prefetches, while its
+// hit counter shows the prefetched headers were actually consumed.
+func TestPrefetchTransparent(t *testing.T) {
+	cfg := testCfg()
+	plain, err := New(config.SchemePSORAM, cfg, Options{NumBlocks: 128, Levels: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := New(config.SchemePSORAM, cfg, Options{NumBlocks: 128, Levels: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runTwin(t, plain, pf, 300, func(b *Controller, addr oram.Addr) {
+		b.Prefetch(addr)
+	})
+	hits := pf.Counters().Snapshot()["core.prefetch_hits"]
+	if hits == 0 {
+		t.Error("prefetched headers were never consumed (core.prefetch_hits == 0)")
+	}
+	t.Logf("prefetch hits: %d", hits)
+	compareImages(t, plain, pf)
+}
+
+// TestPrefetchStaleInvalidation: a prefetch for one address must not
+// poison an access to a different path — the per-bucket sequence check
+// falls back to real header opens wherever the cached decode is stale.
+func TestPrefetchStaleInvalidation(t *testing.T) {
+	cfg := testCfg()
+	plain, err := New(config.SchemePSORAM, cfg, Options{NumBlocks: 128, Levels: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := New(config.SchemePSORAM, cfg, Options{NumBlocks: 128, Levels: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := lcg{s: 7}
+	runTwin(t, plain, pf, 300, func(b *Controller, addr oram.Addr) {
+		// Prefetch a (usually wrong) address: the following access must
+		// still be exactly right.
+		b.Prefetch(oram.Addr(r.n(128)))
+	})
+	compareImages(t, plain, pf)
+}
+
+// TestCryptoWorkersByteIdentical: the seal fan-out pool must produce the
+// same ciphertext stream at every width. Runs on eager controllers so
+// sealSlots actually executes each eviction.
+func TestCryptoWorkersByteIdentical(t *testing.T) {
+	cfg := testCfg()
+	mk := func(workers int) *Controller {
+		ctl, err := New(config.SchemePSORAM, cfg, Options{NumBlocks: 128, Levels: 6, CryptoWorkers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctl.ORAM.Image.DisableLazySeal()
+		t.Cleanup(func() { ctl.Close() })
+		return ctl
+	}
+	serial := mk(1)
+	pooled := mk(4)
+	runTwin(t, serial, pooled, 300, nil)
+	compareImages(t, serial, pooled)
+}
+
+// TestStageNanosAccumulate: every protocol stage must account some wall
+// time on the flat persistent path (the serving layer differences these
+// snapshots; a stage stuck at zero means a misplaced cursor).
+func TestStageNanosAccumulate(t *testing.T) {
+	ctl := newCtl(t, config.SchemePSORAM)
+	buf := make([]byte, ctl.Cfg.BlockBytes)
+	for i := 0; i < 64; i++ {
+		if _, err := ctl.Access(oram.OpWrite, oram.Addr(i%32), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ns := ctl.StageNanos()
+	for s, v := range ns {
+		if v <= 0 {
+			t.Errorf("stage %s accumulated %dns over 64 accesses", StageNames[s], v)
+		}
+	}
+	if t.Failed() {
+		t.Log(fmt.Sprint(ns))
+	}
+}

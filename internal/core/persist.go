@@ -4,44 +4,118 @@ import (
 	"fmt"
 
 	"repro/internal/config"
+	"repro/internal/cryptoeng"
 	"repro/internal/mem"
 	"repro/internal/oram"
 )
 
 // plannedSlot flattens an eviction plan entry for batch construction.
+// The IVs and seal version are drawn at plan time, pinning the slot's
+// ciphertext; `lazy` entries carry the plaintext forward and seal on
+// demand (sealSlots eagerly, or the image overlay at first observation).
 type plannedSlot struct {
 	bucket uint64
 	z      int
 	block  *oram.StashBlock // nil = dummy
+	leaf   oram.Leaf        // target leaf captured at plan time
+	ver    uint32
+	iv1    uint64
+	iv2    uint64
+	lazy   bool
 	sealed oram.Slot
 }
 
-// sealPlan encrypts the whole plan up front (step 5-A) so the batch can
-// be pushed into the WPQs as one unit (step 5-B). The returned slice is
-// c.scratch.slots (valid until the next sealPlan call); sealed buffers
-// come from the controller's freelists and are replenished by the image
-// slots the commit overwrites.
-func (c *Controller) sealPlan(l oram.Leaf, plan [][]*oram.StashBlock) []plannedSlot {
+// planSlots lays out the eviction (step 5-A's bookkeeping half): which
+// block lands in which slot, under which IVs and version. The draw order
+// — version then both IVs per real slot, both IVs per dummy — matches
+// what the fused seal loop produced, so the IV/version streams and every
+// resulting ciphertext are unchanged. No AES runs here. The returned
+// slice is c.scratch.slots (valid until the next planSlots call).
+func (c *Controller) planSlots(l oram.Leaf, plan [][]*oram.StashBlock) []plannedSlot {
 	t := c.ORAM.Tree
 	c.scratch.path = t.PathInto(c.scratch.path[:0], l)
-	out := c.scratch.slots[:0]
+	n := len(c.scratch.path) * t.Z
+	out := c.scratch.slots
+	if cap(out) < n {
+		out = make([]plannedSlot, n)
+	}
+	out = out[:n]
+	i, dirty := 0, 0
 	for k, bucket := range c.scratch.path {
 		for z := 0; z < t.Z; z++ {
 			b := plan[k][z]
-			hdr, data := c.getSealBuf()
-			var sealed oram.Slot
-			if b == nil {
-				sealed = oram.DummySlotInto(c.ORAM.Engine, c.Cfg.BlockBytes, c.ORAM.NextIV, hdr, data)
-			} else {
-				sealed = oram.SealBlockInto(c.ORAM.Engine, oram.Block{
-					Addr: b.Addr, Leaf: b.TargetLeaf(), Ver: c.ORAM.NextVer(), Data: b.Data,
-				}, c.ORAM.NextIV, hdr, data)
+			// Filled in place through the pointer: plannedSlot is large
+			// enough that building it as a local and appending would copy
+			// ~100B per slot (runtime.duffcopy on the eviction hot path).
+			ps := &out[i]
+			i++
+			ps.bucket, ps.z, ps.block, ps.lazy = bucket, z, b, true
+			ps.sealed = oram.Slot{}
+			ps.leaf, ps.ver = 0, 0
+			if b != nil {
+				ps.leaf = b.TargetLeaf()
+				ps.ver = c.ORAM.NextVer()
+				if !b.Backup && b.PendingRemap {
+					dirty++
+				}
 			}
-			out = append(out, plannedSlot{bucket: bucket, z: z, block: b, sealed: sealed})
+			ps.iv1 = c.ORAM.NextIV()
+			ps.iv2 = c.ORAM.NextIV()
 		}
 	}
 	c.scratch.slots = out
+	c.scratch.planDirty = dirty
 	return out
+}
+
+// sealSlots materializes every planned seal eagerly (step 5-A's AES
+// half) into freelist buffers, fanning the per-slot work across the
+// crypto pool. Buffer acquisition stays on the caller's goroutine — the
+// freelists are not thread-safe — and only the data-independent AES
+// fans out. With a one-worker pool this runs inline on the controller's
+// engine, byte- and allocation-identical to the fused loop it replaced.
+func (c *Controller) sealSlots(slots []plannedSlot) {
+	for i := range slots {
+		s := &slots[i]
+		if !s.lazy {
+			continue
+		}
+		hdr, data := c.getSealBuf()
+		s.sealed = oram.Slot{SealedHeader: hdr, SealedData: data}
+	}
+	c.sealing = slots
+	c.pool.Run(len(slots), c.sealRangeFn)
+	c.sealing = nil
+	for i := range slots {
+		slots[i].lazy = false
+	}
+}
+
+// sealPlan plans and eagerly seals an eviction in one call — the
+// recursive schemes commit sealed bytes through access-spanning batches
+// and never defer.
+func (c *Controller) sealPlan(l oram.Leaf, plan [][]*oram.StashBlock) []plannedSlot {
+	slots := c.planSlots(l, plan)
+	c.sealSlots(slots)
+	return slots
+}
+
+// sealRange seals c.sealing[lo:hi] on the given engine (one pool chunk).
+func (c *Controller) sealRange(e *cryptoeng.Engine, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s := &c.sealing[i]
+		if !s.lazy {
+			continue
+		}
+		hdr, data := s.sealed.SealedHeader, s.sealed.SealedData
+		if s.block == nil {
+			s.sealed = oram.DummySlotIVs(e, c.Cfg.BlockBytes, s.iv1, s.iv2, hdr, data)
+		} else {
+			s.sealed = oram.SealBlockIVs(e, oram.Block{
+				Addr: s.block.Addr, Leaf: s.leaf, Ver: s.ver, Data: s.block.Data,
+			}, s.iv1, s.iv2, hdr, data)
+		}
+	}
 }
 
 // evictPersistent implements PS-ORAM eviction (§4.2.2): seal the path,
@@ -54,11 +128,23 @@ func (c *Controller) sealPlan(l oram.Leaf, plan [][]*oram.StashBlock) []plannedS
 // temporary-PosMap entries of evicted blocks are merged into the durable
 // PosMap and dropped from the temporary one.
 func (c *Controller) evictPersistent(l oram.Leaf, plan [][]*oram.StashBlock) (int, int, error) {
-	slots := c.sealPlan(l, plan)
+	slots := c.planSlots(l, plan)
+	// With the image's lazy-seal overlay armed, the single-batch path
+	// commits plaintext descriptors and defers the AES entirely; every
+	// other configuration (durable backend, integrity, ordered fallback)
+	// needs the sealed bytes now.
+	lazySeal := c.ORAM.Image.LazySeal() && c.Merkle == nil
+	if !lazySeal {
+		c.sealSlots(slots)
+	}
+	c.stageAdd(StageCrypto)
 	// If one atomic batch cannot fit the WPQs, fall back to the ordered
 	// multi-batch eviction for limited persistence domains (§4.2.3).
 	needData := len(slots)
-	needPos := c.posMapEntriesFor(slots)
+	needPos := c.scratch.planDirty // posMapEntriesFor, folded into planSlots
+	if c.Scheme == config.SchemeNaivePSORAM {
+		needPos = len(slots)
+	}
 	if c.Merkle != nil {
 		needPos += c.ORAM.Tree.Levels() + 1 // hash entries + root
 	}
@@ -68,6 +154,12 @@ func (c *Controller) evictPersistent(l oram.Leaf, plan [][]*oram.StashBlock) (in
 			// the data atomic; construction should have prevented this.
 			return 0, 0, fmt.Errorf("core: integrity eviction exceeds WPQs (%d data, %d posmap entries)", needData, needPos)
 		}
+		if lazySeal {
+			// Ordered eviction moves sealed bytes between slots (bounce
+			// writes copy them), so the deferred seals materialize first.
+			c.sealSlots(slots)
+			c.stageAdd(StageCrypto)
+		}
 		return c.evictOrdered(l, slots)
 	}
 
@@ -75,7 +167,10 @@ func (c *Controller) evictPersistent(l oram.Leaf, plan [][]*oram.StashBlock) (in
 	// are dead once the batch commits, so their buffers recycle (bounce
 	// writes in evictOrdered alias sealed buffers across slots; that path
 	// sets recycle=false). The Merkle tree re-reads image slots while
-	// hashing, so integrity runs keep recycling off out of caution.
+	// hashing, so integrity runs keep recycling off out of caution. Under
+	// lazy seal no seal buffers were drawn, and stale store buffers may
+	// alias overlay memo buffers — only stash blocks recycle there (the
+	// overlay copied their payloads).
 	c.recycle = c.Merkle == nil
 	batch := c.Mem.BeginBatch()
 	real, dirty := c.stageBatch(batch, slots)
@@ -109,18 +204,22 @@ func (c *Controller) evictPersistent(l oram.Leaf, plan [][]*oram.StashBlock) (in
 			return 0, 0, ErrCrashed
 		}
 	}
+	c.stageAdd(StageEvict)
 	done, err := batch.Commit(c.now)
 	if err != nil {
 		return 0, 0, fmt.Errorf("core: eviction batch: %w", err)
 	}
 	c.now = done
 	c.finishEvicted(slots)
+	c.stageAdd(StageSeal)
 	c.counters.Add("psoram.dirty_entries", int64(dirty))
 	return real, dirty, nil
 }
 
 // posMapEntriesFor counts the PosMap WPQ demand of a slot set under the
-// current scheme.
+// current scheme. The hot path avoids it for full plans — planSlots
+// folds that tally into its own pass (c.scratch.planDirty) — but the
+// ordered evictor still counts arbitrary subsets here.
 func (c *Controller) posMapEntriesFor(slots []plannedSlot) int {
 	if c.Scheme == config.SchemeNaivePSORAM {
 		return len(slots)

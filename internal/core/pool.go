@@ -70,6 +70,20 @@ func (c *Controller) putSealBuf(s oram.Slot) {
 func (c *Controller) ApplyEntry(tag int) {
 	if tag >= 0 {
 		s := &c.applySlots[tag]
+		if s.lazy {
+			// Deferred seal: the image overlay records the plaintext
+			// descriptor under the pre-drawn IVs (copying the payload, so
+			// the stash block below recycles as usual). AES runs only if
+			// some reader later observes the sealed slot.
+			if s.block == nil {
+				c.ORAM.Image.PutLazyDummy(s.bucket, s.z, s.iv1, s.iv2)
+			} else {
+				c.ORAM.Image.PutLazyBlock(s.bucket, s.z, s.iv1, s.iv2, oram.Block{
+					Addr: s.block.Addr, Leaf: s.leaf, Ver: s.ver, Data: s.block.Data,
+				})
+			}
+			return
+		}
 		old := c.ORAM.Image.PutSlot(s.bucket, s.z, s.sealed)
 		if c.recycle {
 			c.putSealBuf(old)
@@ -91,22 +105,32 @@ func (c *Controller) ApplyEntry(tag int) {
 // cannot change the result.
 
 // depthSorter orders deepest intersection level first, then by address.
+// prepare folds each block's sort rank into one integer key — (L - depth)
+// in the high bits, the address below — so Less never recomputes
+// IntersectLevel/TargetLeaf per comparison (O(n) leaf walks instead of
+// O(n log n) on the eviction hot path). Ascending key order is exactly
+// the old comparator's order.
 type depthSorter struct {
-	t oram.Tree
-	l oram.Leaf
-	b []*oram.StashBlock
+	t    oram.Tree
+	l    oram.Leaf
+	b    []*oram.StashBlock
+	keys []uint64
 }
 
-func (s *depthSorter) Len() int      { return len(s.b) }
-func (s *depthSorter) Swap(i, j int) { s.b[i], s.b[j] = s.b[j], s.b[i] }
-func (s *depthSorter) Less(i, j int) bool {
-	d1 := s.t.IntersectLevel(s.l, s.b[i].TargetLeaf())
-	d2 := s.t.IntersectLevel(s.l, s.b[j].TargetLeaf())
-	if d1 != d2 {
-		return d1 > d2
+func (s *depthSorter) prepare() {
+	s.keys = s.keys[:0]
+	for _, b := range s.b {
+		d := s.t.IntersectLevel(s.l, b.TargetLeaf())
+		s.keys = append(s.keys, uint64(s.t.L-d)<<48|uint64(b.Addr))
 	}
-	return s.b[i].Addr < s.b[j].Addr
 }
+
+func (s *depthSorter) Len() int { return len(s.b) }
+func (s *depthSorter) Swap(i, j int) {
+	s.b[i], s.b[j] = s.b[j], s.b[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}
+func (s *depthSorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
 
 // seqSorter orders pending remaps oldest first.
 type seqSorter struct{ b []*oram.StashBlock }

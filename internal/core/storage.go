@@ -36,9 +36,13 @@ type DurableStorage interface {
 // in-memory image.
 func (c *Controller) Storage() DurableStorage { return c.storage }
 
-// Close persists any remaining durable state and releases the backend.
-// It is a no-op for in-memory controllers.
+// Close releases the crypto worker pool (a no-op for the default inline
+// pool) and, for durable controllers, persists any remaining state and
+// releases the backend. The controller must be idle.
 func (c *Controller) Close() error {
+	if c.pool != nil {
+		c.pool.Close()
+	}
 	if c.storage == nil {
 		return nil
 	}

@@ -83,12 +83,17 @@ func (e *Engine) SealInto(iv uint64, src, dst []byte) []byte {
 	for off, c := 0, uint64(0); off < len(src); off, c = off+16, c+1 {
 		binary.LittleEndian.PutUint64(e.ctr[8:], c)
 		e.block.Encrypt(e.ks[:], e.ctr[:])
-		n := len(src) - off
-		if n > 16 {
-			n = 16
-		}
-		for i := 0; i < n; i++ {
-			dst[off+i] = src[off+i] ^ e.ks[i]
+		if n := len(src) - off; n >= 16 {
+			// Whole-block XOR in two word ops (ORAM payloads are
+			// 16-byte multiples; the byte tail below is the exception).
+			binary.LittleEndian.PutUint64(dst[off:],
+				binary.LittleEndian.Uint64(src[off:])^binary.LittleEndian.Uint64(e.ks[:8]))
+			binary.LittleEndian.PutUint64(dst[off+8:],
+				binary.LittleEndian.Uint64(src[off+8:])^binary.LittleEndian.Uint64(e.ks[8:]))
+		} else {
+			for i := 0; i < n; i++ {
+				dst[off+i] = src[off+i] ^ e.ks[i]
+			}
 		}
 	}
 	return dst

@@ -1,0 +1,100 @@
+package cryptoeng
+
+import "sync"
+
+// Fork returns a new Engine sharing e's cipher (aes.Block is stateless
+// and safe for concurrent use) with its own counter/keystream scratch,
+// so forked engines can seal and open concurrently.
+func (e *Engine) Fork() *Engine {
+	return &Engine{block: e.block, LatencyCycles: e.LatencyCycles}
+}
+
+// Pool fans per-slot seal/open work across a fixed set of forked
+// engines. An ORAM eviction seals ~L·Z independent slots (each with its
+// own IV), so the work splits into contiguous index chunks with no
+// coordination beyond the join.
+//
+// Workers(1) runs every job inline on the caller's goroutine with the
+// original engine — no goroutines, no channel sends — and is therefore
+// byte- and allocation-identical to the serial path. A Pool's Run is
+// not itself safe for concurrent use (one ORAM controller drives it).
+type Pool struct {
+	serial  *Engine
+	workers int
+	jobs    chan poolTask
+	runWG   sync.WaitGroup // outstanding tasks of the current Run
+	lifeWG  sync.WaitGroup // worker goroutines, joined by Close
+}
+
+type poolTask struct {
+	f      func(e *Engine, lo, hi int)
+	lo, hi int
+}
+
+// NewPool builds a pool of `workers` engines forked from e. workers <= 1
+// means strictly inline execution.
+func NewPool(e *Engine, workers int) *Pool {
+	p := &Pool{serial: e, workers: workers}
+	if workers <= 1 {
+		p.workers = 1
+		return p
+	}
+	p.jobs = make(chan poolTask, workers)
+	for i := 0; i < workers; i++ {
+		eng := e.Fork()
+		p.lifeWG.Add(1)
+		go p.worker(eng)
+	}
+	return p
+}
+
+// Workers reports the pool's configured worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+func (p *Pool) worker(e *Engine) {
+	defer p.lifeWG.Done()
+	for t := range p.jobs {
+		t.f(e, t.lo, t.hi)
+		p.runWG.Done()
+	}
+}
+
+// Run partitions [0, n) into up to Workers() contiguous chunks and
+// calls f(engine, lo, hi) for each, returning when all chunks are done.
+// f must only touch state owned by indices [lo, hi) plus the engine it
+// is handed. With one worker, f runs inline on the serial engine.
+func (p *Pool) Run(n int, f func(e *Engine, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if p.workers == 1 {
+		f(p.serial, 0, n)
+		return
+	}
+	chunks := p.workers
+	if chunks > n {
+		chunks = n
+	}
+	per := (n + chunks - 1) / chunks
+	for lo := 0; lo < n; lo += per {
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		p.runWG.Add(1)
+		p.jobs <- poolTask{f: f, lo: lo, hi: hi}
+	}
+	p.runWG.Wait()
+}
+
+// Close stops the worker goroutines. The pool must be idle. Inline
+// pools have nothing to stop; Close is idempotent.
+func (p *Pool) Close() {
+	if p.jobs != nil {
+		close(p.jobs)
+		p.lifeWG.Wait()
+		// Nil only after the join: workers read the field when they enter
+		// their range loop, so clearing it earlier would race with them.
+		p.jobs = nil
+	}
+}

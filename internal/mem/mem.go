@@ -56,6 +56,18 @@ type Controller struct {
 	// WPQ occupancy model: completion cycles of entries still draining.
 	dataWPQ   postedHeap
 	posMapWPQ postedHeap
+
+	// treeLoc memoizes TreeBlockLocation per bucket (location is a pure
+	// function of the bucket; grown on demand, capped at treeLocCacheMax).
+	treeLoc []Location
+
+	// Pre-resolved counter handles: these counters are bumped up to
+	// Z*(L+1) times per access, so the per-event map lookup matters.
+	hNVMReads   *int64
+	hNVMWrites  *int64
+	hWPQData    *int64
+	hWPQPosMap  *int64
+	hWPQBatches *int64
 }
 
 type inFlightWrite struct {
@@ -148,6 +160,11 @@ func New(cfg config.Config) *Controller {
 	for i := 0; i < cfg.Channels; i++ {
 		c.devices = append(c.devices, nvm.NewDevice(cfg.NVM, cfg.BanksPerChannel, cfg.BlockBytes))
 	}
+	c.hNVMReads = c.counters.Handle("nvm.reads")
+	c.hNVMWrites = c.counters.Handle("nvm.writes")
+	c.hWPQData = c.counters.Handle("wpq.data.entries")
+	c.hWPQPosMap = c.counters.Handle("wpq.posmap.entries")
+	c.hWPQBatches = c.counters.Handle("wpq.batches")
 	return c
 }
 
@@ -198,11 +215,33 @@ func (c *Controller) toCore(t nvm.Cycle) Cycle { return Cycle(t) * c.ratio }
 // that saturates the paper's multi-channel scaling (§5.2.3).
 const subtreeLevel = 8
 
+// treeLocCacheMax bounds the memoized bucket→Location table: every data
+// tree in practice has far fewer buckets; anything beyond falls through
+// to the arithmetic path.
+const treeLocCacheMax = 1 << 20
+
 // TreeBlockLocation maps (bucket, slot) of the ORAM tree to a device
 // location. Shallow buckets interleave across channels round-robin; deep
 // buckets map by their level-8 subtree. The Z slots of one bucket share
 // a row, so reading a bucket enjoys row-buffer hits.
+//
+// The location depends only on the bucket, and the hot paths resolve it
+// Z times per bucket per access, so results memoize in a dense table
+// (the controller is single-threaded, like the rest of the model).
 func (c *Controller) TreeBlockLocation(bucket uint64, slot int) Location {
+	if bucket < uint64(len(c.treeLoc)) {
+		return c.treeLoc[bucket]
+	}
+	loc := c.treeBlockLocationSlow(bucket)
+	if bucket < treeLocCacheMax {
+		for i := uint64(len(c.treeLoc)); i <= bucket; i++ {
+			c.treeLoc = append(c.treeLoc, c.treeBlockLocationSlow(i))
+		}
+	}
+	return loc
+}
+
+func (c *Controller) treeBlockLocationSlow(bucket uint64) Location {
 	channels := uint64(len(c.devices))
 	var ch uint64
 	if lvl := bits.Len64(bucket+1) - 1; lvl < subtreeLevel {
@@ -245,14 +284,14 @@ func (c *Controller) PosMapLocation(entry uint64) Location {
 // and returns its completion in core cycles.
 func (c *Controller) ReadBlock(loc Location, earliest Cycle) Cycle {
 	comp := c.devices[loc.Channel].Schedule(nvm.Read, loc.Bank, loc.Row, c.toNVM(earliest))
-	c.counters.Inc("nvm.reads")
+	*c.hNVMReads++
 	return c.toCore(comp.Done)
 }
 
 // ReadBytes performs a timed partial read (e.g. one PosMap entry).
 func (c *Controller) ReadBytes(loc Location, earliest Cycle, bytes int) Cycle {
 	comp := c.devices[loc.Channel].ScheduleBytes(nvm.Read, loc.Bank, loc.Row, c.toNVM(earliest), bytes)
-	c.counters.Inc("nvm.reads")
+	*c.hNVMReads++
 	return c.toCore(comp.Done)
 }
 
@@ -275,7 +314,7 @@ func (c *Controller) WriteBlockPosted(loc Location, earliest Cycle, apply func()
 	comp := c.devices[loc.Channel].Schedule(nvm.Write, loc.Bank, loc.Row, c.toNVM(proceed))
 	done := c.toCore(comp.Done)
 	c.posted.push(done)
-	c.counters.Inc("nvm.writes")
+	*c.hNVMWrites++
 	if apply != nil {
 		undo := apply()
 		c.inFlight = append(c.inFlight, inFlightWrite{done: done, undo: undo})
@@ -289,7 +328,7 @@ func (c *Controller) WriteBlockPosted(loc Location, earliest Cycle, apply func()
 func (c *Controller) WriteBlockSync(loc Location, earliest Cycle, apply func() (undo func())) Cycle {
 	comp := c.devices[loc.Channel].Schedule(nvm.Write, loc.Bank, loc.Row, c.toNVM(earliest))
 	done := c.toCore(comp.Done)
-	c.counters.Inc("nvm.writes")
+	*c.hNVMWrites++
 	if apply != nil {
 		undo := apply()
 		c.inFlight = append(c.inFlight, inFlightWrite{done: done, undo: undo})
@@ -301,7 +340,7 @@ func (c *Controller) WriteBlockSync(loc Location, earliest Cycle, apply func() (
 func (c *Controller) WriteBytesSync(loc Location, earliest Cycle, bytes int, apply func() (undo func())) Cycle {
 	comp := c.devices[loc.Channel].ScheduleBytes(nvm.Write, loc.Bank, loc.Row, c.toNVM(earliest), bytes)
 	done := c.toCore(comp.Done)
-	c.counters.Inc("nvm.writes")
+	*c.hNVMWrites++
 	if apply != nil {
 		undo := apply()
 		c.inFlight = append(c.inFlight, inFlightWrite{done: done, undo: undo})
@@ -500,10 +539,10 @@ func (b *Batch) Commit(earliest Cycle) (Cycle, error) {
 		var capacity int
 		if e.kind == DataEntry {
 			q, capacity = &b.c.dataWPQ, b.c.cfg.DataWPQEntries
-			b.c.counters.Inc("wpq.data.entries")
+			*b.c.hWPQData++
 		} else {
 			q, capacity = &b.c.posMapWPQ, b.c.cfg.PosMapWPQEntries
-			b.c.counters.Inc("wpq.posmap.entries")
+			*b.c.hWPQPosMap++
 		}
 		// Reap entries already drained, then free a slot if the queue
 		// is still full: wait for the oldest drain.
@@ -519,7 +558,7 @@ func (b *Batch) Commit(earliest Cycle) (Cycle, error) {
 		dev := b.c.devices[e.loc.Channel]
 		comp = dev.ScheduleBytes(nvm.Write, e.loc.Bank, e.loc.Row, b.c.toNVM(proceed), e.bytes)
 		q.push(b.c.toCore(comp.Done))
-		b.c.counters.Inc("nvm.writes")
+		*b.c.hNVMWrites++
 	}
 	// Durability point: "end" signal received by both WPQs.
 	for i := range b.entries {
@@ -534,7 +573,7 @@ func (b *Batch) Commit(earliest Cycle) (Cycle, error) {
 	b.applier = nil
 	b.c.openBatch = nil
 	b.c.numBatches++
-	b.c.counters.Inc("wpq.batches")
+	*b.c.hWPQBatches++
 	return proceed, nil
 }
 

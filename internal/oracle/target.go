@@ -67,6 +67,9 @@ type Params struct {
 	// store (create-or-recover via core.NewDurable). Flat Path ORAM
 	// schemes only; the target then also implements io.Closer.
 	StoreDir string
+	// CryptoWorkers sizes the controller's seal fan-out pool (core
+	// schemes only; 0 or 1 = inline serial sealing).
+	CryptoWorkers int
 }
 
 func (p Params) config() config.Config {
@@ -133,14 +136,15 @@ func NewTarget(p Params) (Target, error) {
 				cfg.DataWPQEntries = need
 			}
 		}
+		copts := core.Options{NumBlocks: p.NumBlocks, Levels: p.Levels, CryptoWorkers: p.CryptoWorkers}
 		if p.StoreDir != "" {
-			ctl, _, err := core.NewDurable(p.Scheme, cfg, core.Options{NumBlocks: p.NumBlocks, Levels: p.Levels}, p.StoreDir)
+			ctl, _, err := core.NewDurable(p.Scheme, cfg, copts, p.StoreDir)
 			if err != nil {
 				return nil, err
 			}
 			return &coreTarget{ctl: ctl}, nil
 		}
-		ctl, err := core.New(p.Scheme, cfg, core.Options{NumBlocks: p.NumBlocks, Levels: p.Levels})
+		ctl, err := core.New(p.Scheme, cfg, copts)
 		if err != nil {
 			return nil, err
 		}
@@ -197,6 +201,14 @@ func (t *coreTarget) Close() error { return t.ctl.Close() }
 // Cycles reports the controller's simulated clock, letting callers (the
 // serving layer's latency histograms) price accesses in simulated cycles.
 func (t *coreTarget) Cycles() uint64 { return uint64(t.ctl.Now()) }
+
+// Prefetch decodes addr's path headers ahead of its Access — the serving
+// layer's pipelining hook. Protocol-free: no state or traffic changes.
+func (t *coreTarget) Prefetch(addr oram.Addr) { t.ctl.Prefetch(addr) }
+
+// StageNanos exposes the controller's cumulative per-stage wall time
+// (load / crypto / evict / seal) for the serving layer's histograms.
+func (t *coreTarget) StageNanos() [4]int64 { return t.ctl.StageNanos() }
 
 // --- ringoram adapter ---
 

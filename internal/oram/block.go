@@ -92,6 +92,14 @@ func DummySlot(e *cryptoeng.Engine, blockBytes int, nextIV func() uint64) Slot {
 // interchangeable ciphertext-for-ciphertext.
 func SealBlockInto(e *cryptoeng.Engine, b Block, nextIV func() uint64, hdr, data []byte) Slot {
 	iv1, iv2 := nextIV(), nextIV()
+	return SealBlockIVs(e, b, iv1, iv2, hdr, data)
+}
+
+// SealBlockIVs seals b under pre-drawn IVs into caller-provided buffers.
+// Splitting the IV draw from the seal lets callers pin the IV stream
+// order up front and run (or defer) the AES work independently —
+// identical ciphertext to SealBlockInto for the same IVs.
+func SealBlockIVs(e *cryptoeng.Engine, b Block, iv1, iv2 uint64, hdr, data []byte) Slot {
 	var h [headerBytes]byte
 	binary.LittleEndian.PutUint64(h[0:8], uint64(b.Addr))
 	binary.LittleEndian.PutUint32(h[8:12], uint32(b.Leaf))
@@ -110,6 +118,11 @@ func SealBlockInto(e *cryptoeng.Engine, b Block, nextIV func() uint64, hdr, data
 // DummySlot for the same IVs.
 func DummySlotInto(e *cryptoeng.Engine, blockBytes int, nextIV func() uint64, hdr, data []byte) Slot {
 	iv1, iv2 := nextIV(), nextIV()
+	return DummySlotIVs(e, blockBytes, iv1, iv2, hdr, data)
+}
+
+// DummySlotIVs is DummySlotInto under pre-drawn IVs.
+func DummySlotIVs(e *cryptoeng.Engine, blockBytes int, iv1, iv2 uint64, hdr, data []byte) Slot {
 	var h [headerBytes]byte
 	binary.LittleEndian.PutUint64(h[0:8], uint64(DummyAddr))
 	data = data[:blockBytes]

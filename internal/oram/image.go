@@ -17,6 +17,38 @@ type Image struct {
 	Tree   Tree
 	store  Storage
 	blockB int
+
+	// Lazy-seal overlay (in-memory backend only). The controller that
+	// writes a slot is the only party that later reads it, and it wrote
+	// the plaintext itself — so in steady state the ciphertext is dead
+	// work: sealed at eviction, decrypted back at the next load of the
+	// bucket, overwritten again. With the overlay enabled, eviction
+	// stores the plaintext descriptor (plus the pre-drawn IVs and seal
+	// version, so the ciphertext is pinned), and Slot() materializes the
+	// byte-identical sealed form only when someone actually observes it
+	// (snapshots, integrity checks, equivalence tests). The protocol's
+	// IV/version streams, and therefore every observable ciphertext, are
+	// unchanged.
+	lazy   bool
+	engine *cryptoeng.Engine
+	plain  []plainSlot // bucket*Z+z; live entries shadow the store
+	seq    []uint64    // per-bucket write sequence (prefetch invalidation)
+}
+
+// plainSlot is one deferred seal: what the slot's ciphertext WILL be.
+// memo buffers hold the materialized form once some reader asks.
+type plainSlot struct {
+	live     bool
+	sealed   bool // memoHdr/memoData hold the materialized ciphertext
+	dummy    bool
+	iv1      uint64
+	iv2      uint64
+	addr     Addr
+	leaf     Leaf
+	ver      uint32
+	data     []byte // overlay-owned plaintext payload (real blocks)
+	memoHdr  []byte
+	memoData []byte
 }
 
 // NewImage allocates an in-memory image with every slot sealed as a
@@ -49,23 +81,189 @@ func NewImageOn(st Storage, t Tree, blockBytes int) *Image {
 // Storage returns the backing store.
 func (img *Image) Storage() Storage { return img.store }
 
-// Slot returns the sealed slot at (bucket, z).
-func (img *Image) Slot(bucket uint64, z int) Slot { return img.store.Slot(bucket, z) }
+// EnableLazySeal arms the overlay. Only valid for in-memory images:
+// durable backends persist the sealed bytes, so the seal cannot be
+// deferred past the write.
+func (img *Image) EnableLazySeal(e *cryptoeng.Engine) {
+	img.lazy = true
+	img.engine = e
+	img.plain = make([]plainSlot, img.Tree.Buckets()*uint64(img.Tree.Z))
+	img.seq = make([]uint64, img.Tree.Buckets())
+}
+
+// LazySeal reports whether the overlay is armed.
+func (img *Image) LazySeal() bool { return img.lazy }
+
+// DisableLazySeal materializes every live deferred seal into the store
+// and disarms the overlay: afterwards the image behaves exactly like an
+// eager one, with the store holding the same bytes the eager path would
+// have written. Equivalence tests use it to compare a lazy image against
+// an eager reference slot-by-slot.
+func (img *Image) DisableLazySeal() {
+	if !img.lazy {
+		return
+	}
+	for bucket := uint64(0); bucket < img.Tree.Buckets(); bucket++ {
+		for z := 0; z < img.Tree.Z; z++ {
+			if ps := img.plainAt(bucket, z); ps.live {
+				ps.materialize(img, bucket, z)
+			}
+		}
+	}
+	img.lazy = false
+	img.plain, img.seq, img.engine = nil, nil, nil
+}
+
+// BucketSeq returns the bucket's write sequence number; any write to any
+// slot of the bucket bumps it. Prefetched header decodes are valid only
+// while the sequence they were taken under is unchanged.
+func (img *Image) BucketSeq(bucket uint64) uint64 {
+	if img.seq == nil {
+		return 0
+	}
+	return img.seq[bucket]
+}
+
+func (img *Image) plainAt(bucket uint64, z int) *plainSlot {
+	return &img.plain[bucket*uint64(img.Tree.Z)+uint64(z)]
+}
+
+// PutLazyBlock records a deferred seal of b at (bucket, z) under the
+// pre-drawn IVs and the version already baked into b.Ver. The payload is
+// copied into an overlay-owned buffer — callers recycle b.Data freely.
+func (img *Image) PutLazyBlock(bucket uint64, z int, iv1, iv2 uint64, b Block) {
+	ps := img.plainAt(bucket, z)
+	ps.live, ps.sealed, ps.dummy = true, false, false
+	ps.iv1, ps.iv2 = iv1, iv2
+	ps.addr, ps.leaf, ps.ver = b.Addr, b.Leaf, b.Ver
+	if cap(ps.data) < len(b.Data) {
+		ps.data = make([]byte, len(b.Data))
+	}
+	ps.data = ps.data[:len(b.Data)]
+	copy(ps.data, b.Data)
+	img.seq[bucket]++
+}
+
+// PutLazyDummy records a deferred dummy seal at (bucket, z).
+func (img *Image) PutLazyDummy(bucket uint64, z int, iv1, iv2 uint64) {
+	ps := img.plainAt(bucket, z)
+	ps.live, ps.sealed, ps.dummy = true, false, true
+	ps.iv1, ps.iv2 = iv1, iv2
+	img.seq[bucket]++
+}
+
+// PlainHeader is the overlay fast path for header inspection: if the slot
+// has a live deferred seal, its header fields come back with ok=true and
+// zero AES work.
+func (img *Image) PlainHeader(bucket uint64, z int) (addr Addr, leaf Leaf, ver uint32, dummy, ok bool) {
+	if !img.lazy {
+		return 0, 0, 0, false, false
+	}
+	ps := img.plainAt(bucket, z)
+	if !ps.live {
+		return 0, 0, 0, false, false
+	}
+	if ps.dummy {
+		return DummyAddr, 0, 0, true, true
+	}
+	return ps.addr, ps.leaf, ps.ver, false, true
+}
+
+// PlainData returns the overlay's plaintext payload for a live real
+// entry (nil otherwise). The buffer is overlay-owned: read, then copy.
+func (img *Image) PlainData(bucket uint64, z int) []byte {
+	if !img.lazy {
+		return nil
+	}
+	ps := img.plainAt(bucket, z)
+	if !ps.live || ps.dummy {
+		return nil
+	}
+	return ps.data
+}
+
+// materialize runs the deferred seal into the entry's own memo buffers
+// and mirrors the result into the store, so Slot() observers — snapshots,
+// integrity readers, equivalence tests — see exactly the bytes the eager
+// path would have produced. Memo buffers are entry-owned, never the
+// store's: ordered evictions can alias one sealed buffer at two
+// positions, so the overlay must not write through store buffers.
+func (ps *plainSlot) materialize(img *Image, bucket uint64, z int) Slot {
+	if !ps.sealed {
+		if cap(ps.memoHdr) < headerBytes {
+			ps.memoHdr = make([]byte, headerBytes)
+		}
+		if cap(ps.memoData) < img.blockB {
+			ps.memoData = make([]byte, img.blockB)
+		}
+		var s Slot
+		if ps.dummy {
+			s = DummySlotIVs(img.engine, img.blockB, ps.iv1, ps.iv2, ps.memoHdr, ps.memoData)
+		} else {
+			b := Block{Addr: ps.addr, Leaf: ps.leaf, Ver: ps.ver, Data: ps.data}
+			s = SealBlockIVs(img.engine, b, ps.iv1, ps.iv2, ps.memoHdr, ps.memoData)
+		}
+		ps.memoHdr, ps.memoData = s.SealedHeader, s.SealedData
+		ps.sealed = true
+		img.store.SetSlot(bucket, z, s)
+	}
+	return Slot{IV1: ps.iv1, IV2: ps.iv2, SealedHeader: ps.memoHdr, SealedData: ps.memoData}
+}
+
+// Slot returns the sealed slot at (bucket, z), materializing a deferred
+// seal on first observation.
+func (img *Image) Slot(bucket uint64, z int) Slot {
+	if img.lazy {
+		if ps := img.plainAt(bucket, z); ps.live {
+			return ps.materialize(img, bucket, z)
+		}
+	}
+	return img.store.Slot(bucket, z)
+}
 
 // SetSlot overwrites the sealed slot at (bucket, z) and returns an undo
 // closure restoring the previous content (used for crash rollback of
 // in-flight writes).
 func (img *Image) SetSlot(bucket uint64, z int, s Slot) (undo func()) {
-	prev := img.store.Slot(bucket, z)
+	var prev Slot
+	if img.lazy {
+		if ps := img.plainAt(bucket, z); ps.live {
+			// The undo closure must capture stable bytes; materialize
+			// into memo buffers, then detach them from the entry so a
+			// later reuse of the slot can't scribble over the capture.
+			prev = ps.materialize(img, bucket, z)
+			ps.live = false
+			ps.memoHdr, ps.memoData = nil, nil
+		} else {
+			prev = img.store.Slot(bucket, z)
+		}
+		img.seq[bucket]++
+	} else {
+		prev = img.store.Slot(bucket, z)
+	}
 	img.store.SetSlot(bucket, z, s)
-	return func() { img.store.SetSlot(bucket, z, prev) }
+	return func() {
+		if img.lazy {
+			img.plainAt(bucket, z).live = false
+			img.seq[bucket]++
+		}
+		img.store.SetSlot(bucket, z, prev)
+	}
 }
 
 // PutSlot overwrites the sealed slot at (bucket, z) and returns the
 // previous content so the caller can recycle its buffers. Unlike
 // SetSlot there is no undo closure: callers that need crash rollback
 // keep using SetSlot.
+//
+// Under a live overlay entry the returned Slot is the stale store
+// content from before the deferred write — callers in lazy mode run
+// with buffer recycling off, so it is never reused.
 func (img *Image) PutSlot(bucket uint64, z int, s Slot) (old Slot) {
+	if img.lazy {
+		img.plainAt(bucket, z).live = false
+		img.seq[bucket]++
+	}
 	old = img.store.Slot(bucket, z)
 	img.store.SetSlot(bucket, z, s)
 	return old
@@ -106,7 +304,7 @@ func (img *Image) InitBlocks(e *cryptoeng.Engine, blocks []Block, nextIV func() 
 func (img *Image) ReadBucket(e *cryptoeng.Engine, bucket uint64) ([]Block, error) {
 	out := make([]Block, 0, img.Tree.Z)
 	for z := 0; z < img.Tree.Z; z++ {
-		b, err := OpenSlot(e, img.store.Slot(bucket, z))
+		b, err := OpenSlot(e, img.Slot(bucket, z))
 		if err != nil {
 			return nil, fmt.Errorf("oram: bucket %d slot %d: %w", bucket, z, err)
 		}

@@ -56,6 +56,53 @@ func TestServeSteadyStateAllocs(t *testing.T) {
 	t.Logf("steady-state serve allocs/op: %.2f (budget %.1f)", allocs, budget)
 }
 
+// TestServePipelinedSteadyStateAllocs pins the same budget with the
+// whole PR 8 machinery armed: a seal fan-out pool (CryptoWorkers 4),
+// prefetch + read-combining (PipelineDepth 4). The pipeline may add
+// zero steady-state allocations — combine capture buffers, prefetch
+// slots, and stage cursors are all pre-sized at construction.
+func TestServePipelinedSteadyStateAllocs(t *testing.T) {
+	const budget = 4.0
+
+	p, err := New(Options{
+		Shards:        2,
+		NumBlocks:     512,
+		Scheme:        config.SchemePSORAM,
+		Levels:        8,
+		Seed:          1,
+		QueueDepth:    64,
+		CryptoWorkers: 4,
+		PipelineDepth: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close(context.Background())
+	ctx := context.Background()
+	data := make([]byte, p.BlockBytes())
+	for i := uint64(0); i < 2000; i++ {
+		if _, _, err := p.Access(ctx, oram.OpWrite, i%512, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	i := uint64(0)
+	allocs := testing.AllocsPerRun(500, func() {
+		i++
+		op, payload := oram.OpRead, []byte(nil)
+		if i%2 == 0 {
+			op, payload = oram.OpWrite, data
+		}
+		if _, _, err := p.Access(ctx, op, (i*2654435761)%512, payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > budget {
+		t.Errorf("pipelined serve access allocates %.2f/op, budget %.1f", allocs, budget)
+	}
+	t.Logf("pipelined serve allocs/op: %.2f (budget %.1f)", allocs, budget)
+}
+
 // TestServeFileStoreSteadyStateAllocs pins the same end-to-end path
 // over file-backed shards. The serving layer adds nothing to the file
 // backend's own per-persist cost (~56 allocs/op in the controller, see

@@ -66,8 +66,26 @@ type Backend interface {
 // plain stores do not, and their latencies record as zero).
 type clocked interface{ Cycles() uint64 }
 
+// prefetcher is the optional backend facet for protocol pipelining: the
+// worker calls Prefetch for the next queued request while the current
+// one is still in its eviction/seal tail, so the next access starts
+// with its path headers already decoded. Prefetch must be protocol-free
+// (no state mutation, no simulated traffic).
+type prefetcher interface{ Prefetch(addr oram.Addr) }
+
+// staged is the optional backend facet exposing cumulative per-stage
+// wall time (load / crypto / evict / seal); the worker differences
+// snapshots around each access to feed the stage histograms.
+type staged interface{ StageNanos() [4]int64 }
+
+// stageNames labels the staged facet's indices (mirrors core.StageNames
+// without importing core).
+var stageNames = [4]string{"load", "crypto", "evict", "seal"}
+
 // crashable is the optional backend facet accepting a crash injector.
-type crashable interface{ Arm(fire func(oracle.CrashSpec) bool) }
+type crashable interface {
+	Arm(fire func(oracle.CrashSpec) bool)
+}
 
 // Factory builds the backend for one shard. localBlocks is the number
 // of logical blocks the shard owns after keyspace striping.
@@ -105,6 +123,18 @@ type Options struct {
 	// Factory overrides backend construction (tests, custom schemes).
 	// Nil means oracle.NewTarget with per-shard derived seeds.
 	Factory Factory
+	// CryptoWorkers sizes each shard controller's seal fan-out pool.
+	// 0 or 1 keeps sealing inline on the shard worker (byte-identical to
+	// the serial path).
+	CryptoWorkers int
+	// PipelineDepth controls intra-shard protocol pipelining. 1 disables
+	// it entirely — every request runs the strict serial protocol with no
+	// lookahead and no read-combining, matching the pre-pipelining
+	// behavior exactly. Depths above 1 let the worker prefetch the next
+	// queued request's path while the current one finishes, and collapse
+	// duplicate-address reads within one coalesced round into a single
+	// physical access. 0 defaults to 4.
+	PipelineDepth int
 }
 
 func (o *Options) normalize() error {
@@ -125,6 +155,9 @@ func (o *Options) normalize() error {
 	}
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = 8
+	}
+	if o.PipelineDepth <= 0 {
+		o.PipelineDepth = 4
 	}
 	return nil
 }
@@ -178,10 +211,17 @@ type request struct {
 // shard is one keyspace stripe: a single-threaded backend plus the one
 // goroutine allowed to touch it.
 type shard struct {
-	id      int
-	backend Backend
-	clock   clocked // nil when the backend has no cycle clock
-	queue   chan *request
+	id       int
+	backend  Backend
+	clock    clocked    // nil when the backend has no cycle clock
+	prefetch prefetcher // nil when pipelining is off or unsupported
+	stages   staged     // nil when the backend has no stage clock
+	queue    chan *request
+
+	// Worker-owned pipelining scratch (no locks: one worker per shard).
+	stageLast [4]int64     // last StageNanos snapshot
+	combine   []int        // per-round: leader index for combinable reads, -1 = physical
+	caps      []combineCap // per-round leader value captures
 
 	// closeMu serializes sends on queue against its close: submitters
 	// hold the read side around the send, Close holds the write side
@@ -200,10 +240,23 @@ type shard struct {
 	crashes    stats.PaddedUint64
 	recoveries stats.PaddedUint64
 	batches    stats.PaddedUint64
+	combined   stats.PaddedUint64 // reads served from a round-mate's access
 
-	mu      sync.Mutex
-	latency stats.Histogram // per-access service time, simulated cycles
-	batch   stats.Histogram // requests coalesced per protocol round
+	mu        sync.Mutex
+	latency   stats.Histogram    // per-access service time, simulated cycles
+	batch     stats.Histogram    // requests coalesced per protocol round
+	stageHist [4]stats.Histogram // per-access wall ns per protocol stage
+}
+
+// combineCap captures one physical access's outcome for round-mates that
+// combine with it: the post-access value (read result, or the data just
+// written) and the leaf of the physical round. The value buffer is
+// capture-owned and reused across rounds.
+type combineCap struct {
+	want  bool // some later read in this round combines with this access
+	ok    bool // the access succeeded and value/leaf are valid
+	leaf  oram.Leaf
+	value []byte
 }
 
 // Pool is the concurrent serving layer: S shards, S workers, bounded
@@ -242,12 +295,13 @@ func New(opts Options) (*Pool, error) {
 				dir = filepath.Join(opts.StoreDir, fmt.Sprintf("shard-%03d", s))
 			}
 			t, err := oracle.NewTarget(oracle.Params{
-				Scheme:    opts.Scheme,
-				NumBlocks: local,
-				Levels:    levels,
-				Seed:      rng.DeriveSeed(opts.Seed, 0x5e4e, uint64(s)),
-				Cfg:       opts.Cfg,
-				StoreDir:  dir,
+				Scheme:        opts.Scheme,
+				NumBlocks:     local,
+				Levels:        levels,
+				Seed:          rng.DeriveSeed(opts.Seed, 0x5e4e, uint64(s)),
+				Cfg:           opts.Cfg,
+				StoreDir:      dir,
+				CryptoWorkers: opts.CryptoWorkers,
 			})
 			if err != nil {
 				return nil, err
@@ -268,6 +322,12 @@ func New(opts Options) (*Pool, error) {
 		}
 		sh := &shard{id: s, backend: b, queue: make(chan *request, opts.QueueDepth)}
 		sh.clock, _ = b.(clocked)
+		sh.stages, _ = b.(staged)
+		if opts.PipelineDepth > 1 {
+			sh.prefetch, _ = b.(prefetcher)
+		}
+		sh.combine = make([]int, 0, opts.MaxBatch)
+		sh.caps = make([]combineCap, opts.MaxBatch)
 		p.shards[s] = sh
 		p.wg.Add(1)
 		go p.work(sh)
@@ -277,11 +337,17 @@ func New(opts Options) (*Pool, error) {
 
 // work is a shard's worker loop: block for one request, coalesce up to
 // MaxBatch-1 more that are already queued, and run them as one protocol
-// round. Exits when the queue is closed and drained — so every request
-// accepted before Close is answered.
+// round. With pipelining on (PipelineDepth > 1), the round is planned
+// before execution: duplicate-address reads combine with the latest
+// preceding access to their address (one physical round, value fanned
+// out), and after each access the worker prefetches the next request's
+// path so its header decodes overlap the current access's tail. Exits
+// when the queue is closed and drained — so every request accepted
+// before Close is answered.
 func (p *Pool) work(sh *shard) {
 	defer p.wg.Done()
 	batch := make([]*request, 0, p.opts.MaxBatch)
+	combining := p.opts.PipelineDepth > 1
 	for first := range sh.queue {
 		batch = append(batch[:0], first)
 	coalesce:
@@ -298,8 +364,34 @@ func (p *Pool) work(sh *shard) {
 		}
 		sh.batches.Add(1)
 		occ := uint64(len(batch))
-		for _, r := range batch {
-			p.execute(sh, r)
+		sh.planCombines(batch, combining)
+		for i, r := range batch {
+			var cc *combineCap
+			if combining {
+				if j := sh.combine[i]; j >= 0 && sh.caps[j].ok &&
+					(r.ctx == nil || r.ctx.Err() == nil) {
+					// Read-combining fast path: a round-mate already ran
+					// the physical access for this address; fan its value
+					// out without another round.
+					c := &sh.caps[j]
+					sh.combined.Add(1)
+					sh.completed.Add(1)
+					r.reply <- response{value: append([]byte(nil), c.value...), leaf: c.leaf}
+					continue
+				}
+				if sh.caps[i].want {
+					cc = &sh.caps[i]
+				}
+			}
+			p.execute(sh, r, cc)
+			// Pipelining: the current request's protocol round is done (or
+			// in its seal tail on a parallel crypto pool) — start decoding
+			// the next queued access's path.
+			if sh.prefetch != nil && i+1 < len(batch) {
+				if nxt := batch[i+1]; nxt.kind == kindAccess && sh.combine[i+1] < 0 {
+					sh.prefetch.Prefetch(nxt.addr)
+				}
+			}
 		}
 		sh.mu.Lock()
 		sh.batch.Observe(occ)
@@ -307,10 +399,49 @@ func (p *Pool) work(sh *shard) {
 	}
 }
 
+// planCombines marks, for each read in the round, the latest preceding
+// access (read or write) to the same address: the read can be served
+// from that access's captured outcome without a physical round of its
+// own. Chains resolve to the physical leader, and writes are never
+// combined away — they serialize in arrival order, so a combined read
+// always observes the newest preceding write in the round.
+func (sh *shard) planCombines(batch []*request, combining bool) {
+	sh.combine = sh.combine[:0]
+	for range batch {
+		sh.combine = append(sh.combine, -1)
+	}
+	for i := range sh.caps {
+		sh.caps[i].want, sh.caps[i].ok = false, false
+	}
+	if !combining || len(batch) < 2 {
+		return
+	}
+	for i, r := range batch {
+		if r.kind != kindAccess || r.op != oram.OpRead {
+			continue
+		}
+		for j := i - 1; j >= 0; j-- {
+			rj := batch[j]
+			if rj.kind == kindAccess && rj.addr == r.addr {
+				lead := j
+				if sh.combine[lead] >= 0 {
+					lead = sh.combine[lead] // j itself combines; share its leader
+				}
+				sh.combine[i] = lead
+				sh.caps[lead].want = true
+				break
+			}
+		}
+	}
+}
+
 // execute runs one request on the shard's backend and replies. Crash
 // errors trigger immediate recovery so the round (and the shard) keeps
-// serving.
-func (p *Pool) execute(sh *shard, r *request) {
+// serving. When cc is non-nil a later read in this round combines with
+// this access: on success the post-access value and leaf are captured
+// into cc before the reply is sent (the client may mutate its buffers
+// the moment the reply lands).
+func (p *Pool) execute(sh *shard, r *request, cc *combineCap) {
 	// A request whose deadline passed while queued is answered without
 	// spending a protocol access on it.
 	if r.ctx != nil && r.ctx.Err() != nil && r.kind != kindArm {
@@ -341,9 +472,29 @@ func (p *Pool) execute(sh *shard, r *request) {
 			// only until its next access; ownership transfers to the
 			// client here, so this is the data path's one copy.
 			resp.value, resp.leaf = append([]byte(nil), v...), leaf
-			if sh.clock != nil {
+			if cc != nil {
+				post := v
+				if r.op == oram.OpWrite {
+					post = r.data
+				}
+				cc.value = append(cc.value[:0], post...)
+				cc.leaf = leaf
+				cc.ok = true
+			}
+			if sh.clock != nil || sh.stages != nil {
 				sh.mu.Lock()
-				sh.latency.Observe(sh.clock.Cycles() - start)
+				if sh.clock != nil {
+					sh.latency.Observe(sh.clock.Cycles() - start)
+				}
+				if sh.stages != nil {
+					now := sh.stages.StageNanos()
+					for k := range now {
+						if d := now[k] - sh.stageLast[k]; d > 0 {
+							sh.stageHist[k].Observe(uint64(d))
+						}
+						sh.stageLast[k] = now[k]
+					}
+				}
 				sh.mu.Unlock()
 			}
 		}

@@ -25,6 +25,7 @@ type ShardStats struct {
 	Batches    uint64  `json:"batches"`    // protocol rounds run
 	BatchMean  float64 `json:"batch_mean"` // mean requests coalesced per round
 	BatchMax   uint64  `json:"batch_max"`
+	Combined   uint64  `json:"combined"`    // reads served from a round-mate's physical access
 	QueueDepth int     `json:"queue_depth"` // queued requests at snapshot time
 
 	// Service latency per access, in simulated cycles. Zero for
@@ -34,6 +35,19 @@ type ShardStats struct {
 	LatencyP99  uint64  `json:"latency_p99"`
 	LatencyMax  uint64  `json:"latency_max"`
 	Cycles      uint64  `json:"cycles"` // shard clock at snapshot time
+
+	// Per-stage wall time per access (load / crypto / evict / seal),
+	// nanoseconds. Empty for backends without a stage clock.
+	Stages []StageStats `json:"stages,omitempty"`
+}
+
+// StageStats is the latency histogram summary for one protocol stage.
+type StageStats struct {
+	Name   string  `json:"name"`
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  uint64  `json:"p50_ns"`
+	P99Ns  uint64  `json:"p99_ns"`
+	MaxNs  uint64  `json:"max_ns"`
 }
 
 // PoolStats aggregates every shard's snapshot.
@@ -66,6 +80,7 @@ func (p *Pool) Stats() PoolStats {
 			Crashes:    sh.crashes.Load(),
 			Recoveries: sh.recoveries.Load(),
 			Batches:    sh.batches.Load(),
+			Combined:   sh.combined.Load(),
 			QueueDepth: len(sh.queue),
 		}
 		sh.mu.Lock()
@@ -75,6 +90,19 @@ func (p *Pool) Stats() PoolStats {
 		s.LatencyP50 = sh.latency.Quantile(0.50)
 		s.LatencyP99 = sh.latency.Quantile(0.99)
 		s.LatencyMax = sh.latency.Max()
+		if sh.stages != nil {
+			s.Stages = make([]StageStats, len(sh.stageHist))
+			for k := range sh.stageHist {
+				h := &sh.stageHist[k]
+				s.Stages[k] = StageStats{
+					Name:   stageNames[k],
+					MeanNs: h.Mean(),
+					P50Ns:  h.Quantile(0.50),
+					P99Ns:  h.Quantile(0.99),
+					MaxNs:  h.Max(),
+				}
+			}
+		}
 		sh.mu.Unlock()
 		if sh.clock != nil {
 			s.Cycles = sh.clock.Cycles()
@@ -89,7 +117,7 @@ func (p *Pool) Stats() PoolStats {
 func (ps PoolStats) Table() *stats.Table {
 	tab := stats.NewTable("Per-shard serving stats (latency in simulated cycles)",
 		"Shard", "Blocks", "Done", "Rejected", "Expired", "Crash/Rec",
-		"Rounds", "Batch avg", "LatP50", "LatP99", "LatMax")
+		"Rounds", "Batch avg", "Combined", "LatP50", "LatP99", "LatMax")
 	for _, s := range ps.Shards {
 		tab.AddRow(
 			fmt.Sprintf("%d", s.Shard),
@@ -100,10 +128,41 @@ func (ps PoolStats) Table() *stats.Table {
 			fmt.Sprintf("%d/%d", s.Crashes, s.Recoveries),
 			fmt.Sprintf("%d", s.Batches),
 			fmt.Sprintf("%.2f", s.BatchMean),
+			fmt.Sprintf("%d", s.Combined),
 			fmt.Sprintf("%d", s.LatencyP50),
 			fmt.Sprintf("%d", s.LatencyP99),
 			fmt.Sprintf("%d", s.LatencyMax),
 		)
+	}
+	return tab
+}
+
+// StageTable renders the per-stage latency histograms (one row per
+// shard×stage), or nil when no shard has a stage clock.
+func (ps PoolStats) StageTable() *stats.Table {
+	any := false
+	for _, s := range ps.Shards {
+		if len(s.Stages) > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	tab := stats.NewTable("Per-stage access latency (wall ns: load / crypto / evict / seal)",
+		"Shard", "Stage", "Mean", "P50", "P99", "Max")
+	for _, s := range ps.Shards {
+		for _, st := range s.Stages {
+			tab.AddRow(
+				fmt.Sprintf("%d", s.Shard),
+				st.Name,
+				fmt.Sprintf("%.0f", st.MeanNs),
+				fmt.Sprintf("%d", st.P50Ns),
+				fmt.Sprintf("%d", st.P99Ns),
+				fmt.Sprintf("%d", st.MaxNs),
+			)
+		}
 	}
 	return tab
 }

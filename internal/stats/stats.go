@@ -10,31 +10,46 @@ import (
 )
 
 // Counters is a named-counter registry. The zero value is usable.
+//
+// Counters are stored boxed so hot paths can resolve a name once with
+// Handle and bump through the pointer, skipping the per-event map
+// lookup (string hashing dominates when a counter is incremented tens
+// of times per operation).
 type Counters struct {
-	m map[string]int64
+	m map[string]*int64
+}
+
+// Handle returns a stable pointer to counter name, creating it at zero
+// if needed. The pointer stays valid until Reset; callers may increment
+// it directly (`*h += n`) on hot paths.
+func (c *Counters) Handle(name string) *int64 {
+	if c.m == nil {
+		c.m = make(map[string]*int64)
+	}
+	p := c.m[name]
+	if p == nil {
+		p = new(int64)
+		c.m[name] = p
+	}
+	return p
 }
 
 // Add increments counter name by delta.
-func (c *Counters) Add(name string, delta int64) {
-	if c.m == nil {
-		c.m = make(map[string]int64)
-	}
-	c.m[name] += delta
-}
+func (c *Counters) Add(name string, delta int64) { *c.Handle(name) += delta }
 
 // Inc increments counter name by one.
 func (c *Counters) Inc(name string) { c.Add(name, 1) }
 
 // Get returns the value of counter name (zero if never touched).
-func (c *Counters) Get(name string) int64 { return c.m[name] }
+func (c *Counters) Get(name string) int64 {
+	if p := c.m[name]; p != nil {
+		return *p
+	}
+	return 0
+}
 
 // Set overwrites counter name.
-func (c *Counters) Set(name string, v int64) {
-	if c.m == nil {
-		c.m = make(map[string]int64)
-	}
-	c.m[name] = v
-}
+func (c *Counters) Set(name string, v int64) { *c.Handle(name) = v }
 
 // Names returns all counter names in sorted order.
 func (c *Counters) Names() []string {
@@ -49,18 +64,19 @@ func (c *Counters) Names() []string {
 // Merge adds every counter of other into c.
 func (c *Counters) Merge(other *Counters) {
 	for n, v := range other.m {
-		c.Add(n, v)
+		c.Add(n, *v)
 	}
 }
 
-// Reset clears all counters.
+// Reset clears all counters. Handles issued before the reset go stale
+// (they keep counting into the discarded generation).
 func (c *Counters) Reset() { c.m = nil }
 
 // Snapshot returns a copy of the current counter map.
 func (c *Counters) Snapshot() map[string]int64 {
 	out := make(map[string]int64, len(c.m))
 	for k, v := range c.m {
-		out[k] = v
+		out[k] = *v
 	}
 	return out
 }

@@ -97,18 +97,25 @@ type StoreOptions struct {
 // design — the hardware it models is one memory controller. For
 // concurrent clients, front a pool of Stores with Serve.
 type Store struct {
-	ctl *core.Controller
+	ctl           *core.Controller
+	pipelineDepth int
 }
+
+// PipelineDepth reports the pipeline depth recorded by WithPipelineDepth
+// (0 when unset — pool wrappers apply their own default).
+func (s *Store) PipelineDepth() int { return s.pipelineDepth }
 
 // storeConfig collects what the functional options set before the
 // controller is built.
 type storeConfig struct {
-	scheme   Scheme
-	cfg      Config
-	levels   int
-	crashAt  func(CrashPoint) bool
-	storeDir string
-	storage  DurableStorage
+	scheme        Scheme
+	cfg           Config
+	levels        int
+	crashAt       func(CrashPoint) bool
+	storeDir      string
+	storage       DurableStorage
+	cryptoWorkers int
+	pipelineDepth int
 }
 
 // StoreOption customizes New.
@@ -160,6 +167,25 @@ func WithStorage(st DurableStorage) StoreOption {
 	return func(c *storeConfig) { c.storage = st }
 }
 
+// WithCryptoWorkers sizes the store's seal fan-out pool: eviction seals
+// spread across n crypto workers. 0 or 1 keeps sealing inline on the
+// calling goroutine, byte-identical to the serial protocol; the
+// ciphertext stream is identical at every width.
+func WithCryptoWorkers(n int) StoreOption {
+	return func(c *storeConfig) { c.cryptoWorkers = n }
+}
+
+// WithPipelineDepth controls protocol pipelining when this store's
+// configuration is used by a serving pool (see PoolOptions.PipelineDepth
+// — pipelining lives in the serving layer, which owns the request
+// stream; a lone Store has nothing to look ahead into). Depth 1 disables
+// lookahead and read-combining entirely; 0 defaults to 4. On a Store
+// built directly, the value is recorded and surfaced via PipelineDepth
+// for wrappers that construct pools from store options.
+func WithPipelineDepth(d int) StoreOption {
+	return func(c *storeConfig) { c.pipelineDepth = d }
+}
+
 // New builds a store holding numBlocks zero-initialized blocks,
 // customized by functional options:
 //
@@ -178,19 +204,21 @@ func New(numBlocks uint64, opts ...StoreOption) (*Store, error) {
 	if sc.storeDir != "" && sc.storage != nil {
 		return nil, errors.New("psoram: WithStorePath and WithStorage are mutually exclusive")
 	}
+	copts := core.Options{NumBlocks: numBlocks, Levels: sc.levels, CryptoWorkers: sc.cryptoWorkers}
 	var ctl *core.Controller
 	var err error
 	switch {
 	case sc.storeDir != "":
-		ctl, _, err = core.NewDurable(sc.scheme, sc.cfg, core.Options{NumBlocks: numBlocks, Levels: sc.levels}, sc.storeDir)
+		ctl, _, err = core.NewDurable(sc.scheme, sc.cfg, copts, sc.storeDir)
 	default:
-		ctl, err = core.New(sc.scheme, sc.cfg, core.Options{NumBlocks: numBlocks, Levels: sc.levels, Storage: sc.storage})
+		copts.Storage = sc.storage
+		ctl, err = core.New(sc.scheme, sc.cfg, copts)
 	}
 	if err != nil {
 		return nil, err
 	}
 	ctl.CrashAt = sc.crashAt
-	return &Store{ctl: ctl}, nil
+	return &Store{ctl: ctl, pipelineDepth: sc.pipelineDepth}, nil
 }
 
 // NewStore builds a store holding opts.NumBlocks zero-initialized blocks.
