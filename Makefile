@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check sweep-smoke crash-matrix oracle-smoke serve-smoke net-smoke kill9-smoke pipeline-smoke fuzz-smoke bench-oracle bench-sim bench-serve bench-store bench-net bench-compare profile perf-smoke bless-golden clean
+.PHONY: all build vet test race check depgate sweep-smoke crash-matrix oracle-smoke serve-smoke net-smoke kill9-smoke pipeline-smoke reshard-smoke fuzz-smoke bench-oracle bench-sim bench-serve bench-store bench-net bench-compare profile perf-smoke bless-golden clean
 
 all: check
 
@@ -16,14 +16,22 @@ test:
 race:
 	$(GO) test -race ./...
 
-# check is the pre-commit gate: build, vet, the full suite under the
-# race detector, and the pipelining matrix smoke (workers x depth
-# through the serving oracle plus a crashing CLI run). -short shrinks
-# the sweep grid cells (see internal/sweep.testGrid) so the parallel
-# engine is still exercised end-to-end without multi-minute cells.
-check: build vet
+# check is the pre-commit gate: build, vet, the deprecation gate, the
+# full suite under the race detector, the pipelining matrix smoke
+# (workers x depth through the serving oracle plus a crashing CLI run),
+# and the resharding smoke. -short shrinks the sweep grid cells (see
+# internal/sweep.testGrid) so the parallel engine is still exercised
+# end-to-end without multi-minute cells.
+check: build vet depgate
 	$(GO) test -short -race ./...
 	$(MAKE) pipeline-smoke
+	$(MAKE) reshard-smoke
+
+# depgate refuses references to Deprecated: symbols outside their
+# declaring file and *deprecated_test.go wrapper tests — the old
+# NewStore/Serve/sim.Run surfaces stay wrappers, never call sites.
+depgate:
+	$(GO) run ./cmd/psoram-depgate
 
 # sweep-smoke regenerates the acceptance grid (3 schemes x 2 workloads x
 # 2 channel counts) through the CLI on 4 workers, printing the summary
@@ -83,6 +91,18 @@ pipeline-smoke: build
 	$(GO) test -race -short -count=1 -run 'TestKill9' ./internal/storage/filestore
 	$(GO) run -race ./cmd/psoram-serve -shards 2 -clients 4 -ops 150 -blocks 256 -levels 6 \
 		-check -crash-every 250 -crypto-workers 4 -pipeline-depth 4
+
+# reshard-smoke proves elastic resharding under the race detector: the
+# oracle-validated split-then-merge under concurrent load, durable
+# adoption across restart, backpressure/busy semantics, the same
+# migration driven over TCP while clients hammer the pool, the SIGKILL
+# -mid-migration torture (-short slice), and an oracle-checked CLI run
+# that re-stripes 4 -> 6 shards halfway through.
+reshard-smoke: build
+	$(GO) test -race -count=1 -run 'TestReshard' ./internal/serve
+	$(GO) test -race -short -count=1 -run 'TestNetReshard' ./internal/netserve
+	$(GO) run -race ./cmd/psoram-serve -shards 4 -clients 4 -ops 300 -blocks 512 -levels 6 \
+		-check -reshard 6
 
 # fuzz-smoke gives each oracle fuzz target a short coverage-guided run
 # (the CI budget; raise FUZZTIME locally for a deeper session).

@@ -6,6 +6,7 @@ package psoram
 // scale; cmd/psoram-bench prints the full tables.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -113,7 +114,7 @@ func BenchmarkCrashMatrix(b *testing.B) {
 func benchStoreAccess(b *testing.B, scheme Scheme) {
 	cfg := config.Default()
 	cfg.StashEntries = 150
-	s, err := NewStore(StoreOptions{Scheme: scheme, NumBlocks: 256, Config: &cfg})
+	s, err := New(256, WithScheme(scheme), WithConfig(cfg))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -273,7 +274,7 @@ func BenchmarkAblationZ(b *testing.B) {
 			w, _ := trace.ByName("464.h264ref")
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := sim.Run(config.SchemePSORAM, cfg, w, 300, 12)
+				res, err := sim.Simulate(context.Background(), sim.Request{Scheme: config.SchemePSORAM, Config: cfg, Workload: w, N: 300, Levels: 12})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -297,7 +298,7 @@ func BenchmarkAblationDirtyTracking(b *testing.B) {
 				w, _ := trace.ByName("464.h264ref")
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					res, err := sim.Run(scheme, cfg, w, 300, levels)
+					res, err := sim.Simulate(context.Background(), sim.Request{Scheme: scheme, Config: cfg, Workload: w, N: 300, Levels: levels})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -318,7 +319,7 @@ func BenchmarkAblationChannels(b *testing.B) {
 			w, _ := trace.ByName("401.bzip2")
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := sim.Run(config.SchemePSORAM, cfg, w, 300, 14)
+				res, err := sim.Simulate(context.Background(), sim.Request{Scheme: config.SchemePSORAM, Config: cfg, Workload: w, N: 300, Levels: 14})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -339,7 +340,7 @@ func BenchmarkAblationTreeTopCache(b *testing.B) {
 			w, _ := trace.ByName("464.h264ref")
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := sim.Run(config.SchemePSORAM, cfg, w, 300, 14)
+				res, err := sim.Simulate(context.Background(), sim.Request{Scheme: config.SchemePSORAM, Config: cfg, Workload: w, N: 300, Levels: 14})
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -1,0 +1,345 @@
+// Command psoram-depgate is the deprecation gate run by `make check`:
+// it refuses to let references to deprecated symbols creep back into
+// the tree after a migration.
+//
+// It parses every .go file in the module, records each top-level
+// declaration whose doc comment carries a "Deprecated:" marker, then
+// reports every reference to such a symbol outside (a) the file that
+// declares it and (b) files named *deprecated_test.go — the designated
+// home for back-compat wrapper tests. Any hit is a build break:
+//
+//	psoram-depgate            # gate the module rooted at the cwd
+//	psoram-depgate -root DIR  # gate another checkout
+//
+// Resolution is syntactic, not type-checked: cross-package references
+// are matched as pkgname.Symbol through each file's import table, and
+// same-package references as bare identifiers (minus declaration
+// names, selector fields, and struct keys). That is exact for this
+// repo's layout — every deprecated symbol is top-level and package
+// names match their directories — and keeps the gate dependency-free.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// symbol identifies one deprecated top-level declaration.
+type symbol struct {
+	pkgPath string // import path, e.g. "repro/internal/sim"
+	name    string // exported or unexported top-level name
+}
+
+type gate struct {
+	fset       *token.FileSet
+	modulePath string
+	root       string
+
+	deprecated map[symbol]string    // symbol -> declaring file (absolute)
+	pkgNames   map[string]string    // import path -> package name
+	files      map[string]*ast.File // absolute path -> parsed file
+	filePkg    map[string]string    // absolute path -> import path
+
+	violations []string
+}
+
+func main() {
+	var (
+		root    = flag.String("root", ".", "module root to gate")
+		verbose = flag.Bool("v", false, "list the deprecated symbols found")
+	)
+	flag.Parse()
+
+	g, err := newGate(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "psoram-depgate: %v\n", err)
+		os.Exit(2)
+	}
+	if *verbose {
+		var syms []symbol
+		for s := range g.deprecated {
+			syms = append(syms, s)
+		}
+		sort.Slice(syms, func(i, j int) bool {
+			if syms[i].pkgPath != syms[j].pkgPath {
+				return syms[i].pkgPath < syms[j].pkgPath
+			}
+			return syms[i].name < syms[j].name
+		})
+		for _, s := range syms {
+			rel, _ := filepath.Rel(g.root, g.deprecated[s])
+			fmt.Printf("deprecated: %s.%s (declared in %s)\n", s.pkgPath, s.name, rel)
+		}
+	}
+	g.check()
+	if len(g.violations) > 0 {
+		sort.Strings(g.violations)
+		for _, v := range g.violations {
+			fmt.Fprintln(os.Stderr, v)
+		}
+		fmt.Fprintf(os.Stderr, "psoram-depgate: %d reference(s) to deprecated symbols — migrate them or move the test into a *deprecated_test.go file\n", len(g.violations))
+		os.Exit(1)
+	}
+	fmt.Printf("psoram-depgate: clean (%d deprecated symbols, %d files)\n", len(g.deprecated), len(g.files))
+}
+
+func newGate(root string) (*gate, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := modulePath(abs)
+	if err != nil {
+		return nil, err
+	}
+	g := &gate{
+		fset:       token.NewFileSet(),
+		modulePath: mod,
+		root:       abs,
+		deprecated: make(map[symbol]string),
+		pkgNames:   make(map[string]string),
+		files:      make(map[string]*ast.File),
+		filePkg:    make(map[string]string),
+	}
+	if err := g.parseTree(); err != nil {
+		return nil, err
+	}
+	g.collectDeprecated()
+	return g, nil
+}
+
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("no module line in %s/go.mod", root)
+}
+
+// parseTree loads every .go file under the root, skipping VCS metadata,
+// vendored code, and testdata fixtures.
+func (g *gate) parseTree() error {
+	return filepath.WalkDir(g.root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "vendor", "testdata", "node_modules":
+				return filepath.SkipDir
+			}
+			if strings.HasPrefix(d.Name(), ".") && p != g.root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(p, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(g.fset, p, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", p, err)
+		}
+		rel, err := filepath.Rel(g.root, filepath.Dir(p))
+		if err != nil {
+			return err
+		}
+		pkgPath := g.modulePath
+		if rel != "." {
+			pkgPath = path.Join(g.modulePath, filepath.ToSlash(rel))
+		}
+		g.files[p] = f
+		g.filePkg[p] = pkgPath
+		// External test packages (package foo_test) share the directory
+		// but reference the library through its import path, so mapping
+		// the path to the non-test name keeps the import table right.
+		if !strings.HasSuffix(f.Name.Name, "_test") {
+			g.pkgNames[pkgPath] = f.Name.Name
+		}
+		return nil
+	})
+}
+
+// collectDeprecated records every top-level declaration whose doc (or,
+// for grouped declarations, whose spec doc) contains a Deprecated:
+// paragraph marker.
+func (g *gate) collectDeprecated() {
+	for p, f := range g.files {
+		pkgPath := g.filePkg[p]
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv == nil && isDeprecated(d.Doc) {
+					g.deprecated[symbol{pkgPath, d.Name.Name}] = p
+				}
+			case *ast.GenDecl:
+				groupDep := isDeprecated(d.Doc)
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if groupDep || isDeprecated(s.Doc) || isDeprecated(s.Comment) {
+							g.deprecated[symbol{pkgPath, s.Name.Name}] = p
+						}
+					case *ast.ValueSpec:
+						if groupDep || isDeprecated(s.Doc) || isDeprecated(s.Comment) {
+							for _, n := range s.Names {
+								g.deprecated[symbol{pkgPath, n.Name}] = p
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// isDeprecated implements the godoc convention: a paragraph (or line)
+// beginning "Deprecated:".
+func isDeprecated(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, line := range strings.Split(cg.Text(), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "Deprecated:") {
+			return true
+		}
+	}
+	return false
+}
+
+// exemptFile reports whether a file may reference deprecated symbols
+// wholesale: the designated wrapper-test files.
+func exemptFile(p string) bool {
+	return strings.HasSuffix(filepath.Base(p), "deprecated_test.go")
+}
+
+func (g *gate) check() {
+	for p, f := range g.files {
+		if exemptFile(p) {
+			continue
+		}
+		g.checkFile(p, f)
+	}
+}
+
+func (g *gate) checkFile(filename string, f *ast.File) {
+	ownPkg := g.filePkg[filename]
+
+	// Import table: local name -> import path, restricted to packages
+	// that actually declare deprecated symbols.
+	imports := make(map[string]string)
+	for _, imp := range f.Imports {
+		ipath, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		local := ""
+		if imp.Name != nil {
+			local = imp.Name.Name
+		} else if n, ok := g.pkgNames[ipath]; ok {
+			local = n
+		} else {
+			local = path.Base(ipath)
+		}
+		if local == "_" || local == "." {
+			continue
+		}
+		imports[local] = ipath
+	}
+
+	// Positions that are declarations or field names, never references.
+	skip := make(map[token.Pos]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncDecl:
+			skip[v.Name.Pos()] = true
+		case *ast.TypeSpec:
+			skip[v.Name.Pos()] = true
+		case *ast.ValueSpec:
+			for _, id := range v.Names {
+				skip[id.Pos()] = true
+			}
+		case *ast.Field:
+			for _, id := range v.Names {
+				skip[id.Pos()] = true
+			}
+		case *ast.KeyValueExpr:
+			if id, ok := v.Key.(*ast.Ident); ok {
+				skip[id.Pos()] = true
+			}
+		case *ast.LabeledStmt:
+			skip[v.Label.Pos()] = true
+		case *ast.AssignStmt:
+			if v.Tok == token.DEFINE {
+				for _, lhs := range v.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						skip[id.Pos()] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	report := func(pos token.Pos, sym symbol) {
+		// The declaring file may reference its own symbol (the wrapper
+		// body, the doc example right next to it).
+		if g.deprecated[sym] == filename {
+			return
+		}
+		position := g.fset.Position(pos)
+		rel, err := filepath.Rel(g.root, position.Filename)
+		if err != nil {
+			rel = position.Filename
+		}
+		g.violations = append(g.violations,
+			fmt.Sprintf("%s:%d:%d: reference to deprecated %s.%s",
+				rel, position.Line, position.Column, sym.pkgPath, sym.name))
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.SelectorExpr:
+			// pkgname.Symbol — only when the base is an imported package
+			// name, so methods and struct fields never match.
+			if id, ok := v.X.(*ast.Ident); ok {
+				if ipath, ok := imports[id.Name]; ok {
+					sym := symbol{ipath, v.Sel.Name}
+					if _, dep := g.deprecated[sym]; dep {
+						report(v.Sel.Pos(), sym)
+					}
+					skip[v.Sel.Pos()] = true
+					return false
+				}
+			}
+			// Any other selector: the .Sel is a field or method, never a
+			// top-level symbol; still walk X for nested references.
+			skip[v.Sel.Pos()] = true
+		case *ast.Ident:
+			if skip[v.Pos()] {
+				return true
+			}
+			sym := symbol{ownPkg, v.Name}
+			if _, dep := g.deprecated[sym]; dep {
+				report(v.Pos(), sym)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree materialises a throwaway module for the gate to chew on.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, body := range files {
+		p := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+const libGo = `package lib
+
+// Old is the ancient entry point.
+//
+// Deprecated: use New.
+func Old() int { return New() }
+
+// New is the replacement.
+func New() int { return 1 }
+
+// Options configures things.
+//
+// Deprecated: use functional options.
+type Options struct{ N int }
+`
+
+func TestGateCatchesCrossPackageReference(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":     "module example.test\n\ngo 1.22\n",
+		"lib/lib.go": libGo,
+		"main.go": `package main
+
+import "example.test/lib"
+
+func main() { _ = lib.Old() }
+`,
+	})
+	g, err := newGate(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.check()
+	if len(g.violations) != 1 || !strings.Contains(g.violations[0], "example.test/lib.Old") {
+		t.Fatalf("violations = %q, want one hit on lib.Old", g.violations)
+	}
+}
+
+func TestGateCatchesSamePackageReference(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":     "module example.test\n\ngo 1.22\n",
+		"lib/lib.go": libGo,
+		"lib/other.go": `package lib
+
+func indirect() int { return Old() }
+`,
+	})
+	g, err := newGate(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.check()
+	if len(g.violations) != 1 || !strings.Contains(g.violations[0], "lib.Old") {
+		t.Fatalf("violations = %q, want one hit on lib.Old", g.violations)
+	}
+}
+
+func TestGateExemptions(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":     "module example.test\n\ngo 1.22\n",
+		"lib/lib.go": libGo, // wrapper body calls New, Old only declared here
+		"lib/lib_deprecated_test.go": `package lib
+
+import "testing"
+
+func TestOld(t *testing.T) {
+	if Old() != New() {
+		t.Fatal("wrapper drifted")
+	}
+	_ = Options{N: 1}
+}
+`,
+		"main_deprecated_test.go": `package main
+
+import (
+	"testing"
+
+	"example.test/lib"
+)
+
+func TestOldFromOutside(t *testing.T) {
+	if lib.Old() != 1 {
+		t.Fatal(1)
+	}
+}
+`,
+		"main.go": `package main
+
+import "example.test/lib"
+
+func main() { _ = lib.New() }
+`,
+	})
+	g, err := newGate(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.check()
+	if len(g.violations) != 0 {
+		t.Fatalf("exempt files flagged: %q", g.violations)
+	}
+}
+
+func TestGateNonReferencesDontTrip(t *testing.T) {
+	// Methods, struct fields, composite-literal keys, and local
+	// variables sharing a deprecated name are not references to it.
+	root := writeTree(t, map[string]string{
+		"go.mod":     "module example.test\n\ngo 1.22\n",
+		"lib/lib.go": libGo,
+		"main.go": `package main
+
+import "example.test/lib"
+
+type runner struct{ Old int }
+
+func (r runner) Run() int { return r.Old }
+
+func main() {
+	Old := 3 // local shadow, not the symbol
+	r := runner{Old: Old}
+	_ = r.Run() + lib.New()
+}
+`,
+	})
+	g, err := newGate(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.check()
+	if len(g.violations) != 0 {
+		t.Fatalf("false positives: %q", g.violations)
+	}
+}
+
+// TestGateSelfRepo runs the gate over this repository itself — the
+// same invocation `make check` uses must be clean.
+func TestGateSelfRepo(t *testing.T) {
+	g, err := newGate("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.deprecated) == 0 {
+		t.Fatal("no deprecated symbols found in the repo; the gate is blind")
+	}
+	g.check()
+	if len(g.violations) != 0 {
+		t.Fatalf("repo references deprecated symbols:\n%s", strings.Join(g.violations, "\n"))
+	}
+}

@@ -11,6 +11,7 @@
 //	psoram-serve                                     # 4 shards x 4 clients, PS-ORAM
 //	psoram-serve -shards 8 -clients 16 -ops 2000
 //	psoram-serve -crash-every 500 -check             # torture: periodic power failures
+//	psoram-serve -reshard 8 -check                   # live re-stripe mid-run, oracle on
 //	psoram-serve -scheme Ring-PS-ORAM -write-ratio 0.9
 package main
 
@@ -24,10 +25,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	psoram "repro"
 	"repro/internal/config"
 	"repro/internal/oracle"
 	"repro/internal/oram"
-	"repro/internal/serve"
 )
 
 func main() {
@@ -48,6 +49,7 @@ func main() {
 		storeDir   = flag.String("store", "", "back every shard with a durable on-disk store under DIR (create-or-recover; flat schemes only)")
 		cryptoW    = flag.Int("crypto-workers", 0, "per-shard seal fan-out workers (0/1 = inline serial sealing)")
 		pipeline   = flag.Int("pipeline-depth", 0, "intra-shard pipelining depth (1 = strict serial protocol, 0 = default 4)")
+		reshardTo  = flag.Int("reshard", 0, "re-stripe the live pool to N shards once half the ops have completed (0 = off)")
 	)
 	flag.Parse()
 
@@ -58,18 +60,17 @@ func main() {
 	if *clients < 1 || *ops < 1 {
 		fatal(fmt.Errorf("need at least 1 client and 1 op"))
 	}
-	pool, err := serve.New(serve.Options{
-		Shards:        *shards,
-		NumBlocks:     *blocks,
-		Scheme:        scheme,
-		Levels:        *levels,
-		Seed:          *seed,
-		QueueDepth:    *queue,
-		MaxBatch:      *batch,
-		StoreDir:      *storeDir,
-		CryptoWorkers: *cryptoW,
-		PipelineDepth: *pipeline,
-	})
+	pool, err := psoram.NewPool(*blocks,
+		psoram.WithShards(*shards),
+		psoram.WithPoolScheme(scheme),
+		psoram.WithPoolLevels(*levels),
+		psoram.WithPoolSeed(*seed),
+		psoram.WithQueueDepth(*queue),
+		psoram.WithMaxBatch(*batch),
+		psoram.WithPoolStorePath(*storeDir),
+		psoram.WithPoolCryptoWorkers(*cryptoW),
+		psoram.WithPoolPipelineDepth(*pipeline),
+	)
 	if err != nil {
 		fatal(err)
 	}
@@ -97,6 +98,7 @@ func main() {
 		wg          sync.WaitGroup
 		completed   atomic.Uint64
 		overloads   atomic.Uint64
+		resharded   atomic.Uint64
 		interrupted atomic.Uint64
 		failures    atomic.Uint64
 	)
@@ -144,11 +146,15 @@ func main() {
 					got, _, err := pool.Access(ctx, kind, addr, data)
 					cancel()
 					switch {
-					case errors.Is(err, serve.ErrOverloaded):
+					case errors.Is(err, psoram.ErrOverloaded):
 						overloads.Add(1)
 						time.Sleep(100 * time.Microsecond) // back off, retry
 						continue
-					case errors.Is(err, serve.ErrInterrupted):
+					case errors.Is(err, psoram.ErrResharding):
+						resharded.Add(1)
+						time.Sleep(100 * time.Microsecond) // stripe migrating; retry
+						continue
+					case errors.Is(err, psoram.ErrInterrupted):
 						interrupted.Add(1)
 						continue // idempotent: re-issue the same op
 					case errors.Is(err, context.DeadlineExceeded):
@@ -179,8 +185,41 @@ func main() {
 			}
 		}(c)
 	}
-	wg.Wait()
+	clientsDone := make(chan struct{})
+	go func() { wg.Wait(); close(clientsDone) }()
+	reshardErr := make(chan error, 1)
+	var reshardFired atomic.Bool
+	if *reshardTo > 0 {
+		// Fire the migration once half the total ops have been acked, so
+		// the oracle grades values written before, during, and after it.
+		half := uint64(*clients) * uint64(*ops) / 2
+		go func() {
+			for completed.Load() < half {
+				select {
+				case <-clientsDone:
+					reshardErr <- nil // clients finished first; nothing to do
+					return
+				case <-time.After(time.Millisecond):
+				}
+			}
+			reshardFired.Store(true)
+			reshardErr <- pool.Reshard(context.Background(), *reshardTo)
+		}()
+	} else {
+		reshardErr <- nil
+	}
+	<-clientsDone
 	wall := time.Since(start)
+	if err := <-reshardErr; err != nil {
+		fatal(fmt.Errorf("reshard to %d: %w", *reshardTo, err))
+	}
+	if *reshardTo > 0 {
+		if reshardFired.Load() {
+			fmt.Printf("resharded mid-run to %d shards (epoch %d)\n", pool.Shards(), pool.Epoch())
+		} else {
+			fmt.Println("reshard trigger never fired: run finished before the halfway mark (raise -ops)")
+		}
+	}
 
 	if *check {
 		if *crashEvery > 0 {
@@ -229,7 +268,8 @@ func main() {
 	fmt.Printf("\n%d clients x %d ops on %d shards (%s, %d blocks): %d ops in %v (%.0f ops/s wall)\n",
 		*clients, *ops, *shards, scheme, *blocks, done, wall.Round(time.Millisecond),
 		float64(done)/wall.Seconds())
-	fmt.Printf("overload retries: %d, crash interruptions: %d\n", overloads.Load(), interrupted.Load())
+	fmt.Printf("overload retries: %d, reshard retries: %d, crash interruptions: %d\n",
+		overloads.Load(), resharded.Load(), interrupted.Load())
 	if *check {
 		if failures.Load() > 0 {
 			fmt.Fprintf(os.Stderr, "psoram-serve: FAILED: %d violation(s)\n", failures.Load())

@@ -9,6 +9,8 @@
 //	psoram-server -load -addr host:7333 -rate 5000 -duration 10s -slo 5ms
 //	psoram-server -load -addr host:7333 -check     # differential oracle over the wire
 //	psoram-server -self -rate 2000 -duration 2s -check  # in-process server + load (smoke)
+//	psoram-server -reshard 8 -addr host:7333       # admin: live re-stripe to 8 shards
+//	psoram-server -listen :7333 -reshard 8         # serve; SIGHUP reshards to 8
 //
 // The serve mode answers SIGTERM/SIGINT with a graceful drain: the
 // listener closes, every connection finishes its in-flight requests and
@@ -28,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	psoram "repro"
 	"repro/internal/config"
 	"repro/internal/netserve"
 	"repro/internal/oracle"
@@ -53,6 +56,7 @@ func main() {
 		inflight   = flag.Int("inflight", 64, "per-connection in-flight request cap")
 		retryAfter = flag.Duration("retry-after", time.Millisecond, "backoff hint in overload frames")
 		crashEvery = flag.Int("crash-every", 0, "fire a simulated power failure every Nth crash point (0 = off)")
+		reshardTo  = flag.Int("reshard", 0, "admin: with -addr, reshard the remote server to N shards and exit; when serving, SIGHUP reshards the live pool to N")
 		cryptoW    = flag.Int("crypto-workers", 0, "per-shard seal fan-out workers (0/1 = inline serial sealing)")
 		pipeline   = flag.Int("pipeline-depth", 0, "intra-shard pipelining depth (1 = strict serial protocol, 0 = default 4)")
 		drainWait  = flag.Duration("drain", 30*time.Second, "graceful drain budget on SIGTERM")
@@ -71,6 +75,19 @@ func main() {
 	flag.Parse()
 
 	switch {
+	case *reshardTo > 0 && *addr != "":
+		// One-shot admin: drive the remote server's migration over the
+		// wire and report the committed topology.
+		c, err := netserve.Dial(*addr, netserve.ClientOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		defer c.Close()
+		newShards, epoch, err := c.Reshard(context.Background(), *reshardTo)
+		if err != nil {
+			fatal(fmt.Errorf("reshard: %w", err))
+		}
+		fmt.Printf("psoram-server: resharded to %d shards (epoch %d)\n", newShards, epoch)
 	case *self:
 		pool, srv, ln := startServer(*listen, *shards, *blocks, *levels, *schemeName, *seed,
 			*queue, *batch, *storeDir, *inflight, *retryAfter, *crashEvery, *cryptoW, *pipeline)
@@ -99,6 +116,22 @@ func main() {
 			*blocks, *shards, *schemeName, ln.Addr())
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+		if *reshardTo > 0 {
+			// SIGHUP = live reshard to -reshard N, serving throughout.
+			hup := make(chan os.Signal, 1)
+			signal.Notify(hup, syscall.SIGHUP)
+			go func() {
+				for range hup {
+					fmt.Printf("psoram-server: SIGHUP: resharding to %d shards\n", *reshardTo)
+					if err := pool.Reshard(context.Background(), *reshardTo); err != nil {
+						fmt.Fprintf(os.Stderr, "psoram-server: reshard: %v\n", err)
+						continue
+					}
+					fmt.Printf("psoram-server: resharded to %d shards (epoch %d)\n",
+						pool.Shards(), pool.Epoch())
+				}
+			}()
+		}
 		serveDone := make(chan error, 1)
 		go func() { serveDone <- srv.Serve(ln) }()
 		select {
@@ -123,18 +156,17 @@ func startServer(listen string, shards int, blocks uint64, levels int, schemeNam
 	if err != nil {
 		fatal(err)
 	}
-	pool, err := serve.New(serve.Options{
-		Shards:        shards,
-		NumBlocks:     blocks,
-		Scheme:        scheme,
-		Levels:        levels,
-		Seed:          seed,
-		QueueDepth:    queue,
-		MaxBatch:      batch,
-		StoreDir:      storeDir,
-		CryptoWorkers: cryptoWorkers,
-		PipelineDepth: pipelineDepth,
-	})
+	pool, err := psoram.NewPool(blocks,
+		psoram.WithShards(shards),
+		psoram.WithPoolScheme(scheme),
+		psoram.WithPoolLevels(levels),
+		psoram.WithPoolSeed(seed),
+		psoram.WithQueueDepth(queue),
+		psoram.WithMaxBatch(batch),
+		psoram.WithPoolStorePath(storeDir),
+		psoram.WithPoolCryptoWorkers(cryptoWorkers),
+		psoram.WithPoolPipelineDepth(pipelineDepth),
+	)
 	if err != nil {
 		fatal(err)
 	}

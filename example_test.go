@@ -68,8 +68,8 @@ func ExampleVerifyCrashConsistency() {
 
 // Serving concurrent clients: the keyspace striped over a pool of
 // independent stores, one goroutine per shard.
-func ExampleServe() {
-	pool, err := psoram.Serve(psoram.PoolOptions{Shards: 4, NumBlocks: 256, Seed: 1})
+func ExampleNewPool() {
+	pool, err := psoram.NewPool(256, psoram.WithShards(4), psoram.WithPoolSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -23,7 +23,7 @@ func FuzzStoreOps(f *testing.F) {
 		cfg.StashEntries = 150
 		cfg.TempPosMapSize = 16
 		cfg.WriteBufferEntries = 16
-		s, err := NewStore(StoreOptions{Scheme: PSORAM, NumBlocks: 64, Config: &cfg, Seed: 9})
+		s, err := New(64, WithScheme(PSORAM), WithConfig(cfg), WithRNGSeed(9))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
@@ -28,6 +29,27 @@ const (
 	snapMagic   = "PSOR"
 	snapVersion = 1
 )
+
+// Typed snapshot-load failures, so callers (the serving layer's
+// resharding path, backup/restore tooling) can distinguish a
+// short/interrupted stream from a damaged or tampered one.
+var (
+	// ErrSnapshotTruncated reports a snapshot stream that ended before
+	// the format said it would (interrupted save, partial copy).
+	ErrSnapshotTruncated = errors.New("core: snapshot truncated")
+	// ErrSnapshotCorrupted reports a snapshot whose contents are
+	// structurally invalid or fail the integrity check.
+	ErrSnapshotCorrupted = errors.New("core: snapshot corrupted")
+)
+
+// snapRead wraps a raw read failure: an EOF mid-structure is a
+// truncation, anything else passes through.
+func snapRead(err error, what string) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("%w: reading %s: %v", ErrSnapshotTruncated, what, err)
+	}
+	return fmt.Errorf("core: reading %s: %w", what, err)
+}
 
 // SaveDurable serializes the controller's durable NVM state.
 func (c *Controller) SaveDurable(w io.Writer) error {
@@ -106,28 +128,28 @@ func LoadDurable(r io.Reader, cfg config.Config) (*Controller, error) {
 	br := bufio.NewReader(r)
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("core: reading snapshot magic: %w", err)
+		return nil, snapRead(err, "snapshot magic")
 	}
 	if string(magic[:]) != snapMagic {
-		return nil, fmt.Errorf("core: bad snapshot magic %q", magic)
+		return nil, fmt.Errorf("%w: bad magic %q", ErrSnapshotCorrupted, magic)
 	}
 	hdr := make([]uint64, 7)
 	for i := range hdr {
 		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
-			return nil, fmt.Errorf("core: reading snapshot header: %w", err)
+			return nil, snapRead(err, "snapshot header")
 		}
 	}
 	if hdr[0] != snapVersion {
-		return nil, fmt.Errorf("core: unsupported snapshot version %d", hdr[0])
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrSnapshotCorrupted, hdr[0])
 	}
 	scheme := config.Scheme(hdr[1])
 	levels, z, blockBytes := int(hdr[2]), int(hdr[3]), int(hdr[4])
 	numBlocks, verSeq := hdr[5], uint32(hdr[6])
 	if levels < 1 || levels > 30 || z < 1 || z > 64 || blockBytes < 8 || blockBytes > 1<<16 {
-		return nil, fmt.Errorf("core: implausible snapshot geometry L=%d Z=%d block=%d", levels, z, blockBytes)
+		return nil, fmt.Errorf("%w: implausible geometry L=%d Z=%d block=%d", ErrSnapshotCorrupted, levels, z, blockBytes)
 	}
 	if numBlocks == 0 || numBlocks > oram.NewTree(levels, z).Slots() {
-		return nil, fmt.Errorf("core: implausible snapshot block count %d", numBlocks)
+		return nil, fmt.Errorf("%w: implausible block count %d", ErrSnapshotCorrupted, numBlocks)
 	}
 	cfg.BlockBytes = blockBytes
 	cfg.Z = z
@@ -140,10 +162,10 @@ func LoadDurable(r io.Reader, cfg config.Config) (*Controller, error) {
 	for a := oram.Addr(0); uint64(a) < numBlocks; a++ {
 		var leaf uint32
 		if err := binary.Read(br, binary.LittleEndian, &leaf); err != nil {
-			return nil, fmt.Errorf("core: reading posmap entry %d: %w", a, err)
+			return nil, snapRead(err, fmt.Sprintf("posmap entry %d", a))
 		}
 		if uint64(leaf) >= c.ORAM.Tree.Leaves() {
-			return nil, fmt.Errorf("core: snapshot leaf %d out of range for addr %d", leaf, a)
+			return nil, fmt.Errorf("%w: leaf %d out of range for addr %d", ErrSnapshotCorrupted, leaf, a)
 		}
 		c.durable.Set(a, oram.Leaf(leaf))
 		c.ORAM.PosMap.Set(a, oram.Leaf(leaf))
@@ -154,18 +176,18 @@ func LoadDurable(r io.Reader, cfg config.Config) (*Controller, error) {
 		for zi := 0; zi < t.Z; zi++ {
 			var s oram.Slot
 			if err := binary.Read(br, binary.LittleEndian, &s.IV1); err != nil {
-				return nil, fmt.Errorf("core: reading slot (%d,%d): %w", b, zi, err)
+				return nil, snapRead(err, fmt.Sprintf("slot (%d,%d)", b, zi))
 			}
 			if err := binary.Read(br, binary.LittleEndian, &s.IV2); err != nil {
-				return nil, err
+				return nil, snapRead(err, fmt.Sprintf("slot (%d,%d)", b, zi))
 			}
 			s.SealedHeader = make([]byte, 16)
 			if _, err := io.ReadFull(br, s.SealedHeader); err != nil {
-				return nil, err
+				return nil, snapRead(err, fmt.Sprintf("slot (%d,%d) header", b, zi))
 			}
 			s.SealedData = make([]byte, blockBytes)
 			if _, err := io.ReadFull(br, s.SealedData); err != nil {
-				return nil, err
+				return nil, snapRead(err, fmt.Sprintf("slot (%d,%d) data", b, zi))
 			}
 			c.ORAM.Image.SetSlot(b, zi, s)
 		}
@@ -174,14 +196,14 @@ func LoadDurable(r io.Reader, cfg config.Config) (*Controller, error) {
 	// Trusted root.
 	var rootLen uint32
 	if err := binary.Read(br, binary.LittleEndian, &rootLen); err != nil {
-		return nil, fmt.Errorf("core: reading root length: %w", err)
+		return nil, snapRead(err, "root length")
 	}
 	if rootLen > integrity.HashSize {
-		return nil, fmt.Errorf("core: implausible root length %d", rootLen)
+		return nil, fmt.Errorf("%w: implausible root length %d", ErrSnapshotCorrupted, rootLen)
 	}
 	savedRoot := make([]byte, rootLen)
 	if _, err := io.ReadFull(br, savedRoot); err != nil {
-		return nil, err
+		return nil, snapRead(err, "trusted root")
 	}
 	if c.Merkle != nil {
 		// Rebuild the hash tree over the loaded image and verify it
@@ -189,10 +211,10 @@ func LoadDurable(r io.Reader, cfg config.Config) (*Controller, error) {
 		// domain: a tampered snapshot fails here.
 		c.Merkle = integrity.New(c.ORAM.Tree, c.bucketSlots)
 		if rootLen == 0 {
-			return nil, fmt.Errorf("core: cfg.Integrity set but snapshot carries no trusted root")
+			return nil, fmt.Errorf("%w: cfg.Integrity set but snapshot carries no trusted root", ErrSnapshotCorrupted)
 		}
 		if !bytes.Equal(c.Merkle.Root(), savedRoot) {
-			return nil, fmt.Errorf("core: snapshot integrity check failed: image does not match the trusted root")
+			return nil, fmt.Errorf("%w: image does not match the trusted root", ErrSnapshotCorrupted)
 		}
 	}
 	c.counters.Inc("snapshot.loads")

@@ -322,6 +322,25 @@ func (c *Client) Write(ctx context.Context, addr uint64, data []byte) error {
 	return err
 }
 
+// Reshard asks the server to re-stripe its pool onto newShards shards
+// (an admin call: it blocks until the migration commits, which can take
+// a while on a large pool — bound it with ctx). It returns the pool's
+// shard count and topology epoch after the operation. Failures unwrap
+// to the serve sentinels: errors.Is(err, serve.ErrReshardBusy) reports
+// a migration already in flight.
+func (c *Client) Reshard(ctx context.Context, newShards int) (shards int, epoch uint64, err error) {
+	f, err := c.do(ctx, TReshard, appendReshard(nil, uint32(newShards)))
+	if err != nil {
+		return 0, 0, err
+	}
+	f, err = expect(f, TResharded)
+	if err != nil {
+		return 0, 0, err
+	}
+	s, e, err := decodeResharded(f.Payload)
+	return int(s), e, err
+}
+
 // Ping round-trips an empty frame.
 func (c *Client) Ping(ctx context.Context) error {
 	f, err := c.do(ctx, TPing, nil)

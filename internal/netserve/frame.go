@@ -56,17 +56,19 @@ type Type uint8
 
 // Frame types.
 const (
-	TRead  Type = 0x01 // payload: addr u64
-	TWrite Type = 0x02 // payload: addr u64 + block data
-	TStats Type = 0x03 // payload: empty
-	TPing  Type = 0x04 // payload: empty
-	TInfo  Type = 0x05 // payload: empty
+	TRead    Type = 0x01 // payload: addr u64
+	TWrite   Type = 0x02 // payload: addr u64 + block data
+	TStats   Type = 0x03 // payload: empty
+	TPing    Type = 0x04 // payload: empty
+	TInfo    Type = 0x05 // payload: empty
+	TReshard Type = 0x06 // payload: new shard count u32 (admin)
 
 	TValue      Type = 0x81 // payload: block data (read result / previous value)
 	TWrote      Type = 0x82 // payload: empty
 	TStatsReply Type = 0x83 // payload: ServerStats JSON
 	TPong       Type = 0x84 // payload: empty
 	TInfoReply  Type = 0x85 // payload: Info, fixed layout
+	TResharded  Type = 0x86 // payload: shard count u32 + epoch u64
 	TError      Type = 0x8F // payload: status u8 + retry-after µs u32 + message
 )
 
@@ -85,6 +87,8 @@ func (t Type) String() string {
 		return "ping"
 	case TInfo:
 		return "info"
+	case TReshard:
+		return "reshard"
 	case TValue:
 		return "value"
 	case TWrote:
@@ -95,6 +99,8 @@ func (t Type) String() string {
 		return "pong"
 	case TInfoReply:
 		return "info-reply"
+	case TResharded:
+		return "resharded"
 	case TError:
 		return "error"
 	}
@@ -103,8 +109,8 @@ func (t Type) String() string {
 
 func validType(t Type) bool {
 	switch t {
-	case TRead, TWrite, TStats, TPing, TInfo,
-		TValue, TWrote, TStatsReply, TPong, TInfoReply, TError:
+	case TRead, TWrite, TStats, TPing, TInfo, TReshard,
+		TValue, TWrote, TStatsReply, TPong, TInfoReply, TResharded, TError:
 		return true
 	}
 	return false
@@ -212,6 +218,8 @@ const (
 	StatusInterrupted Status = 3 // simulated power failure; shard recovered, re-issue
 	StatusClosing     Status = 4 // server draining; connection will close
 	StatusInternal    Status = 5 // backend error
+	StatusResharding  Status = 6 // keyspace stripe migrating; retry after the hint
+	StatusReshardBusy Status = 7 // a reshard is already in flight (admin)
 )
 
 func (s Status) String() string {
@@ -226,6 +234,10 @@ func (s Status) String() string {
 		return "closing"
 	case StatusInternal:
 		return "internal"
+	case StatusResharding:
+		return "resharding"
+	case StatusReshardBusy:
+		return "reshard-busy"
 	}
 	return fmt.Sprintf("status(%d)", uint8(s))
 }
@@ -235,12 +247,12 @@ func (s Status) String() string {
 // across the wire exactly as it does in-process.
 type StatusError struct {
 	Code       Status
-	RetryAfter time.Duration // backoff hint; only set for StatusOverloaded
+	RetryAfter time.Duration // backoff hint; set for StatusOverloaded/StatusResharding
 	Msg        string
 }
 
 func (e *StatusError) Error() string {
-	if e.Code == StatusOverloaded {
+	if e.Code == StatusOverloaded || e.Code == StatusResharding {
 		return fmt.Sprintf("netserve: %s (retry after %v): %s", e.Code, e.RetryAfter, e.Msg)
 	}
 	return fmt.Sprintf("netserve: %s: %s", e.Code, e.Msg)
@@ -255,6 +267,10 @@ func (e *StatusError) Unwrap() error {
 		return serve.ErrInterrupted
 	case StatusClosing:
 		return serve.ErrPoolClosed
+	case StatusResharding:
+		return serve.ErrResharding
+	case StatusReshardBusy:
+		return serve.ErrReshardBusy
 	}
 	return nil
 }
@@ -303,6 +319,36 @@ func appendInfo(dst []byte, in Info) []byte {
 	binary.BigEndian.PutUint32(b[12:16], in.Shards)
 	binary.BigEndian.PutUint32(b[16:20], in.Scheme)
 	return append(dst, b[:]...)
+}
+
+// appendReshard appends a TReshard payload (the requested shard count).
+func appendReshard(dst []byte, shards uint32) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], shards)
+	return append(dst, b[:]...)
+}
+
+func decodeReshard(p []byte) (uint32, error) {
+	if len(p) < 4 {
+		return 0, fmt.Errorf("%w: reshard frame needs 4 bytes, have %d", ErrShortPayload, len(p))
+	}
+	return binary.BigEndian.Uint32(p), nil
+}
+
+// appendResharded appends a TResharded payload: the pool's shard count
+// and topology epoch after the (possibly no-op) reshard committed.
+func appendResharded(dst []byte, shards uint32, epoch uint64) []byte {
+	var b [12]byte
+	binary.BigEndian.PutUint32(b[0:4], shards)
+	binary.BigEndian.PutUint64(b[4:12], epoch)
+	return append(dst, b[:]...)
+}
+
+func decodeResharded(p []byte) (shards uint32, epoch uint64, err error) {
+	if len(p) < 12 {
+		return 0, 0, fmt.Errorf("%w: resharded frame needs 12 bytes, have %d", ErrShortPayload, len(p))
+	}
+	return binary.BigEndian.Uint32(p[0:4]), binary.BigEndian.Uint64(p[4:12]), nil
 }
 
 func decodeInfo(p []byte) (Info, error) {

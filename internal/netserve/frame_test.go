@@ -25,6 +25,8 @@ func TestFrameRoundTrip(t *testing.T) {
 		{Type: TPong, ID: 8},
 		{Type: TInfoReply, ID: 9, Payload: appendInfo(nil, Info{NumBlocks: 4096, BlockBytes: 64, Shards: 4, Scheme: 5})},
 		{Type: TError, ID: 10, Payload: appendStatus(nil, StatusOverloaded, time.Millisecond, "queue full")},
+		{Type: TReshard, ID: 11, Payload: appendReshard(nil, 8)},
+		{Type: TResharded, ID: 12, Payload: appendResharded(nil, 8, 3)},
 	}
 	var wire []byte
 	for _, f := range frames {
@@ -101,6 +103,8 @@ func TestStatusErrorMapping(t *testing.T) {
 		{StatusOverloaded, serve.ErrOverloaded},
 		{StatusInterrupted, serve.ErrInterrupted},
 		{StatusClosing, serve.ErrPoolClosed},
+		{StatusResharding, serve.ErrResharding},
+		{StatusReshardBusy, serve.ErrReshardBusy},
 	}
 	for _, tc := range cases {
 		se, err := decodeStatus(appendStatus(nil, tc.code, 250*time.Microsecond, "x"))
@@ -137,6 +141,23 @@ func TestInfoRoundTrip(t *testing.T) {
 	}
 	if _, err := decodeInfo(make([]byte, 19)); !errors.Is(err, ErrShortPayload) {
 		t.Fatalf("short info payload: err = %v, want ErrShortPayload", err)
+	}
+}
+
+func TestReshardPayloadRoundTrip(t *testing.T) {
+	n, err := decodeReshard(appendReshard(nil, 16))
+	if err != nil || n != 16 {
+		t.Fatalf("reshard payload = %d, %v; want 16, nil", n, err)
+	}
+	if _, err := decodeReshard([]byte{1, 2}); !errors.Is(err, ErrShortPayload) {
+		t.Fatalf("short reshard payload: err = %v, want ErrShortPayload", err)
+	}
+	s, e, err := decodeResharded(appendResharded(nil, 16, 1<<40))
+	if err != nil || s != 16 || e != 1<<40 {
+		t.Fatalf("resharded payload = %d, %d, %v; want 16, 2^40, nil", s, e, err)
+	}
+	if _, _, err := decodeResharded(make([]byte, 11)); !errors.Is(err, ErrShortPayload) {
+		t.Fatalf("short resharded payload: err = %v, want ErrShortPayload", err)
 	}
 }
 

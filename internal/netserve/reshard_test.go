@@ -1,0 +1,294 @@
+package netserve
+
+// Over-the-wire resharding: the TReshard admin frame drives
+// serve.Pool.Reshard while ordinary data traffic keeps flowing on the
+// same connection, and — the headline — a SIGKILL landing mid-migration
+// leaves a store that recovers to EITHER the old topology or the fully
+// committed new one, never a torn hybrid (the TOPOLOGY manifest rename
+// is the only commit point; see internal/storage/filestore/topology.go).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/oracle"
+	"repro/internal/rng"
+	"repro/internal/serve"
+	"repro/internal/storage/filestore"
+)
+
+// TestNetReshardLive: clients hammer the server while an admin
+// connection splits 4 -> 8 and merges 8 -> 2; every acked write's value
+// survives both migrations, and in-band StatusResharding frames unwrap
+// to serve.ErrResharding for the client's retry loop.
+func TestNetReshardLive(t *testing.T) {
+	pool, _, addr := startTestServer(t, smallPoolOpts(), ServerOptions{})
+	ctx := context.Background()
+
+	c := dialTest(t, addr, ClientOptions{})
+	admin := dialTest(t, addr, ClientOptions{})
+
+	info, err := c.Info(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed a reference prefix, one op at a time so every ack is final.
+	ref := make(map[uint64][]byte)
+	write := func(addr uint64, v []byte) {
+		t.Helper()
+		for {
+			err := c.Write(ctx, addr, v)
+			switch {
+			case err == nil:
+				ref[addr] = v
+				return
+			case errors.Is(err, serve.ErrResharding), errors.Is(err, serve.ErrOverloaded),
+				errors.Is(err, serve.ErrInterrupted):
+				time.Sleep(100 * time.Microsecond)
+			default:
+				t.Fatalf("write %d: %v", addr, err)
+			}
+		}
+	}
+	for a := uint64(0); a < 64; a++ {
+		write(a, oracle.Value(a, int(a), int(info.BlockBytes)))
+	}
+
+	for round, target := range []int{8, 2} {
+		stop := make(chan struct{})
+		done := make(chan error, 1)
+		go func() {
+			defer close(stop)
+			shards, epoch, err := admin.Reshard(ctx, target)
+			if err == nil && (shards != target || epoch != uint64(round+1)) {
+				err = fmt.Errorf("resharded to %d shards epoch %d, want %d/%d",
+					shards, epoch, target, round+1)
+			}
+			done <- err
+		}()
+		// Keep writing while the migration runs.
+		a := uint64(0)
+	loop:
+		for {
+			select {
+			case <-stop:
+				break loop
+			default:
+				write(a%64, oracle.Value(a%64, int(a+1000*uint64(round+1)), int(info.BlockBytes)))
+				a++
+			}
+		}
+		if err := <-done; err != nil {
+			t.Fatalf("reshard to %d: %v", target, err)
+		}
+		st, err := c.Stats(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(st.Pool.Shards) != target || st.Pool.Epoch != uint64(round+1) {
+			t.Fatalf("post-reshard stats: %d shards epoch %d, want %d/%d",
+				len(st.Pool.Shards), st.Pool.Epoch, target, round+1)
+		}
+		for addr, want := range ref {
+			got, err := c.Read(ctx, addr)
+			if err != nil {
+				t.Fatalf("read %d after reshard to %d: %v", addr, target, err)
+			}
+			if string(got) != string(want) {
+				t.Fatalf("addr %d after reshard to %d: got %.12q want %.12q", addr, target, got, want)
+			}
+		}
+	}
+	if errs := pool.Invariants(ctx); len(errs) != 0 {
+		t.Fatalf("invariants after split+merge: %v", errs)
+	}
+}
+
+// runNetReshardKill9Trial reuses the TestNetKill9Child victim (a plain
+// durable server — resharding is driven entirely over the wire): the
+// parent streams acked ops, fires a TReshard 2 -> 4, arms a jittered
+// SIGKILL to land inside the migration, and grades the wreckage.
+func runNetReshardKill9Trial(t *testing.T, seed uint64) []string {
+	t.Helper()
+	base := t.TempDir()
+	storeDir := filepath.Join(base, "store")
+	addrFile := filepath.Join(base, "addr")
+
+	cmd := exec.Command(os.Args[0], "-test.run=^TestNetKill9Child$", "-test.count=1")
+	cmd.Env = append(os.Environ(),
+		nk9EnvDir+"="+storeDir,
+		fmt.Sprintf("%s=%d", nk9EnvSeed, seed),
+		nk9EnvAddrFile+"="+addrFile,
+	)
+	var childOut strings.Builder
+	cmd.Stdout, cmd.Stderr = &childOut, &childOut
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	defer func() {
+		cmd.Process.Kill()
+		<-exited
+	}()
+
+	var addr string
+	for deadline := time.Now().Add(90 * time.Second); ; {
+		if raw, err := os.ReadFile(addrFile); err == nil {
+			addr = string(raw)
+			break
+		}
+		select {
+		case err := <-exited:
+			exited <- err
+			t.Fatalf("child died during startup: %v\n%s", err, childOut.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("child never published its address\n%s", childOut.String())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	c, err := Dial(addr, ClientOptions{})
+	if err != nil {
+		t.Fatalf("dial child: %v", err)
+	}
+	defer c.Close()
+	admin, err := Dial(addr, ClientOptions{})
+	if err != nil {
+		t.Fatalf("dial child (admin): %v", err)
+	}
+	defer admin.Close()
+
+	// Phase 1: land a clean acked prefix so the migration has real data
+	// to carry across stripes.
+	ops := nk9GenOps(seed)
+	rnd := rand.New(rand.NewSource(int64(seed)))
+	preOps := nk9NumOps / 2
+	ctx := context.Background()
+	done := 0
+	var opErr error
+	for _, op := range ops[:preOps] {
+		cctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		if op.Write {
+			opErr = c.Write(cctx, op.Addr, op.Data)
+		} else {
+			_, opErr = c.Read(cctx, op.Addr)
+		}
+		cancel()
+		if opErr != nil {
+			t.Fatalf("connection failed after %d acks, before the reshard: %v\n%s",
+				done, opErr, childOut.String())
+		}
+		done++
+	}
+
+	// Phase 2: fire the reshard and the fuse together. The jitter spans
+	// roughly the migration's length, so across trials the SIGKILL lands
+	// before the first stripe moves, mid-extraction, mid-replay, or
+	// after the TOPOLOGY commit.
+	jitter := time.Duration(rnd.Intn(25_000)) * time.Microsecond
+	go func() {
+		time.Sleep(jitter)
+		cmd.Process.Kill()
+	}()
+	rctx, rcancel := context.WithTimeout(ctx, 60*time.Second)
+	_, _, reshardErr := admin.Reshard(rctx, nk9Shards*2)
+	rcancel()
+	cmd.Process.Kill() // idempotent: covers the reshard-outran-the-kill case
+	<-exited
+	exited <- nil
+	t.Logf("reshard returned %v (kill jitter %v, %d acks)", reshardErr, jitter, done)
+
+	var violations []string
+	fail := func(format string, args ...any) {
+		violations = append(violations, fmt.Sprintf("seed %d done %d jitter %v: %s",
+			seed, done, jitter, fmt.Sprintf(format, args...)))
+	}
+
+	// The topology is the first thing graded: it must read back as
+	// either absent (legacy layout, reshard uncommitted) or the complete
+	// new one — a corrupt manifest means the commit protocol tore.
+	topo, terr := filestore.ReadTopology(storeDir)
+	if terr != nil {
+		fail("topology torn after SIGKILL: %v", terr)
+		return violations
+	}
+	if topo != nil && (topo.Epoch != 1 || topo.Shards != nk9Shards*2) {
+		fail("topology = %+v, want nil or {Epoch:1 Shards:%d}", topo, nk9Shards*2)
+		return violations
+	}
+
+	// Recover in-process with the STALE shard count: adoption must
+	// follow the manifest, not the options.
+	pool, err := serve.New(nk9PoolOpts(seed, storeDir))
+	if err != nil {
+		fail("recovery reopen failed: %v\nchild output:\n%s", err, childOut.String())
+		return violations
+	}
+	defer pool.Close(ctx)
+	wantShards := nk9Shards
+	if topo != nil {
+		wantShards = topo.Shards
+	}
+	if got := pool.Shards(); got != wantShards {
+		fail("recovered pool has %d shards, want %d (topo %+v)", got, wantShards, topo)
+	}
+
+	// Same acked-prefix contract as the plain kill9 suite: every ack
+	// predates the reshard, and migration replays acked state only, so
+	// recovery onto EITHER topology must read back the done-op prefix
+	// (done+1 is impossible here — no data op was in flight at the kill).
+	recovered := make([][]byte, nk9Blocks)
+	for a := uint64(0); a < nk9Blocks; a++ {
+		if v, err := pool.Peek(ctx, a); err == nil {
+			recovered[a] = append([]byte(nil), v...)
+		}
+	}
+	states := oracle.PrefixStates(ops, nk9BB)
+	matched := oracle.MatchedPrefixes(recovered, states, done, nk9BB)
+	if !nk9Contains(matched, done) {
+		lost := 0
+		for _, v := range recovered {
+			if v == nil {
+				lost++
+			}
+		}
+		fail("recovered store matches prefixes %v, want %d (%d/%d blocks unreadable, topo %+v)",
+			matched, done, lost, nk9Blocks, topo)
+	}
+	if errs := pool.Invariants(ctx); len(errs) != 0 {
+		fail("recovered pool invariants: %v", errs)
+	}
+	return violations
+}
+
+// TestNetReshardKill9 is the crash-consistency headline for elastic
+// resharding: SIGKILL mid-migration, graded for topology atomicity and
+// zero acked-write loss. Full mode runs 4 randomized kill points;
+// -short a representative 2.
+func TestNetReshardKill9(t *testing.T) {
+	trials := 4
+	if testing.Short() {
+		trials = 2
+	}
+	for i := 0; i < trials; i++ {
+		i := i
+		t.Run(fmt.Sprintf("trial%02d", i), func(t *testing.T) {
+			t.Parallel()
+			seed := rng.DeriveSeed(0x4e5d, uint64(i))
+			for _, v := range runNetReshardKill9Trial(t, seed) {
+				t.Error(v)
+			}
+		})
+	}
+}

@@ -410,6 +410,22 @@ func (c *srvConn) handle(ctx context.Context, f Frame) {
 		buf = AppendFrame(nil, Frame{Type: TStatsReply, ID: f.ID, Payload: js})
 	case TPing:
 		buf = AppendFrame(nil, Frame{Type: TPong, ID: f.ID})
+	case TReshard:
+		n, err := decodeReshard(f.Payload)
+		if err != nil {
+			buf = c.errorFrame(f.ID, StatusBadRequest, 0, err.Error())
+			break
+		}
+		// Admin operation: blocks this handler (within the connection's
+		// in-flight budget) for the whole migration; data traffic on this
+		// and every other connection keeps flowing, with migrating-stripe
+		// requests answered StatusResharding in poolErrorFrame below.
+		if err := pool.Reshard(ctx, int(n)); err != nil {
+			buf = c.poolErrorFrame(f.ID, err)
+			break
+		}
+		buf = AppendFrame(nil, Frame{Type: TResharded, ID: f.ID,
+			Payload: appendResharded(nil, uint32(pool.Shards()), pool.Epoch())})
 	case TInfo:
 		buf = AppendFrame(nil, Frame{Type: TInfoReply, ID: f.ID, Payload: appendInfo(nil, Info{
 			NumBlocks:  pool.NumBlocks(),
@@ -433,6 +449,10 @@ func (c *srvConn) poolErrorFrame(id uint64, err error) []byte {
 		return c.errorFrame(id, StatusOverloaded, c.srv.opts.RetryAfter, "shard queue full")
 	case errors.Is(err, serve.ErrInterrupted):
 		return c.errorFrame(id, StatusInterrupted, 0, "access interrupted by power failure; shard recovered, re-issue")
+	case errors.Is(err, serve.ErrResharding):
+		return c.errorFrame(id, StatusResharding, c.srv.opts.RetryAfter, "keyspace stripe migrating")
+	case errors.Is(err, serve.ErrReshardBusy):
+		return c.errorFrame(id, StatusReshardBusy, 0, "a reshard is already in flight")
 	case errors.Is(err, serve.ErrPoolClosed):
 		return c.errorFrame(id, StatusClosing, 0, "server draining")
 	default:

@@ -3,6 +3,7 @@ package oracle
 import (
 	"errors"
 	"fmt"
+	"io"
 
 	"repro/internal/config"
 	"repro/internal/core"
@@ -201,6 +202,16 @@ func (t *coreTarget) Close() error { return t.ctl.Close() }
 // Cycles reports the controller's simulated clock, letting callers (the
 // serving layer's latency histograms) price accesses in simulated cycles.
 func (t *coreTarget) Cycles() uint64 { return uint64(t.ctl.Now()) }
+
+// SaveDurable serializes the controller's durable NVM image — exactly
+// the state the §4 persistency protocol guarantees survives a power
+// loss. The serving layer's resharding path snapshots frozen
+// WPQ-persistent shards through it.
+func (t *coreTarget) SaveDurable(w io.Writer) error { return t.ctl.SaveDurable(w) }
+
+// SnapshotConfig returns the controller's effective configuration: the
+// cfg a core.LoadDurable of this target's snapshot requires.
+func (t *coreTarget) SnapshotConfig() config.Config { return t.ctl.Cfg }
 
 // Prefetch decodes addr's path headers ahead of its Access — the serving
 // layer's pipelining hook. Protocol-free: no state or traffic changes.

@@ -11,6 +11,12 @@
 // coalesces queued requests into protocol rounds (batches), executes
 // them back-to-back, and replies through per-request channels.
 //
+// Routing goes through an immutable, epoch-stamped table swapped
+// atomically (copy-on-write): the stable fast path costs one atomic
+// pointer load. Reshard replaces the table stripe by stripe, migrating
+// the keyspace onto a freshly built shard set while unaffected stripes
+// keep serving (see reshard.go and DESIGN.md §8).
+//
 // Overload never blocks a client: a full queue fails fast with
 // ErrOverloaded. Cancellation is honoured at both ends: a client whose
 // context dies while waiting stops waiting (the worker's reply is
@@ -28,15 +34,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/oracle"
 	"repro/internal/oram"
 	"repro/internal/rng"
 	"repro/internal/stats"
+	"repro/internal/storage/filestore"
 )
 
 // Typed serving-layer errors.
@@ -51,7 +58,20 @@ var (
 	// contract the interrupted op either fully persisted or never
 	// happened, so the caller may re-issue it.
 	ErrInterrupted = errors.New("serve: access interrupted by simulated power failure (shard recovered)")
+	// ErrResharding reports an access to a keyspace stripe that is being
+	// migrated by an in-flight Reshard. The request touched no backend;
+	// the stripe unfreezes within one migration step, so the caller may
+	// retry after backing off (the network front-end maps this to a
+	// RETRY_AFTER status frame).
+	ErrResharding = errors.New("serve: keyspace stripe migrating; retry")
+	// ErrReshardBusy reports a Reshard call while another is in flight.
+	ErrReshardBusy = errors.New("serve: reshard already in progress")
 )
+
+// errRouteChanged is the internal retry signal: the routing table was
+// swapped between route resolution and enqueue, so the request must be
+// re-routed against the new table. Never escapes the package.
+var errRouteChanged = errors.New("serve: routing table changed mid-submit")
 
 // Backend is one shard's underlying store: the oracle's uniform target
 // shape plus the recovery hook. The adapters oracle.NewTarget builds
@@ -87,13 +107,26 @@ type crashable interface {
 	Arm(fire func(oracle.CrashSpec) bool)
 }
 
+// snapshotter is the optional backend facet serializing the shard's
+// durable NVM image (core.SaveDurable through the oracle adapter) plus
+// the effective config a core.LoadDurable of that image needs; the
+// resharding path migrates WPQ-persistent shards through it.
+type snapshotter interface {
+	SaveDurable(w io.Writer) error
+	SnapshotConfig() config.Config
+}
+
 // Factory builds the backend for one shard. localBlocks is the number
-// of logical blocks the shard owns after keyspace striping.
+// of logical blocks the shard owns after keyspace striping. A Factory
+// is also used by Reshard to build the replacement shard set, so it
+// must be callable more than once per pool.
 type Factory func(shard int, localBlocks uint64) (Backend, error)
 
 // Options sizes a Pool.
 type Options struct {
-	// Shards is the number of independent stores (default 4).
+	// Shards is the number of independent stores (default 4). For a
+	// durable pool over a store directory that has been resharded, the
+	// committed on-disk topology wins and this field is ignored.
 	Shards int
 	// NumBlocks is the total logical block count across the pool
 	// (required). Block addr lives on shard addr%Shards as local block
@@ -116,9 +149,12 @@ type Options struct {
 	// coalesces (default 8).
 	MaxBatch int
 	// StoreDir, when non-empty, backs every shard with a durable on-disk
-	// store under StoreDir/shard-NNN (create-or-recover; flat Path ORAM
-	// schemes only). Close then persists and closes every shard's store
-	// after the drain. Ignored when Factory is set.
+	// store under StoreDir (create-or-recover; flat Path ORAM schemes
+	// only). A fresh pool lays shards out as StoreDir/shard-NNN; after a
+	// Reshard they live under an epoch directory committed by the
+	// TOPOLOGY manifest (see internal/storage/filestore). Close then
+	// persists and closes every shard's store after the drain. Ignored
+	// when Factory is set.
 	StoreDir string
 	// Factory overrides backend construction (tests, custom schemes).
 	// Nil means oracle.NewTarget with per-shard derived seeds.
@@ -175,6 +211,63 @@ func localBlocks(n uint64, shards, s int) uint64 {
 	return (n - uint64(s) + uint64(shards) - 1) / uint64(shards)
 }
 
+// stripeState is one old stripe's position in an in-flight reshard:
+// still served by its old shard, frozen while its blocks move, or
+// re-routed to the new shard set.
+type stripeState uint8
+
+const (
+	stripeOld stripeState = iota
+	stripeMigrating
+	stripeNew
+)
+
+// routeTable is the pool's immutable routing state. Stable pools have
+// next == nil and route addr to shards[addr%S]. During a reshard, next
+// holds the replacement shard set and state tracks each old stripe
+// (addr%oldS): OLD routes to the old shard, MIGRATING rejects with
+// ErrResharding, NEW routes to the new set — with writes mirrored back
+// to the old shard so an abort (or a crash before the topology commit)
+// never loses an acknowledged write. Every transition installs a fresh
+// table; a table, once published, is never mutated.
+type routeTable struct {
+	epoch  uint64
+	shards []*shard      // serving set (stable), or the old set mid-reshard
+	next   []*shard      // replacement set; nil when stable
+	state  []stripeState // per old stripe; nil when stable
+}
+
+// route resolves addr: the shard to submit to, the shard-local address,
+// and — for writes landing on an already-migrated stripe — the old
+// shard to mirror the write into.
+func (rt *routeTable) route(addr uint64) (primary *shard, local oram.Addr, mirror *shard, mirrorLocal oram.Addr, err error) {
+	oldS := uint64(len(rt.shards))
+	if rt.next == nil {
+		return rt.shards[addr%oldS], oram.Addr(addr / oldS), nil, 0, nil
+	}
+	o := addr % oldS
+	switch rt.state[o] {
+	case stripeOld:
+		return rt.shards[o], oram.Addr(addr / oldS), nil, 0, nil
+	case stripeMigrating:
+		return nil, 0, nil, 0, ErrResharding
+	default: // stripeNew
+		newS := uint64(len(rt.next))
+		return rt.next[addr%newS], oram.Addr(addr / newS), rt.shards[o], oram.Addr(addr / oldS), nil
+	}
+}
+
+// live returns every shard the table references (serving set plus the
+// replacement set mid-reshard).
+func (rt *routeTable) live() []*shard {
+	if rt.next == nil {
+		return rt.shards
+	}
+	all := make([]*shard, 0, len(rt.shards)+len(rt.next))
+	all = append(all, rt.shards...)
+	return append(all, rt.next...)
+}
+
 // request kinds a shard worker executes.
 type kind uint8
 
@@ -183,6 +276,10 @@ const (
 	kindPeek
 	kindInvariants
 	kindArm
+	// kindExec runs an arbitrary closure on the shard's worker goroutine,
+	// preserving the single-threaded backend contract. The resharding
+	// path extracts a frozen shard's blocks through it.
+	kindExec
 )
 
 type response struct {
@@ -204,6 +301,7 @@ type request struct {
 	addr  oram.Addr // shard-local
 	data  []byte
 	fire  func(oracle.CrashSpec) bool
+	fn    func(b Backend) error // kindExec body
 	ctx   context.Context
 	reply chan response
 }
@@ -212,11 +310,13 @@ type request struct {
 // goroutine allowed to touch it.
 type shard struct {
 	id       int
+	blocks   uint64 // local block count (stats)
 	backend  Backend
 	clock    clocked    // nil when the backend has no cycle clock
 	prefetch prefetcher // nil when pipelining is off or unsupported
 	stages   staged     // nil when the backend has no stage clock
 	queue    chan *request
+	done     chan struct{} // closed when the worker exits (per-shard join)
 
 	// Worker-owned pipelining scratch (no locks: one worker per shard).
 	stageLast [4]int64     // last StageNanos snapshot
@@ -224,10 +324,13 @@ type shard struct {
 	caps      []combineCap // per-round leader value captures
 
 	// closeMu serializes sends on queue against its close: submitters
-	// hold the read side around the send, Close holds the write side
-	// around close(queue). It is per-shard so submitters to different
-	// shards never touch a shared lock word.
+	// hold the read side around the send, teardown (pool Close, or
+	// Reshard retiring a shard set) holds the write side around
+	// close(queue). closed is the queue's state, guarded by closeMu —
+	// per-shard, because Reshard closes old shards while the pool as a
+	// whole keeps serving.
 	closeMu sync.RWMutex
+	closed  bool
 
 	// Counters are atomics (written by the worker and the submit path,
 	// read by Stats), each padded to its own cache line so shards and
@@ -263,76 +366,123 @@ type combineCap struct {
 // queues in front. All methods are safe for concurrent use.
 type Pool struct {
 	opts   Options
-	shards []*shard
-	wg     sync.WaitGroup
+	router atomic.Pointer[routeTable]
+	wg     sync.WaitGroup // every worker ever started (old sets included)
 
 	closed  atomic.Bool // submits re-check under the shard's closeMu
 	reqPool sync.Pool   // *request envelopes with their reply channels
+
+	// reshardMu serializes Reshard against itself and against Close.
+	// Invariant: whenever it is free, the published table is stable
+	// (next == nil).
+	reshardMu sync.Mutex
+	storeRoot string // durable pool root; "" for in-memory or Factory pools
 }
 
 // New builds and starts a pool. The returned Pool is serving; callers
-// own shutting it down with Close.
+// own shutting it down with Close. Over a store directory that holds a
+// committed reshard topology, the on-disk shard count and epoch are
+// adopted (the TOPOLOGY manifest is authoritative — the pool may have
+// been resharded since the flags were written down).
 func New(opts Options) (*Pool, error) {
 	if err := opts.normalize(); err != nil {
 		return nil, err
 	}
-	factory := opts.Factory
-	if factory == nil {
-		factory = func(s int, local uint64) (Backend, error) {
-			// Derive the tree height here rather than leaving it to the
-			// controller: ringoram.New requires an explicit height, and
-			// the WPQ sizing in oracle.NewTarget scales with it.
-			levels := opts.Levels
-			if levels == 0 {
-				cfg := config.Default()
-				if opts.Cfg != nil {
-					cfg = *opts.Cfg
-				}
-				levels = cfg.TreeLevelsFor(local)
-			}
-			dir := ""
-			if opts.StoreDir != "" {
-				dir = filepath.Join(opts.StoreDir, fmt.Sprintf("shard-%03d", s))
-			}
-			t, err := oracle.NewTarget(oracle.Params{
-				Scheme:        opts.Scheme,
-				NumBlocks:     local,
-				Levels:        levels,
-				Seed:          rng.DeriveSeed(opts.Seed, 0x5e4e, uint64(s)),
-				Cfg:           opts.Cfg,
-				StoreDir:      dir,
-				CryptoWorkers: opts.CryptoWorkers,
-			})
-			if err != nil {
-				return nil, err
-			}
-			b, ok := t.(Backend)
-			if !ok {
-				return nil, fmt.Errorf("serve: %v target does not support recovery", opts.Scheme)
-			}
-			return b, nil
+	epoch := uint64(0)
+	p := &Pool{opts: opts}
+	if opts.StoreDir != "" && opts.Factory == nil {
+		topo, err := filestore.ReadTopology(opts.StoreDir)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
 		}
+		if topo != nil {
+			opts.Shards = topo.Shards
+			epoch = topo.Epoch
+			if uint64(opts.Shards) > opts.NumBlocks {
+				return nil, fmt.Errorf("serve: committed topology has %d shards, need at least %d blocks, have %d",
+					opts.Shards, opts.Shards, opts.NumBlocks)
+			}
+			p.opts.Shards = opts.Shards
+		}
+		if err := filestore.CleanStale(opts.StoreDir, topo); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		p.storeRoot = opts.StoreDir
 	}
-	p := &Pool{opts: opts, shards: make([]*shard, opts.Shards)}
 	p.reqPool.New = func() any { return &request{reply: make(chan response, 1)} }
+	shards := make([]*shard, opts.Shards)
 	for s := 0; s < opts.Shards; s++ {
-		b, err := factory(s, localBlocks(opts.NumBlocks, opts.Shards, s))
+		dir := ""
+		if p.storeRoot != "" {
+			dir = filestore.ShardDir(p.storeRoot, epoch, s)
+		}
+		b, err := p.buildBackend(s, localBlocks(opts.NumBlocks, opts.Shards, s), dir)
 		if err != nil {
 			return nil, fmt.Errorf("serve: shard %d: %w", s, err)
 		}
-		sh := &shard{id: s, backend: b, queue: make(chan *request, opts.QueueDepth)}
-		sh.clock, _ = b.(clocked)
-		sh.stages, _ = b.(staged)
-		if opts.PipelineDepth > 1 {
-			sh.prefetch, _ = b.(prefetcher)
-		}
-		sh.combine = make([]int, 0, opts.MaxBatch)
-		sh.caps = make([]combineCap, opts.MaxBatch)
-		p.shards[s] = sh
-		p.wg.Add(1)
-		go p.work(sh)
+		shards[s] = p.newShard(s, b)
 	}
+	p.router.Store(&routeTable{epoch: epoch, shards: shards})
 	return p, nil
+}
+
+// buildBackend constructs one shard's backend: the Options.Factory when
+// set, otherwise oracle.NewTarget with a per-shard derived seed and the
+// given durable directory ("" = in-memory). Reshard calls it again for
+// the replacement shard set.
+func (p *Pool) buildBackend(s int, local uint64, dir string) (Backend, error) {
+	if p.opts.Factory != nil {
+		return p.opts.Factory(s, local)
+	}
+	// Derive the tree height here rather than leaving it to the
+	// controller: ringoram.New requires an explicit height, and the WPQ
+	// sizing in oracle.NewTarget scales with it.
+	levels := p.opts.Levels
+	if levels == 0 {
+		cfg := config.Default()
+		if p.opts.Cfg != nil {
+			cfg = *p.opts.Cfg
+		}
+		levels = cfg.TreeLevelsFor(local)
+	}
+	t, err := oracle.NewTarget(oracle.Params{
+		Scheme:        p.opts.Scheme,
+		NumBlocks:     local,
+		Levels:        levels,
+		Seed:          rng.DeriveSeed(p.opts.Seed, 0x5e4e, uint64(s)),
+		Cfg:           p.opts.Cfg,
+		StoreDir:      dir,
+		CryptoWorkers: p.opts.CryptoWorkers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	b, ok := t.(Backend)
+	if !ok {
+		return nil, fmt.Errorf("serve: %v target does not support recovery", p.opts.Scheme)
+	}
+	return b, nil
+}
+
+// newShard wraps a backend in a shard and starts its worker.
+func (p *Pool) newShard(id int, b Backend) *shard {
+	sh := &shard{
+		id:      id,
+		blocks:  b.NumBlocks(),
+		backend: b,
+		queue:   make(chan *request, p.opts.QueueDepth),
+		done:    make(chan struct{}),
+	}
+	sh.clock, _ = b.(clocked)
+	sh.stages, _ = b.(staged)
+	if p.opts.PipelineDepth > 1 {
+		sh.prefetch, _ = b.(prefetcher)
+	}
+	sh.combine = make([]int, 0, p.opts.MaxBatch)
+	sh.caps = make([]combineCap, p.opts.MaxBatch)
+	p.wg.Add(1)
+	go p.work(sh)
+	return sh
 }
 
 // work is a shard's worker loop: block for one request, coalesce up to
@@ -345,6 +495,7 @@ func New(opts Options) (*Pool, error) {
 // when the queue is closed and drained — so every request accepted
 // before Close is answered.
 func (p *Pool) work(sh *shard) {
+	defer close(sh.done)
 	defer p.wg.Done()
 	batch := make([]*request, 0, p.opts.MaxBatch)
 	combining := p.opts.PipelineDepth > 1
@@ -508,6 +659,8 @@ func (p *Pool) execute(sh *shard, r *request, cc *combineCap) {
 		} else {
 			resp.err = fmt.Errorf("serve: shard %d backend does not support crash injection", sh.id)
 		}
+	case kindExec:
+		resp.err = r.fn(sh.backend)
 	}
 	if resp.err == nil || errors.Is(resp.err, ErrInterrupted) {
 		sh.completed.Add(1)
@@ -533,13 +686,33 @@ func (p *Pool) putRequest(r *request) {
 // It consumes r: the envelope is recycled (or, on abandonment, leaked
 // to the GC) before submit returns, so the caller must not touch it
 // again.
-func (p *Pool) submit(ctx context.Context, sh *shard, r *request) (response, error) {
+//
+// When rt is non-nil, the routing table is revalidated under the
+// shard's closeMu read lock: if it changed since the caller resolved
+// the route, submit backs out with errRouteChanged and the caller
+// re-routes. This is the reshard freeze handshake — a stripe
+// transition swaps the table and then takes the old shard's closeMu
+// write lock as a barrier, so every enqueue that slipped past the old
+// table has landed (and will drain) before migration reads the shard.
+func (p *Pool) submit(ctx context.Context, sh *shard, r *request, rt *routeTable) (response, error) {
 	r.ctx = ctx
 	sh.closeMu.RLock()
 	if p.closed.Load() {
 		sh.closeMu.RUnlock()
 		p.putRequest(r)
 		return response{}, ErrPoolClosed
+	}
+	if sh.closed {
+		// The shard's queue is gone (its set was retired by a completed
+		// or aborted reshard); the current table routes elsewhere.
+		sh.closeMu.RUnlock()
+		p.putRequest(r)
+		return response{}, errRouteChanged
+	}
+	if rt != nil && p.router.Load() != rt {
+		sh.closeMu.RUnlock()
+		p.putRequest(r)
+		return response{}, errRouteChanged
 	}
 	select {
 	case sh.queue <- r:
@@ -571,16 +744,91 @@ func (p *Pool) submit(ctx context.Context, sh *shard, r *request) (response, err
 
 // Access performs one oblivious access on the shard owning addr and
 // returns the value read (for writes: the previous value) plus the leaf
-// whose path was read, mirroring the oracle target contract.
+// whose path was read, mirroring the oracle target contract. During a
+// reshard, writes landing on an already-migrated stripe are mirrored
+// into the stripe's old shard before the access is acknowledged, so an
+// acknowledged write survives both reshard outcomes (commit and abort —
+// or, for durable pools, a crash recovered on either topology).
 func (p *Pool) Access(ctx context.Context, op oram.Op, addr uint64, data []byte) ([]byte, oram.Leaf, error) {
 	if addr >= p.opts.NumBlocks {
 		return nil, 0, fmt.Errorf("serve: access to addr %d outside [0,%d)", addr, p.opts.NumBlocks)
 	}
-	sh := p.shards[ShardOf(addr, p.opts.Shards)]
-	r := p.getRequest()
-	r.kind, r.op, r.addr, r.data = kindAccess, op, localAddr(addr, p.opts.Shards), data
-	resp, err := p.submit(ctx, sh, r)
-	return resp.value, resp.leaf, err
+	// first remembers the initial acked primary execution across
+	// mirror-driven retries: a retry re-runs the (idempotent) write so
+	// the data provably lands on whatever table is now authoritative,
+	// but the linearized previous value is the one the FIRST execution
+	// observed — the re-run would see the write's own data.
+	var first *response
+	for {
+		rt := p.router.Load()
+		sh, local, mirror, mirrorLocal, rerr := rt.route(addr)
+		if rerr != nil {
+			return nil, 0, rerr
+		}
+		r := p.getRequest()
+		r.kind, r.op, r.addr, r.data = kindAccess, op, local, data
+		resp, err := p.submit(ctx, sh, r, rt)
+		if err == errRouteChanged {
+			continue
+		}
+		if err != nil || mirror == nil || op != oram.OpWrite {
+			if first != nil && err == nil {
+				resp = *first
+			}
+			return resp.value, resp.leaf, err
+		}
+		if first == nil {
+			cp := resp
+			first = &cp
+		}
+		if merr := p.mirrorWrite(ctx, rt, mirror, mirrorLocal, data); merr != nil {
+			if merr == errRouteChanged {
+				// The table moved between the primary and the mirror
+				// (reshard committed, aborted, or advanced a stripe).
+				// Re-run the whole write against the new table.
+				continue
+			}
+			return nil, 0, merr
+		}
+		return first.value, first.leaf, nil
+	}
+}
+
+// mirrorWrite replicates an acked write into the stripe's old shard
+// during a reshard. Replication is an internal duty, so transient
+// serving errors (full queue, injected-crash recovery) retry in place
+// rather than surfacing a spurious failure for an access whose primary
+// copy already landed; only errRouteChanged (caller re-routes) and hard
+// errors escape.
+func (p *Pool) mirrorWrite(ctx context.Context, rt *routeTable, sh *shard, local oram.Addr, data []byte) error {
+	for {
+		m := p.getRequest()
+		m.kind, m.op, m.addr, m.data = kindAccess, oram.OpWrite, local, data
+		_, err := p.submit(ctx, sh, m, rt)
+		switch {
+		case err == nil:
+			return nil
+		case errors.Is(err, ErrOverloaded):
+			select {
+			case <-time.After(50 * time.Microsecond):
+			case <-ctxDone(ctx):
+				return ctx.Err()
+			}
+		case errors.Is(err, ErrInterrupted):
+			// The mirror shard recovered; the write is idempotent.
+		default:
+			return err
+		}
+	}
+}
+
+// ctxDone tolerates the package's nil-context convention (nil = no
+// deadline, never cancelled).
+func ctxDone(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
 }
 
 // Read performs one oblivious read.
@@ -600,22 +848,35 @@ func (p *Pool) Peek(ctx context.Context, addr uint64) ([]byte, error) {
 	if addr >= p.opts.NumBlocks {
 		return nil, fmt.Errorf("serve: peek at addr %d outside [0,%d)", addr, p.opts.NumBlocks)
 	}
-	sh := p.shards[ShardOf(addr, p.opts.Shards)]
-	r := p.getRequest()
-	r.kind, r.addr = kindPeek, localAddr(addr, p.opts.Shards)
-	resp, err := p.submit(ctx, sh, r)
-	return resp.value, err
+	for {
+		rt := p.router.Load()
+		sh, local, _, _, rerr := rt.route(addr)
+		if rerr != nil {
+			return nil, rerr
+		}
+		r := p.getRequest()
+		r.kind, r.addr = kindPeek, local
+		resp, err := p.submit(ctx, sh, r, rt)
+		if err == errRouteChanged {
+			continue
+		}
+		return resp.value, err
+	}
 }
 
 // Invariants runs every shard's structural invariant checks through the
 // shards' own queues (so they serialize against in-flight rounds) and
-// returns all violations found, prefixed with the shard id.
+// returns all violations found, prefixed with the shard id. During a
+// reshard both shard sets are checked.
 func (p *Pool) Invariants(ctx context.Context) []error {
 	var out []error
-	for _, sh := range p.shards {
+	for _, sh := range p.router.Load().live() {
 		r := p.getRequest()
 		r.kind = kindInvariants
-		resp, err := p.submit(ctx, sh, r)
+		resp, err := p.submit(ctx, sh, r, nil)
+		if err == errRouteChanged {
+			continue // the shard was retired mid-call; its set is gone
+		}
 		if err != nil {
 			out = append(out, fmt.Errorf("serve: shard %d invariants: %w", sh.id, err))
 			continue
@@ -627,18 +888,24 @@ func (p *Pool) Invariants(ctx context.Context) []error {
 	return out
 }
 
-// ArmCrash installs a crash injector on one shard, serialized through
-// its queue like any other request: fire is called at each protocol
-// crash point and returning true simulates the power failure there.
-// Pass nil to disarm.
+// ArmCrash installs a crash injector on one shard of the current
+// serving set, serialized through its queue like any other request:
+// fire is called at each protocol crash point and returning true
+// simulates the power failure there. Pass nil to disarm.
 func (p *Pool) ArmCrash(ctx context.Context, shard int, fire func(oracle.CrashSpec) bool) error {
-	if shard < 0 || shard >= len(p.shards) {
-		return fmt.Errorf("serve: no shard %d (have %d)", shard, len(p.shards))
+	for {
+		rt := p.router.Load()
+		if shard < 0 || shard >= len(rt.shards) {
+			return fmt.Errorf("serve: no shard %d (have %d)", shard, len(rt.shards))
+		}
+		r := p.getRequest()
+		r.kind, r.fire = kindArm, fire
+		_, err := p.submit(ctx, rt.shards[shard], r, rt)
+		if err == errRouteChanged {
+			continue
+		}
+		return err
 	}
-	r := p.getRequest()
-	r.kind, r.fire = kindArm, fire
-	_, err := p.submit(ctx, p.shards[shard], r)
-	return err
 }
 
 // NumBlocks returns the pool's total logical block count.
@@ -650,31 +917,50 @@ func (p *Pool) NumBlocks() uint64 { return p.opts.NumBlocks }
 func (p *Pool) Closed() bool { return p.closed.Load() }
 
 // BlockBytes returns the block payload size in bytes.
-func (p *Pool) BlockBytes() int { return p.shards[0].backend.BlockBytes() }
+func (p *Pool) BlockBytes() int { return p.router.Load().shards[0].backend.BlockBytes() }
 
-// Shards returns the shard count.
-func (p *Pool) Shards() int { return p.opts.Shards }
+// Shards returns the current serving shard count (the old set's, while
+// a reshard is migrating).
+func (p *Pool) Shards() int { return len(p.router.Load().shards) }
+
+// Epoch returns the routing epoch: 0 for a pool that has never been
+// resharded, incremented by each committed Reshard. For durable pools
+// the epoch is committed in the store's TOPOLOGY manifest.
+func (p *Pool) Epoch() uint64 { return p.router.Load().epoch }
+
+// Resharding reports whether a Reshard is migrating stripes right now.
+func (p *Pool) Resharding() bool { return p.router.Load().next != nil }
 
 // Scheme returns the persistence protocol the shards run.
-func (p *Pool) Scheme() config.Scheme { return p.shards[0].backend.Scheme() }
+func (p *Pool) Scheme() config.Scheme { return p.router.Load().shards[0].backend.Scheme() }
 
 // Close drains the pool: no new submits are accepted, every already
 // queued request is executed (crashed rounds recover via §4.3 on the
 // way out), the workers exit, and any backend implementing io.Closer is
 // closed (for file-backed shards that runs the final persist barrier).
-// The context bounds the drain; on expiry the workers keep draining —
-// and the backends still get closed — in the background, but Close
-// returns the context error.
+// An in-flight Reshard is aborted (it observes closed at its next
+// stripe boundary and reverts) before the drain begins. The context
+// bounds the drain; on expiry the workers keep draining — and the
+// backends still get closed — in the background, but Close returns the
+// context error.
 func (p *Pool) Close(ctx context.Context) error {
 	if !p.closed.CompareAndSwap(false, true) {
 		return ErrPoolClosed
 	}
+	// Wait out any in-flight Reshard: it checks closed at every stripe
+	// boundary and aborts, releasing reshardMu with a stable table.
+	p.reshardMu.Lock()
+	defer p.reshardMu.Unlock()
+	shards := p.router.Load().live()
 	// Safe: submitters re-check closed under the shard's read lock
 	// before touching the queue, so taking the write lock here means
 	// nobody can send on a closed channel.
-	for _, sh := range p.shards {
+	for _, sh := range shards {
 		sh.closeMu.Lock()
-		close(sh.queue)
+		if !sh.closed {
+			sh.closed = true
+			close(sh.queue)
+		}
 		sh.closeMu.Unlock()
 	}
 	done := make(chan error, 1)
@@ -683,7 +969,7 @@ func (p *Pool) Close(ctx context.Context) error {
 		// worker has exited keeps that contract.
 		p.wg.Wait()
 		var first error
-		for _, sh := range p.shards {
+		for _, sh := range shards {
 			if c, ok := sh.backend.(io.Closer); ok {
 				if err := c.Close(); err != nil && first == nil {
 					first = fmt.Errorf("serve: shard %d close: %w", sh.id, err)

@@ -52,7 +52,13 @@ type StageStats struct {
 
 // PoolStats aggregates every shard's snapshot.
 type PoolStats struct {
-	Shards []ShardStats `json:"shards"`
+	// Epoch is the routing epoch (bumped by each committed Reshard) and
+	// Resharding reports an in-flight migration; mid-reshard, Shards
+	// holds the serving (old) set and the replacement set is not
+	// snapshotted (its counters fold in once the reshard commits).
+	Epoch      uint64       `json:"epoch"`
+	Resharding bool         `json:"resharding,omitempty"`
+	Shards     []ShardStats `json:"shards"`
 }
 
 // Totals sums the request accounting across shards.
@@ -66,13 +72,20 @@ func (ps PoolStats) Totals() (submitted, rejected, completed, crashes uint64) {
 	return
 }
 
-// Stats snapshots every shard. Safe to call while the pool is serving.
+// Stats snapshots every serving shard. Safe to call while the pool is
+// serving, including mid-reshard (the snapshot covers whichever shard
+// set the current routing table serves from).
 func (p *Pool) Stats() PoolStats {
-	ps := PoolStats{Shards: make([]ShardStats, len(p.shards))}
-	for i, sh := range p.shards {
+	rt := p.router.Load()
+	ps := PoolStats{
+		Epoch:      rt.epoch,
+		Resharding: rt.next != nil,
+		Shards:     make([]ShardStats, len(rt.shards)),
+	}
+	for i, sh := range rt.shards {
 		s := ShardStats{
 			Shard:      sh.id,
-			Blocks:     localBlocks(p.opts.NumBlocks, p.opts.Shards, sh.id),
+			Blocks:     sh.blocks,
 			Submitted:  sh.submitted.Load(),
 			Rejected:   sh.rejected.Load(),
 			Completed:  sh.completed.Load(),

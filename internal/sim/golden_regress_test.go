@@ -7,6 +7,7 @@
 package sim_test
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"testing"
@@ -68,7 +69,7 @@ func TestGoldenDeterminismRegression(t *testing.T) {
 			cfg := config.Default()
 			cfg.Channels = goldenChannels
 			cfg.Seed = sweep.CellSeed(goldenRootSeed, scheme, w.Name, goldenChannels, 0)
-			res, err := sim.Run(scheme, cfg, w, goldenAccesses, goldenLevels)
+			res, err := sim.Simulate(context.Background(), sim.Request{Scheme: scheme, Config: cfg, Workload: w, N: goldenAccesses, Levels: goldenLevels})
 			if err != nil {
 				t.Fatal(err)
 			}

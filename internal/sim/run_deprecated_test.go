@@ -1,0 +1,53 @@
+package sim
+
+// Back-compat contract for the deprecated Run* wrappers: each must stay
+// a thin shim over Simulate with byte-identical results. These are the
+// only test callers allowed to reference the deprecated symbols
+// (cmd/psoram-depgate exempts *deprecated_test.go by name).
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/trace"
+)
+
+// TestSimulateMatchesWrappers pins the consolidation: the deprecated
+// Run* wrappers and direct Simulate calls are the same computation, so a
+// migrated caller sees byte-identical results.
+func TestSimulateMatchesWrappers(t *testing.T) {
+	cfg := config.Default()
+	cfg.Seed = 11
+	w, err := trace.ByName("429.mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := Run(config.SchemePSORAM, cfg, w, 200, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	neu, err := Simulate(context.Background(), Request{
+		Scheme: config.SchemePSORAM, Config: cfg, Workload: w, N: 200, Levels: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old != neu {
+		t.Fatalf("Simulate diverged from Run:\n old %+v\n new %+v", old, neu)
+	}
+
+	oldTC, err := RunThroughCaches(config.SchemeBaseline, cfg, w, 5000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	neuTC, err := Simulate(context.Background(), Request{
+		Scheme: config.SchemeBaseline, Config: cfg, Workload: w, N: 5000, Levels: 10, ThroughCaches: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldTC != neuTC {
+		t.Fatalf("Simulate(ThroughCaches) diverged from RunThroughCaches:\n old %+v\n new %+v", oldTC, neuTC)
+	}
+}

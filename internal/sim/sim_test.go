@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/config"
@@ -20,7 +21,7 @@ func run(t *testing.T, scheme config.Scheme, channels int, n int) Result {
 	t.Helper()
 	cfg := config.Default()
 	cfg.Channels = channels
-	res, err := Run(scheme, cfg, testWorkload(), n, 12)
+	res, err := Simulate(context.Background(), Request{Scheme: scheme, Config: cfg, Workload: testWorkload(), N: n, Levels: 12})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestTreeTopCacheExtension(t *testing.T) {
 	run := func(levels int) Result {
 		cfg := config.Default()
 		cfg.TreeTopCacheLevels = levels
-		res, err := Run(config.SchemePSORAM, cfg, w, 600, 12)
+		res, err := Simulate(context.Background(), Request{Scheme: config.SchemePSORAM, Config: cfg, Workload: w, N: 600, Levels: 12})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -228,7 +229,7 @@ func TestChainWorkOnlyForRecursive(t *testing.T) {
 func TestRunThroughCaches(t *testing.T) {
 	cfg := config.Default()
 	w := testWorkload()
-	res, err := RunThroughCaches(config.SchemePSORAM, cfg, w, 30000, 10)
+	res, err := Simulate(context.Background(), Request{Scheme: config.SchemePSORAM, Config: cfg, Workload: w, N: 30000, Levels: 10, ThroughCaches: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,11 +246,11 @@ func TestRunThroughCaches(t *testing.T) {
 	// High-locality workloads must miss less than streaming ones.
 	gcc, _ := trace.ByName("403.gcc")
 	lbm, _ := trace.ByName("470.lbm")
-	rg, err := RunThroughCaches(config.SchemeBaseline, cfg, gcc, 20000, 10)
+	rg, err := Simulate(context.Background(), Request{Scheme: config.SchemeBaseline, Config: cfg, Workload: gcc, N: 20000, Levels: 10, ThroughCaches: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rl, err := RunThroughCaches(config.SchemeBaseline, cfg, lbm, 20000, 10)
+	rl, err := Simulate(context.Background(), Request{Scheme: config.SchemeBaseline, Config: cfg, Workload: lbm, N: 20000, Levels: 10, ThroughCaches: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,15 +262,15 @@ func TestRunThroughCaches(t *testing.T) {
 func TestRingSchemesTiming(t *testing.T) {
 	cfg := config.Default()
 	w := testWorkload()
-	path, err := Run(config.SchemePSORAM, cfg, w, 900, 12)
+	path, err := Simulate(context.Background(), Request{Scheme: config.SchemePSORAM, Config: cfg, Workload: w, N: 900, Levels: 12})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ringB, err := Run(config.SchemeRingBaseline, cfg, w, 900, 12)
+	ringB, err := Simulate(context.Background(), Request{Scheme: config.SchemeRingBaseline, Config: cfg, Workload: w, N: 900, Levels: 12})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ringPS, err := Run(config.SchemeRingPSORAM, cfg, w, 900, 12)
+	ringPS, err := Simulate(context.Background(), Request{Scheme: config.SchemeRingPSORAM, Config: cfg, Workload: w, N: 900, Levels: 12})
 	if err != nil {
 		t.Fatal(err)
 	}

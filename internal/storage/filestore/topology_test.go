@@ -1,0 +1,147 @@
+package filestore
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestTopologyAbsent(t *testing.T) {
+	topo, err := ReadTopology(t.TempDir())
+	if err != nil || topo != nil {
+		t.Fatalf("ReadTopology on empty dir = %v, %v; want nil, nil (legacy layout)", topo, err)
+	}
+}
+
+func TestTopologyCommitAndRead(t *testing.T) {
+	root := t.TempDir()
+	want := Topology{Epoch: 3, Shards: 7}
+	if err := os.MkdirAll(filepath.Join(root, "epoch-000003"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := CommitTopology(root, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTopology(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || *got != want {
+		t.Fatalf("round-trip = %+v, want %+v", got, want)
+	}
+	// Re-commit (a later epoch) replaces atomically.
+	want2 := Topology{Epoch: 4, Shards: 2}
+	if err := os.MkdirAll(filepath.Join(root, "epoch-000004"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := CommitTopology(root, want2); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadTopology(root)
+	if err != nil || got == nil || *got != want2 {
+		t.Fatalf("re-commit round-trip = %+v, %v; want %+v", got, err, want2)
+	}
+}
+
+func TestTopologyCommitValidation(t *testing.T) {
+	root := t.TempDir()
+	if err := CommitTopology(root, Topology{Epoch: 0, Shards: 4}); err == nil {
+		t.Error("epoch-0 commit accepted")
+	}
+	// Committing without the epoch directory in place must fail: the
+	// manifest may never name stores that do not exist.
+	if err := CommitTopology(root, Topology{Epoch: 1, Shards: 4}); err == nil {
+		t.Error("commit without epoch dir accepted")
+	}
+}
+
+// TestTopologyCorruption: every corruption of the manifest surfaces as
+// ErrTopologyCorrupt — never a silent fallback to the legacy layout,
+// which would scramble stripe assembly.
+func TestTopologyCorruption(t *testing.T) {
+	cases := map[string]string{
+		"truncated":   "psoram-topology v1 epoch=1",
+		"bad-crc":     "psoram-topology v1 epoch=1 shards=4 crc=deadbeef",
+		"bad-body":    "psoram-topology v9 epoch=x shards=y crc=00000000",
+		"zero-epoch":  "psoram-topology v1 epoch=0 shards=4",
+		"zero-shards": "psoram-topology v1 epoch=2 shards=0",
+		"empty":       "",
+		"garbage":     "\x00\xff\x17garbage",
+		"crc-not-hex": "psoram-topology v1 epoch=1 shards=4 crc=zzzzzzzz",
+	}
+	for name, content := range cases {
+		t.Run(name, func(t *testing.T) {
+			root := t.TempDir()
+			body := content
+			// The zero-epoch/zero-shards cases need a VALID checksum so the
+			// semantic validation (not the crc) is what rejects them.
+			if name == "zero-epoch" || name == "zero-shards" {
+				body = fmt.Sprintf("%s crc=%08x\n", body, crc32.Checksum([]byte(body), castagnoli))
+			}
+			if err := os.WriteFile(filepath.Join(root, topologyFile), []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			topo, err := ReadTopology(root)
+			if !errors.Is(err, ErrTopologyCorrupt) {
+				t.Fatalf("ReadTopology = %+v, %v; want ErrTopologyCorrupt", topo, err)
+			}
+		})
+	}
+}
+
+func TestCleanStale(t *testing.T) {
+	root := t.TempDir()
+	mk := func(parts ...string) {
+		t.Helper()
+		if err := os.MkdirAll(filepath.Join(append([]string{root}, parts...)...), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("epoch-000001", "shard-000") // stale: not the committed epoch
+	mk("epoch-000002", "shard-000") // committed
+	mk("shard-000")                 // legacy leftovers under a committed topology
+	mk("shard-001")
+	topo := &Topology{Epoch: 2, Shards: 1}
+	if err := CleanStale(root, topo); err != nil {
+		t.Fatal(err)
+	}
+	for _, gone := range []string{"epoch-000001", "shard-000", "shard-001"} {
+		if _, err := os.Stat(filepath.Join(root, gone)); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("%s survived CleanStale (err=%v)", gone, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(root, "epoch-000002", "shard-000")); err != nil {
+		t.Errorf("committed epoch store was touched: %v", err)
+	}
+
+	// Legacy layout (no topology): flat shard dirs stay, uncommitted
+	// epoch debris still goes.
+	root2 := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(root2, "shard-000"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(root2, "epoch-000001"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := CleanStale(root2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root2, "shard-000")); err != nil {
+		t.Errorf("legacy shard dir removed without a committed topology: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(root2, "epoch-000001")); !errors.Is(err, os.ErrNotExist) {
+		t.Error("uncommitted epoch dir survived legacy CleanStale")
+	}
+}
+
+func TestShardDirLayout(t *testing.T) {
+	if got := ShardDir("/r", 0, 2); got != filepath.Join("/r", "shard-002") {
+		t.Errorf("legacy ShardDir = %q", got)
+	}
+	if got := ShardDir("/r", 3, 11); got != filepath.Join("/r", "epoch-000003", "shard-011") {
+		t.Errorf("epoch ShardDir = %q", got)
+	}
+}

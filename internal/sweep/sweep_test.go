@@ -104,7 +104,7 @@ func TestCellIsolatedFromGrid(t *testing.T) {
 		cfg := config.Default()
 		cfg.Channels = cell.Cell.Channels
 		cfg.Seed = cell.Cell.Seed
-		alone, err := sim.Run(cell.Cell.Scheme, cfg, cell.Cell.Workload, g.Accesses, g.Levels)
+		alone, err := sim.Simulate(context.Background(), sim.Request{Scheme: cell.Cell.Scheme, Config: cfg, Workload: cell.Cell.Workload, N: g.Accesses, Levels: g.Levels})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -340,7 +340,7 @@ func TestEmitters(t *testing.T) {
 // mem, nvm, rng, and trace share no mutable state.
 func TestConcurrentSystemsAreIndependent(t *testing.T) {
 	w := trace.Table4()[0]
-	want, err := sim.Run(config.SchemePSORAM, config.Default(), w, 200, 8)
+	want, err := sim.Simulate(context.Background(), sim.Request{Scheme: config.SchemePSORAM, Config: config.Default(), Workload: w, N: 200, Levels: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -350,7 +350,7 @@ func TestConcurrentSystemsAreIndependent(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			got, err := sim.Run(config.SchemePSORAM, config.Default(), w, 200, 8)
+			got, err := sim.Simulate(context.Background(), sim.Request{Scheme: config.SchemePSORAM, Config: config.Default(), Workload: w, N: 200, Levels: 8})
 			if err != nil {
 				errs[i] = err
 				return

@@ -352,6 +352,9 @@ type Pool = serve.Pool
 
 // PoolOptions sizes a Pool (shard count, total blocks, scheme, queue
 // depth, batch cap).
+//
+// Deprecated: use NewPool with functional options (WithShards,
+// WithQueueDepth, ...), which covers every field here.
 type PoolOptions = serve.Options
 
 // PoolStats and ShardStats snapshot a serving pool's counters.
@@ -371,13 +374,109 @@ var (
 	// failure; the shard has already recovered and the op may be
 	// re-issued.
 	ErrInterrupted = serve.ErrInterrupted
+	// ErrResharding reports a request that hit a keyspace stripe frozen
+	// by an in-flight Pool.Reshard; retry after brief backoff — every
+	// other stripe keeps serving.
+	ErrResharding = serve.ErrResharding
+	// ErrReshardBusy reports a Pool.Reshard while another is running.
+	ErrReshardBusy = serve.ErrReshardBusy
 )
 
-// Serve builds and starts a concurrent serving pool:
+// PoolOption configures NewPool.
+type PoolOption func(*serve.Options)
+
+// WithShards sets the number of independent shard stores (default 4).
+// For a durable pool whose directory holds a committed reshard
+// topology, the on-disk topology wins and this value is ignored.
+func WithShards(n int) PoolOption {
+	return func(o *serve.Options) { o.Shards = n }
+}
+
+// WithPoolScheme selects the ORAM scheme each shard runs (default
+// PS-ORAM).
+func WithPoolScheme(s Scheme) PoolOption {
+	return func(o *serve.Options) { o.Scheme = s }
+}
+
+// WithPoolLevels forces each shard's tree height (default: derived from
+// the shard's block count).
+func WithPoolLevels(levels int) PoolOption {
+	return func(o *serve.Options) { o.Levels = levels }
+}
+
+// WithPoolSeed sets the pool RNG root; each shard derives an
+// independent stream from it, so pools built from the same seed are
+// replicas.
+func WithPoolSeed(seed uint64) PoolOption {
+	return func(o *serve.Options) { o.Seed = seed }
+}
+
+// WithPoolConfig overrides the base configuration (NVM timing, WPQ
+// sizes, block size).
+func WithPoolConfig(cfg Config) PoolOption {
+	return func(o *serve.Options) { o.Cfg = &cfg }
+}
+
+// WithQueueDepth bounds each shard's request queue (default 64); a full
+// queue rejects with ErrOverloaded.
+func WithQueueDepth(n int) PoolOption {
+	return func(o *serve.Options) { o.QueueDepth = n }
+}
+
+// WithMaxBatch caps how many queued requests one protocol round
+// coalesces (default 8).
+func WithMaxBatch(n int) PoolOption {
+	return func(o *serve.Options) { o.MaxBatch = n }
+}
+
+// WithPoolStorePath backs every shard with a durable on-disk store
+// under dir (create-or-recover, including adoption of a committed
+// reshard topology; flat Path ORAM schemes only).
+func WithPoolStorePath(dir string) PoolOption {
+	return func(o *serve.Options) { o.StoreDir = dir }
+}
+
+// WithPoolFactory overrides backend construction (tests, custom
+// schemes). The factory is handed each shard's index and local block
+// count.
+func WithPoolFactory(f serve.Factory) PoolOption {
+	return func(o *serve.Options) { o.Factory = f }
+}
+
+// WithPoolCryptoWorkers sizes each shard controller's seal fan-out
+// pool; 0 or 1 keeps sealing inline on the shard worker.
+func WithPoolCryptoWorkers(n int) PoolOption {
+	return func(o *serve.Options) { o.CryptoWorkers = n }
+}
+
+// WithPoolPipelineDepth controls intra-shard protocol pipelining
+// (default 4; 1 disables lookahead and read-combining entirely).
+func WithPoolPipelineDepth(d int) PoolOption {
+	return func(o *serve.Options) { o.PipelineDepth = d }
+}
+
+// NewPool builds and starts a concurrent serving pool over numBlocks
+// logical blocks:
 //
-//	pool, err := psoram.Serve(psoram.PoolOptions{Shards: 4, NumBlocks: 4096})
+//	pool, err := psoram.NewPool(4096, psoram.WithShards(4))
 //	defer pool.Close(ctx)
 //	v, err := pool.Read(ctx, 17)
+//
+// A live pool re-stripes online with pool.Reshard(ctx, n): unaffected
+// keyspace stripes keep serving, migrating ones answer ErrResharding
+// until their move commits, and on a durable pool the new topology is
+// crash-atomic (see DESIGN.md, "Elastic resharding").
+func NewPool(numBlocks uint64, opts ...PoolOption) (*Pool, error) {
+	o := serve.Options{NumBlocks: numBlocks}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return serve.New(o)
+}
+
+// Serve builds and starts a concurrent serving pool.
+//
+// Deprecated: use NewPool with functional options.
 func Serve(opts PoolOptions) (*Pool, error) { return serve.New(opts) }
 
 // ---------------------------------------------------------------------

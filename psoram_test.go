@@ -11,7 +11,7 @@ func newStore(t *testing.T, scheme Scheme) *Store {
 	t.Helper()
 	cfg := DefaultConfig()
 	cfg.StashEntries = 150
-	s, err := NewStore(StoreOptions{Scheme: scheme, NumBlocks: 100, Config: &cfg})
+	s, err := New(100, WithScheme(scheme), WithConfig(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -19,8 +19,8 @@ func newStore(t *testing.T, scheme Scheme) *Store {
 }
 
 // TestNewFunctionalOptions pins the options constructor: each option
-// lands where the deprecated positional struct used to put it, and the
-// deprecated wrapper builds an identical store.
+// lands where the deprecated positional struct used to put it (the
+// wrapper-equivalence check lives in psoram_deprecated_test.go).
 func TestNewFunctionalOptions(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.StashEntries = 150
@@ -45,35 +45,6 @@ func TestNewFunctionalOptions(t *testing.T) {
 	}
 	if err := s2.Recover(); err != nil {
 		t.Fatal(err)
-	}
-
-	// The deprecated constructor is a wrapper over New: same behaviour.
-	old, err := NewStore(StoreOptions{Scheme: PSORAM, NumBlocks: 64, Config: &cfg, Seed: 11})
-	if err != nil {
-		t.Fatal(err)
-	}
-	neu, err := New(64, WithScheme(PSORAM), WithConfig(cfg), WithRNGSeed(11))
-	if err != nil {
-		t.Fatal(err)
-	}
-	data := make([]byte, old.BlockSize())
-	copy(data, "same construction")
-	if err := old.Write(5, data); err != nil {
-		t.Fatal(err)
-	}
-	if err := neu.Write(5, data); err != nil {
-		t.Fatal(err)
-	}
-	a, err := old.Read(5)
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := neu.Read(5)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(a, b) || old.Cycles() != neu.Cycles() {
-		t.Fatalf("NewStore and New diverged: %q/%d vs %q/%d", a, old.Cycles(), b, neu.Cycles())
 	}
 }
 
@@ -103,14 +74,14 @@ func TestStoreReadWrite(t *testing.T) {
 }
 
 func TestStoreDefaults(t *testing.T) {
-	s, err := NewStore(StoreOptions{NumBlocks: 50})
+	s, err := New(50)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if s.Scheme() != PSORAM {
 		t.Fatalf("default scheme = %v, want PSORAM", s.Scheme())
 	}
-	if _, err := NewStore(StoreOptions{}); err == nil {
+	if _, err := New(0); err == nil {
 		t.Fatal("NumBlocks unset should error")
 	}
 }
@@ -269,7 +240,7 @@ func TestStoreWithIntegrity(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.StashEntries = 150
 	cfg.Integrity = true
-	s, err := NewStore(StoreOptions{Scheme: PSORAM, NumBlocks: 100, Config: &cfg})
+	s, err := New(100, WithScheme(PSORAM), WithConfig(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -321,7 +292,7 @@ func TestRunEveryExperimentTiny(t *testing.T) {
 func TestStoreSaveLoad(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.StashEntries = 150
-	s, err := NewStore(StoreOptions{Scheme: PSORAM, NumBlocks: 100, Config: &cfg})
+	s, err := New(100, WithScheme(PSORAM), WithConfig(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -348,10 +319,10 @@ func TestStoreSaveLoad(t *testing.T) {
 }
 
 // TestServeFacade exercises the top-level serving-pool exposure:
-// concurrent reads and writes through psoram.Serve, typed error
+// concurrent reads and writes through psoram.NewPool, typed error
 // surfaces, and per-shard stats.
 func TestServeFacade(t *testing.T) {
-	pool, err := Serve(PoolOptions{Shards: 4, NumBlocks: 128, Seed: 1, Levels: 6})
+	pool, err := NewPool(128, WithShards(4), WithPoolSeed(1), WithPoolLevels(6))
 	if err != nil {
 		t.Fatal(err)
 	}
