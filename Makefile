@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check depgate sweep-smoke crash-matrix oracle-smoke serve-smoke net-smoke kill9-smoke pipeline-smoke reshard-smoke fuzz-smoke bench-oracle bench-sim bench-serve bench-store bench-net bench-compare profile perf-smoke bless-golden clean
+.PHONY: all build vet test race check depgate sweep-smoke crash-matrix oracle-smoke serve-smoke net-smoke kill9-smoke pipeline-smoke reshard-smoke group-smoke fuzz-smoke bench-oracle bench-sim bench-serve bench-store bench-net bench-compare profile perf-smoke bless-golden clean
 
 all: check
 
@@ -26,6 +26,7 @@ check: build vet depgate
 	$(GO) test -short -race ./...
 	$(MAKE) pipeline-smoke
 	$(MAKE) reshard-smoke
+	$(MAKE) group-smoke
 
 # depgate refuses references to Deprecated: symbols outside their
 # declaring file and *deprecated_test.go wrapper tests — the old
@@ -104,6 +105,22 @@ reshard-smoke: build
 	$(GO) run -race ./cmd/psoram-serve -shards 4 -clients 4 -ops 300 -blocks 512 -levels 6 \
 		-check -reshard 6
 
+# group-smoke proves group-commit durability under the race detector:
+# the GroupCommit(1) on-disk byte-equivalence gate, the grouped commit
+# ticket/equivalence suite, the async-barrier epoch turnover and stray
+# sweep tests, the group kill -9 torture (acks only from commit
+# callbacks; -short slice) plus its mutation check, the serve-layer
+# group tests, and an oracle-checked CLI run with group commit armed on
+# a durable pool.
+group-smoke: build
+	$(GO) test -race -count=1 -run 'TestGroupCommit|TestAsync' ./internal/core ./internal/storage/filestore
+	$(GO) test -race -short -count=1 -run 'TestKill9Group' ./internal/storage/filestore
+	$(GO) test -race -count=1 -run 'TestPoolGroupCommit' ./internal/serve
+	rm -rf /tmp/psoram-group-smoke-store
+	$(GO) run -race ./cmd/psoram-serve -shards 2 -clients 4 -ops 150 -blocks 256 -levels 6 \
+		-check -store /tmp/psoram-group-smoke-store -group-commit 8 -group-delay 2ms && \
+		rm -rf /tmp/psoram-group-smoke-store
+
 # fuzz-smoke gives each oracle fuzz target a short coverage-guided run
 # (the CI budget; raise FUZZTIME locally for a deeper session).
 FUZZTIME ?= 30s
@@ -166,9 +183,12 @@ bench-net:
 # run-to-run noise). Compare any two pins directly with
 # `go run ./cmd/psoram-benchcmp OLD.json NEW.json`.
 BENCH_NEW ?= /tmp/BENCH_serve.new.json
+BENCH_STORE_NEW ?= /tmp/BENCH_store.new.json
 bench-compare:
 	$(GO) test -run '^$$' -bench 'BenchmarkPoolThroughput|^BenchmarkStoreAccess$$' -benchmem -benchtime=1s -json ./internal/serve . > $(BENCH_NEW)
 	$(GO) run ./cmd/psoram-benchcmp -threshold 15 BENCH_serve.json $(BENCH_NEW)
+	$(GO) test -run '^$$' -bench '^BenchmarkFileStoreAccess$$|^BenchmarkStoreAccess$$' -benchmem -benchtime=1s -json . > $(BENCH_STORE_NEW)
+	$(GO) run ./cmd/psoram-benchcmp -threshold 40 BENCH_store.json $(BENCH_STORE_NEW)
 
 # profile captures CPU + heap pprof for a representative sweep via the
 # psoram-sweep -profile flag; inspect with `go tool pprof profiles/cpu.pprof`.

@@ -158,30 +158,40 @@ func BenchmarkStoreAccess(b *testing.B) {
 }
 
 // BenchmarkFileStoreAccess is BenchmarkStoreAccess over the durable
-// file backend: identical keyspace, tree shape, and scheme, but every
-// access ends with the persist barrier (chunk writes + fsyncs + version
-// flip). The gap between the two IS the price of crash consistency on
-// this machine's storage stack; `make bench-store` pins it into
-// BENCH_store.json.
+// file backend: identical keyspace, tree shape, and scheme, but the
+// accesses end with the persist barrier (chunk writes + fsyncs +
+// version flip). group=1 is the per-access serial barrier — the gap to
+// BenchmarkStoreAccess IS the price of crash consistency on this
+// machine's storage stack. group=4/16 amortize that barrier across a
+// commit group (one barrier per G accesses, run on the background
+// persist worker); the trailing FlushCommits keeps the op count honest.
+// `make bench-store` pins all three into BENCH_store.json.
 func BenchmarkFileStoreAccess(b *testing.B) {
-	s, err := New(512, WithScheme(PSORAM), WithLevels(8), WithRNGSeed(1),
-		WithStorePath(b.TempDir()+"/store"))
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer s.Close()
-	buf := make([]byte, s.BlockSize())
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		addr := (uint64(i) * 2654435761) % 512
-		if i%2 == 0 {
-			if err := s.Write(addr, buf); err != nil {
+	for _, g := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("group=%d", g), func(b *testing.B) {
+			s, err := New(512, WithScheme(PSORAM), WithLevels(8), WithRNGSeed(1),
+				WithStorePath(b.TempDir()+"/store"), WithGroupCommit(g, 0))
+			if err != nil {
 				b.Fatal(err)
 			}
-		} else if _, err := s.Read(addr); err != nil {
-			b.Fatal(err)
-		}
+			defer s.Close()
+			buf := make([]byte, s.BlockSize())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				addr := (uint64(i) * 2654435761) % 512
+				if i%2 == 0 {
+					if err := s.Write(addr, buf); err != nil {
+						b.Fatal(err)
+					}
+				} else if _, err := s.Read(addr); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := s.FlushCommits(); err != nil {
+				b.Fatal(err)
+			}
+		})
 	}
 }
 

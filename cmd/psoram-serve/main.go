@@ -49,6 +49,8 @@ func main() {
 		storeDir   = flag.String("store", "", "back every shard with a durable on-disk store under DIR (create-or-recover; flat schemes only)")
 		cryptoW    = flag.Int("crypto-workers", 0, "per-shard seal fan-out workers (0/1 = inline serial sealing)")
 		pipeline   = flag.Int("pipeline-depth", 0, "intra-shard pipelining depth (1 = strict serial protocol, 0 = default 4)")
+		groupOps   = flag.Int("group-commit", 0, "batch each durable shard's persist barrier across up to N accesses (0/1 = serial per-access barrier)")
+		groupDelay = flag.Duration("group-delay", 0, "max time an idle shard holds an open commit group (0 = small default; needs -group-commit > 1)")
 		reshardTo  = flag.Int("reshard", 0, "re-stripe the live pool to N shards once half the ops have completed (0 = off)")
 	)
 	flag.Parse()
@@ -70,6 +72,7 @@ func main() {
 		psoram.WithPoolStorePath(*storeDir),
 		psoram.WithPoolCryptoWorkers(*cryptoW),
 		psoram.WithPoolPipelineDepth(*pipeline),
+		psoram.WithPoolGroupCommit(*groupOps, *groupDelay),
 	)
 	if err != nil {
 		fatal(err)
@@ -263,6 +266,9 @@ func main() {
 	fmt.Println(st.Table())
 	if stages := st.StageTable(); stages != nil {
 		fmt.Println(stages)
+	}
+	if groups := st.GroupTable(); groups != nil {
+		fmt.Println(groups)
 	}
 	done := completed.Load()
 	fmt.Printf("\n%d clients x %d ops on %d shards (%s, %d blocks): %d ops in %v (%.0f ops/s wall)\n",

@@ -59,6 +59,8 @@ func main() {
 		reshardTo  = flag.Int("reshard", 0, "admin: with -addr, reshard the remote server to N shards and exit; when serving, SIGHUP reshards the live pool to N")
 		cryptoW    = flag.Int("crypto-workers", 0, "per-shard seal fan-out workers (0/1 = inline serial sealing)")
 		pipeline   = flag.Int("pipeline-depth", 0, "intra-shard pipelining depth (1 = strict serial protocol, 0 = default 4)")
+		groupOps   = flag.Int("group-commit", 0, "batch each durable shard's persist barrier across up to N accesses (0/1 = serial per-access barrier)")
+		groupDelay = flag.Duration("group-delay", 0, "max time an idle shard holds an open commit group (0 = small default; needs -group-commit > 1)")
 		drainWait  = flag.Duration("drain", 30*time.Second, "graceful drain budget on SIGTERM")
 
 		// Load-mode flags.
@@ -90,7 +92,7 @@ func main() {
 		fmt.Printf("psoram-server: resharded to %d shards (epoch %d)\n", newShards, epoch)
 	case *self:
 		pool, srv, ln := startServer(*listen, *shards, *blocks, *levels, *schemeName, *seed,
-			*queue, *batch, *storeDir, *inflight, *retryAfter, *crashEvery, *cryptoW, *pipeline)
+			*queue, *batch, *storeDir, *inflight, *retryAfter, *crashEvery, *cryptoW, *pipeline, *groupOps, *groupDelay)
 		serveDone := make(chan error, 1)
 		go func() { serveDone <- srv.Serve(ln) }()
 		ok := runLoad(ln.Addr().String(), *conns, *rate, *duration, *writeRatio, *slo, *strictSLO, *check, *jsonOut, *seed)
@@ -111,7 +113,7 @@ func main() {
 		}
 	default:
 		pool, srv, ln := startServer(*listen, *shards, *blocks, *levels, *schemeName, *seed,
-			*queue, *batch, *storeDir, *inflight, *retryAfter, *crashEvery, *cryptoW, *pipeline)
+			*queue, *batch, *storeDir, *inflight, *retryAfter, *crashEvery, *cryptoW, *pipeline, *groupOps, *groupDelay)
 		fmt.Printf("psoram-server: serving %d blocks on %d shards (%s) at %s\n",
 			*blocks, *shards, *schemeName, ln.Addr())
 		sig := make(chan os.Signal, 1)
@@ -151,7 +153,8 @@ func main() {
 // startServer builds the pool and front-end and binds the listener.
 func startServer(listen string, shards int, blocks uint64, levels int, schemeName string,
 	seed uint64, queue, batch int, storeDir string, inflight int,
-	retryAfter time.Duration, crashEvery, cryptoWorkers, pipelineDepth int) (*serve.Pool, *netserve.Server, net.Listener) {
+	retryAfter time.Duration, crashEvery, cryptoWorkers, pipelineDepth, groupOps int,
+	groupDelay time.Duration) (*serve.Pool, *netserve.Server, net.Listener) {
 	scheme, err := parseScheme(schemeName)
 	if err != nil {
 		fatal(err)
@@ -166,6 +169,7 @@ func startServer(listen string, shards int, blocks uint64, levels int, schemeNam
 		psoram.WithPoolStorePath(storeDir),
 		psoram.WithPoolCryptoWorkers(cryptoWorkers),
 		psoram.WithPoolPipelineDepth(pipelineDepth),
+		psoram.WithPoolGroupCommit(groupOps, groupDelay),
 	)
 	if err != nil {
 		fatal(err)

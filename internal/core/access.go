@@ -15,15 +15,16 @@ import (
 // Wall-time stage indices for StageNanos: where an access's real time
 // goes, as opposed to the simulated NVM cycles the timing model tracks.
 const (
-	StageLoad   = 0 // path fetch + header/payload decode
-	StageCrypto = 1 // eviction seal AES (near-zero under lazy seal)
-	StageEvict  = 2 // eviction planning + batch staging
-	StageSeal   = 3 // batch commit + write-back bookkeeping
-	NumStages   = 4
+	StageLoad    = 0 // path fetch + header/payload decode
+	StageCrypto  = 1 // eviction seal AES (near-zero under lazy seal)
+	StageEvict   = 2 // eviction planning + batch staging
+	StageSeal    = 3 // batch commit + write-back bookkeeping
+	StagePersist = 4 // durable persist barrier (fsync; enqueue cost under group commit)
+	NumStages    = 5
 )
 
 // StageNames labels StageNanos indices for display layers.
-var StageNames = [NumStages]string{"load", "crypto", "evict", "seal"}
+var StageNames = [NumStages]string{"load", "crypto", "evict", "seal", "persist"}
 
 // StageNanos returns cumulative wall nanoseconds per protocol stage.
 // Serving layers difference consecutive snapshots to build per-access
@@ -135,12 +136,16 @@ func (c *Controller) Access(op oram.Op, addr oram.Addr, data []byte) (Result, er
 	if err != nil {
 		return res, err
 	}
-	// Durable backend: commit this access's mutations with one persist
-	// barrier, so the on-disk state only transitions between accesses. An
-	// interrupted access never reaches this point and leaves the previous
-	// boundary committed.
+	// Durable backend: commit this access's mutations — with one persist
+	// barrier per access by default, or into the open commit group under
+	// GroupCommit — so the on-disk state only transitions between access
+	// boundaries. An interrupted access never reaches this point and
+	// leaves the previous boundary committed.
 	if c.storage != nil {
-		if perr := c.persistDurable(); perr != nil {
+		c.stageMark()
+		perr := c.commitDurable()
+		c.stageAdd(StagePersist)
+		if perr != nil {
 			return res, perr
 		}
 	}

@@ -149,8 +149,22 @@ type Controller struct {
 	// stageNanos accumulates wall time per protocol stage (see the
 	// stage* constants): the serving layer turns deltas into per-stage
 	// latency histograms. tMark is the stage cursor (stageMark/stageAdd).
-	stageNanos [4]int64
+	stageNanos [NumStages]int64
 	tMark      time.Time
+
+	// Group commit (see GroupCommit in Options): group is the configured
+	// thresholds; ticket is the open group's CommitTicket (nil when no
+	// group is open) and groupOps the accesses it covers so far.
+	// lastTicket is the ticket covering the most recently completed
+	// access — OnCommit registers there, so an access that itself closed
+	// the group still waits for that group's barrier. onGroupCommit, if
+	// set, observes every flushed group (ops covered, barrier wall time);
+	// it runs on the storage backend's persist worker.
+	group        GroupCommit
+	ticket       *CommitTicket
+	lastTicket   *CommitTicket
+	groupOps     int
+	onGroupCommit func(ops int, persistNanos int64)
 
 	// prefetch caches the decoded headers of the next expected access's
 	// path, validated per bucket against the image's write sequence. A
@@ -215,6 +229,24 @@ type Options struct {
 	// to the serial path); N > 1 forks N engines and chunks eviction
 	// seals across them.
 	CryptoWorkers int
+	// GroupCommit batches the durable persist barrier across accesses
+	// (ignored without a durable backend).
+	GroupCommit GroupCommit
+}
+
+// GroupCommit tunes durable group commit: instead of one persist
+// barrier per access, accesses accumulate into a commit group that
+// flushes as one barrier once MaxOps accesses have joined (or earlier
+// via FlushCommits/Close). MaxOps <= 1 keeps the per-access serial
+// barrier, byte-identical to the default. An access against a grouped
+// controller returns BEFORE its mutations are durable; callers that ack
+// must hold the ack on OnCommit. MaxDelay bounds how long an idle open
+// group may wait — the controller is single-threaded, so enforcement
+// belongs to the layer that owns the thread (internal/serve flushes an
+// idle shard's group after MaxDelay).
+type GroupCommit struct {
+	MaxOps   int
+	MaxDelay time.Duration
 }
 
 // New builds a controller for the scheme. cfg supplies Z, stash size,
@@ -359,12 +391,17 @@ func newController(scheme config.Scheme, cfg config.Config, opts Options, attach
 	c.pool = cryptoeng.NewPool(oc.Engine, workers)
 	c.sealRangeFn = c.sealRange
 	c.hPfHit = c.counters.Handle("core.prefetch_hits")
-	if opts.Storage == nil && c.Merkle == nil {
-		// In-memory, non-integrity image: arm the lazy-seal overlay. The
-		// controller is the only writer and re-reads its own plaintext, so
+	c.group = opts.GroupCommit
+	if c.Merkle == nil {
+		// Non-integrity image: arm the lazy-seal overlay. The controller
+		// is the only writer and re-reads its own plaintext, so
 		// steady-state evictions commit descriptors and skip the AES; any
 		// observer of the sealed bytes (snapshots, equivalence tests) gets
-		// them materialized byte-identically on demand.
+		// them materialized byte-identically on demand. Durable backends
+		// serialize from the underlying store, so persistDurable runs a
+		// materialization barrier (MaterializePending) before every
+		// persist, which mirrors the overlay into the store and makes the
+		// on-disk image byte-identical to eager sealing.
 		c.ORAM.Image.EnableLazySeal(oc.Engine)
 	}
 	return c, nil

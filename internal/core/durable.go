@@ -19,6 +19,13 @@ import (
 // set, the image is re-hashed and verified against the stored trusted
 // root. The controller takes ownership of st.
 func Open(cfg config.Config, st DurableStorage) (*Controller, error) {
+	return openWith(cfg, st, Options{})
+}
+
+// openWith is Open plus runtime tuning knobs: geometry always comes
+// from the backend, but execution-only options (crypto fan-out, group
+// commit) are the caller's — they are not durable state.
+func openWith(cfg config.Config, st DurableStorage, runtime Options) (*Controller, error) {
 	g := st.Geometry()
 	scheme := config.Scheme(g.Scheme)
 	if err := storageSupported(scheme); err != nil {
@@ -26,7 +33,8 @@ func Open(cfg config.Config, st DurableStorage) (*Controller, error) {
 	}
 	cfg.BlockBytes = g.BlockBytes
 	cfg.Z = g.Z
-	opts := Options{NumBlocks: g.NumBlocks, Levels: g.Levels, Storage: st}
+	opts := runtime
+	opts.NumBlocks, opts.Levels, opts.Storage = g.NumBlocks, g.Levels, st
 	c, err := newController(scheme, cfg, opts, true)
 	if err != nil {
 		return nil, err
@@ -85,7 +93,7 @@ func NewDurable(scheme config.Scheme, cfg config.Config, opts Options, dir strin
 		if opts.Levels != 0 && opts.Levels != g.Levels {
 			return nil, false, fmt.Errorf("core: store at %s holds a %d-level tree, not %d", dir, g.Levels, opts.Levels)
 		}
-		c, err := Open(cfg, st)
+		c, err := openWith(cfg, st, opts)
 		if err != nil {
 			return nil, false, err
 		}
@@ -114,7 +122,9 @@ func NewDurable(scheme config.Scheme, cfg config.Config, opts Options, dir strin
 		if err != nil {
 			return nil, false, err
 		}
-		c, err := New(scheme, cfg, Options{NumBlocks: opts.NumBlocks, Levels: levels, Storage: st})
+		copts := opts
+		copts.Levels, copts.Storage = levels, st
+		c, err := New(scheme, cfg, copts)
 		if err != nil {
 			return nil, false, err
 		}

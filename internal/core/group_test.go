@@ -1,0 +1,228 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/oram"
+)
+
+// diskImage reads every file under dir into a relpath -> contents map,
+// so two stores can be compared byte for byte.
+func diskImage(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	img := make(map[string][]byte)
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		img[rel] = b
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func runGroupTraffic(t *testing.T, c *Controller, ops int, seed uint64) map[oram.Addr][]byte {
+	t.Helper()
+	ref := make(map[oram.Addr][]byte)
+	r := &lcg{s: seed}
+	for i := 0; i < ops; i++ {
+		addr := oram.Addr(r.n(100))
+		if r.n(3) == 0 {
+			if _, err := c.Access(oram.OpRead, addr, nil); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		v := blockVal(addr, i, 64)
+		if _, err := c.Access(oram.OpWrite, addr, v); err != nil {
+			t.Fatal(err)
+		}
+		ref[addr] = v
+	}
+	return ref
+}
+
+// TestGroupCommitSize1ByteIdentical: GroupCommit{MaxOps: 1} must be the
+// serial per-access barrier, bit for bit — same seed, same op stream,
+// byte-identical on-disk trees. This is the acceptance gate that lets
+// group size be a pure tuning knob.
+func TestGroupCommitSize1ByteIdentical(t *testing.T) {
+	dirs := [2]string{filepath.Join(t.TempDir(), "serial"), filepath.Join(t.TempDir(), "group1")}
+	opts := [2]Options{
+		{NumBlocks: 100, Levels: 5},
+		{NumBlocks: 100, Levels: 5, GroupCommit: GroupCommit{MaxOps: 1}},
+	}
+	for i := range dirs {
+		c, _, err := NewDurable(config.SchemePSORAM, testCfg(), opts[i], dirs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		runGroupTraffic(t, c, 150, 99)
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	serial, group1 := diskImage(t, dirs[0]), diskImage(t, dirs[1])
+	if len(serial) != len(group1) {
+		t.Fatalf("file counts differ: serial %d, group1 %d", len(serial), len(group1))
+	}
+	for rel, want := range serial {
+		got, ok := group1[rel]
+		if !ok {
+			t.Fatalf("group1 store missing %s", rel)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s differs between serial and GroupCommit{MaxOps:1} stores", rel)
+		}
+	}
+}
+
+// TestGroupCommitEquivalence: grouped barriers change when state hits
+// disk, never what state. For several group sizes, run the same stream,
+// close (which flushes the tail group), reopen, and require every
+// address to read back its last written value — plus full operability
+// after recovery.
+func TestGroupCommitEquivalence(t *testing.T) {
+	for _, g := range []int{2, 4, 16} {
+		t.Run(fmt.Sprintf("group=%d", g), func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "store")
+			opts := Options{NumBlocks: 100, Levels: 5, GroupCommit: GroupCommit{MaxOps: g}}
+			c, _, err := NewDurable(config.SchemePSORAM, testCfg(), opts, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := runGroupTraffic(t, c, 150, uint64(1000+g))
+			// A mid-stream manual flush must compose with the automatic
+			// MaxOps flushes.
+			if err := c.FlushCommits(); err != nil {
+				t.Fatal(err)
+			}
+			ref2 := runGroupTraffic(t, c, 50, uint64(2000+g))
+			for a, v := range ref2 {
+				ref[a] = v
+			}
+			if err := c.Close(); err != nil {
+				t.Fatal(err)
+			}
+			loaded, created, err := NewDurable(config.SchemePSORAM, testCfg(), opts, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if created {
+				t.Fatal("existing store reported as created")
+			}
+			defer loaded.Close()
+			for a, want := range ref {
+				got, err := loaded.Peek(a)
+				if err != nil {
+					t.Fatalf("addr %d unreadable after reopen: %v", a, err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("addr %d = %.12q, want %.12q", a, got, want)
+				}
+			}
+			if _, err := loaded.Access(oram.OpWrite, 7, blockVal(7, 9999, 64)); err != nil {
+				t.Fatalf("recovered store not operational: %v", err)
+			}
+		})
+	}
+}
+
+// TestGroupCommitTickets: the CommitTicket contract — OnCommit fires
+// only once the covering barrier is durable; CommitPending tracks the
+// open group; an access that itself triggers the MaxOps flush still
+// gets a ticket covering it (the lastTicket rule).
+func TestGroupCommitTickets(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	opts := Options{NumBlocks: 100, Levels: 5, GroupCommit: GroupCommit{MaxOps: 3}}
+	c, _, err := NewDurable(config.SchemePSORAM, testCfg(), opts, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var flushed []int
+	c.SetCommitObserver(func(ops int, persistNanos int64) {
+		flushed = append(flushed, ops)
+		if persistNanos <= 0 {
+			t.Errorf("flush of %d ops reported %dns persist time", ops, persistNanos)
+		}
+	})
+
+	buf := make([]byte, c.Cfg.BlockBytes)
+	acks := make(chan int, 16)
+	for i := 0; i < 7; i++ {
+		if _, err := c.Access(oram.OpWrite, oram.Addr(i), buf); err != nil {
+			t.Fatal(err)
+		}
+		i := i
+		c.OnCommit(func(err error) {
+			if err != nil {
+				t.Errorf("op %d commit error: %v", i, err)
+			}
+			acks <- i
+		})
+	}
+	// Ops 0..5 filled two groups of 3; both flushed automatically. Op 6
+	// sits in an open group.
+	if !c.CommitPending() {
+		t.Fatal("open group not reported pending")
+	}
+	seen := make(map[int]bool)
+	waitAcks := func(want int) {
+		t.Helper()
+		deadline := time.After(5 * time.Second)
+		for len(seen) < want {
+			select {
+			case i := <-acks:
+				seen[i] = true
+			case <-deadline:
+				t.Fatalf("only %d/%d acks arrived", len(seen), want)
+			}
+		}
+		for i := 0; i < want; i++ {
+			if !seen[i] {
+				t.Fatalf("ack for op %d missing", i)
+			}
+		}
+	}
+	waitAcks(6)
+	if err := c.FlushCommits(); err != nil {
+		t.Fatal(err)
+	}
+	waitAcks(7)
+	if c.CommitPending() {
+		t.Fatal("pending after explicit flush")
+	}
+	// Let the async barrier's observer land before inspecting.
+	if err := c.FlushCommits(); err != nil {
+		t.Fatal(err)
+	}
+	c.Storage().Persist() // sync barrier waits out the async worker
+	if len(flushed) != 3 || flushed[0] != 3 || flushed[1] != 3 || flushed[2] != 1 {
+		t.Fatalf("observer saw groups %v, want [3 3 1]", flushed)
+	}
+	// With everything durable, OnCommit must fire inline.
+	fired := false
+	c.OnCommit(func(err error) { fired = true })
+	if !fired {
+		t.Fatal("OnCommit on a durable boundary did not fire inline")
+	}
+}

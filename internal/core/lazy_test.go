@@ -165,22 +165,37 @@ func TestCryptoWorkersByteIdentical(t *testing.T) {
 
 // TestStageNanosAccumulate: every protocol stage must account some wall
 // time on the flat persistent path (the serving layer differences these
-// snapshots; a stage stuck at zero means a misplaced cursor).
+// snapshots; a stage stuck at zero means a misplaced cursor). The
+// persist stage only ticks on durable controllers — an in-memory
+// controller has no barrier, so it must stay at exactly zero there.
 func TestStageNanosAccumulate(t *testing.T) {
-	ctl := newCtl(t, config.SchemePSORAM)
-	buf := make([]byte, ctl.Cfg.BlockBytes)
-	for i := 0; i < 64; i++ {
-		if _, err := ctl.Access(oram.OpWrite, oram.Addr(i%32), buf); err != nil {
-			t.Fatal(err)
-		}
+	mem := newCtl(t, config.SchemePSORAM)
+	dur, _, err := NewDurable(config.SchemePSORAM, testCfg(), Options{NumBlocks: 100, Levels: 5}, t.TempDir()+"/store")
+	if err != nil {
+		t.Fatal(err)
 	}
-	ns := ctl.StageNanos()
-	for s, v := range ns {
-		if v <= 0 {
-			t.Errorf("stage %s accumulated %dns over 64 accesses", StageNames[s], v)
+	t.Cleanup(func() { dur.Close() })
+	for _, ctl := range []*Controller{mem, dur} {
+		buf := make([]byte, ctl.Cfg.BlockBytes)
+		for i := 0; i < 64; i++ {
+			if _, err := ctl.Access(oram.OpWrite, oram.Addr(i%32), buf); err != nil {
+				t.Fatal(err)
+			}
 		}
-	}
-	if t.Failed() {
-		t.Log(fmt.Sprint(ns))
+		ns := ctl.StageNanos()
+		for s, v := range ns {
+			if s == StagePersist && ctl.Storage() == nil {
+				if v != 0 {
+					t.Errorf("in-memory controller accumulated %dns of persist time", v)
+				}
+				continue
+			}
+			if v <= 0 {
+				t.Errorf("stage %s accumulated %dns over 64 accesses", StageNames[s], v)
+			}
+		}
+		if t.Failed() {
+			t.Log(fmt.Sprint(ns))
+		}
 	}
 }

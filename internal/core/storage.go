@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/oram"
@@ -32,6 +34,52 @@ type DurableStorage interface {
 	Close() error
 }
 
+// AsyncStorage is the optional backend facet group commit prefers: the
+// barrier runs on a background worker while the controller keeps
+// executing accesses, and onDone fires exactly once when the enqueued
+// epoch is durable (or failed). A backend without it still works under
+// GroupCommit — the flush just blocks the controller's thread.
+type AsyncStorage interface {
+	PersistAsync(onDone func(error)) error
+}
+
+// CommitTicket resolves when the persist barrier covering a commit
+// group completes. OnCommit callbacks added before resolution run on
+// the backend's persist worker, in registration order; callbacks added
+// after run inline. A callback must not block: serve uses it to release
+// held replies into buffered channels.
+type CommitTicket struct {
+	mu   sync.Mutex
+	done bool
+	err  error
+	cbs  []func(error)
+}
+
+// OnCommit registers fn to run once the ticket's barrier has completed
+// (fn receives the barrier's error, nil on success).
+func (t *CommitTicket) OnCommit(fn func(error)) {
+	t.mu.Lock()
+	if t.done {
+		err := t.err
+		t.mu.Unlock()
+		fn(err)
+		return
+	}
+	t.cbs = append(t.cbs, fn)
+	t.mu.Unlock()
+}
+
+func (t *CommitTicket) resolve(err error) {
+	t.mu.Lock()
+	t.done, t.err = true, err
+	cbs := t.cbs
+	t.cbs = nil
+	t.mu.Unlock()
+	for _, fn := range cbs {
+		fn(err)
+	}
+}
+
 // Storage returns the durable backend, or nil for the default
 // in-memory image.
 func (c *Controller) Storage() DurableStorage { return c.storage }
@@ -48,7 +96,19 @@ func (c *Controller) Close() error {
 	}
 	var perr error
 	if !c.crashed {
-		perr = c.persistDurable()
+		// Flush the open commit group, then run a final serial barrier
+		// for any residual dirty state. storage.Close waits out an
+		// asynchronous flush before releasing the backend.
+		perr = c.FlushCommits()
+		if perr == nil {
+			perr = c.persistDurable()
+		}
+	} else if c.ticket != nil {
+		// A crashed controller is closed without persisting; release any
+		// held commit waiters instead of leaving them hanging.
+		t := c.ticket
+		c.ticket, c.groupOps = nil, 0
+		t.resolve(fmt.Errorf("core: controller closed before group commit"))
 	}
 	cerr := c.storage.Close()
 	if perr != nil {
@@ -88,21 +148,116 @@ func (c *Controller) syncDurablePosMap() {
 	}
 }
 
-// persistDurable pushes the version cursor and trusted root, then runs
-// the backend's persist barrier. Called at the end of every successful
-// access, at creation, and at Close; an interrupted access skips it, so
-// the on-disk state stays at the previous access boundary.
-func (c *Controller) persistDurable() error {
-	if c.storage == nil {
-		return nil
-	}
+// preparePersist runs the materialization barrier (lazy-seal overlay →
+// store, so the backend serializes current bytes) and pushes the
+// version cursor and trusted root. Every persist path goes through it.
+func (c *Controller) preparePersist() {
+	c.ORAM.Image.MaterializePending()
 	c.storage.SetVerSeq(c.ORAM.VerSeq())
 	if c.Merkle != nil {
 		c.storage.SetRoot(c.Merkle.Root())
 	}
+}
+
+// persistDurable pushes the version cursor and trusted root, then runs
+// the backend's persist barrier. Called at the end of every successful
+// access (when group commit is off), at creation, and at Close; an
+// interrupted access skips it, so the on-disk state stays at the
+// previous access boundary.
+func (c *Controller) persistDurable() error {
+	if c.storage == nil {
+		return nil
+	}
+	c.preparePersist()
 	if err := c.storage.Persist(); err != nil {
 		return fmt.Errorf("core: persist barrier: %w", err)
 	}
 	c.counters.Inc("storage.persists")
 	return nil
+}
+
+// commitDurable ends a successful access's durable commit: the serial
+// per-access barrier by default, or group accounting under GroupCommit
+// (flushing when the open group reaches MaxOps).
+func (c *Controller) commitDurable() error {
+	if c.group.MaxOps <= 1 {
+		return c.persistDurable()
+	}
+	if c.ticket == nil {
+		c.ticket = &CommitTicket{}
+	}
+	c.lastTicket = c.ticket
+	c.groupOps++
+	if c.groupOps >= c.group.MaxOps {
+		return c.FlushCommits()
+	}
+	return nil
+}
+
+// FlushCommits closes the open commit group and starts its persist
+// barrier. With an AsyncStorage backend the barrier runs on the
+// backend's worker and the group's CommitTicket resolves when it
+// completes; otherwise the barrier runs inline. The returned error
+// covers starting the barrier (including a previous barrier's sticky
+// failure) — an asynchronous barrier's own failure reaches callers
+// through the ticket and fails the next flush. No-op when no group is
+// open. Must be called from the controller's owning thread.
+func (c *Controller) FlushCommits() error {
+	if c.storage == nil || c.ticket == nil {
+		return nil
+	}
+	t, n := c.ticket, c.groupOps
+	c.ticket, c.groupOps = nil, 0
+	c.preparePersist()
+	obs := c.onGroupCommit
+	start := time.Now()
+	done := func(err error) {
+		if obs != nil {
+			obs(n, int64(time.Since(start)))
+		}
+		t.resolve(err)
+	}
+	if as, ok := c.storage.(AsyncStorage); ok {
+		if err := as.PersistAsync(done); err != nil {
+			err = fmt.Errorf("core: persist barrier: %w", err)
+			t.resolve(err)
+			return err
+		}
+		c.counters.Inc("storage.persists")
+		return nil
+	}
+	err := c.storage.Persist()
+	if err != nil {
+		err = fmt.Errorf("core: persist barrier: %w", err)
+	} else {
+		c.counters.Inc("storage.persists")
+	}
+	done(err)
+	return err
+}
+
+// OnCommit registers fn to run once the most recently completed
+// access's mutations are durable: on its covering group's ticket under
+// group commit, or inline when the controller is already at a durable
+// boundary (group commit off, no durable backend, or everything
+// flushed). fn must not block; it may run on the backend's persist
+// worker.
+func (c *Controller) OnCommit(fn func(error)) {
+	if c.lastTicket != nil {
+		c.lastTicket.OnCommit(fn)
+		return
+	}
+	fn(nil)
+}
+
+// CommitPending reports whether an open commit group holds accesses
+// that are not yet durable (callers use it to schedule a MaxDelay
+// flush).
+func (c *Controller) CommitPending() bool { return c.ticket != nil }
+
+// SetCommitObserver installs fn to observe every flushed group: the
+// number of accesses the group covered and the barrier's wall time from
+// flush to durability. fn runs on the backend's persist worker.
+func (c *Controller) SetCommitObserver(fn func(ops int, persistNanos int64)) {
+	c.onGroupCommit = fn
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/core"
@@ -71,6 +72,13 @@ type Params struct {
 	// CryptoWorkers sizes the controller's seal fan-out pool (core
 	// schemes only; 0 or 1 = inline serial sealing).
 	CryptoWorkers int
+	// GroupCommitOps batches the durable persist barrier across this
+	// many accesses (core schemes with StoreDir only; <= 1 keeps the
+	// per-access serial barrier). Acks must then wait on OnCommit.
+	GroupCommitOps int
+	// GroupCommitDelay is the matching idle-flush bound, carried to the
+	// controller for callers that schedule MaxDelay flushes.
+	GroupCommitDelay time.Duration
 }
 
 func (p Params) config() config.Config {
@@ -137,7 +145,12 @@ func NewTarget(p Params) (Target, error) {
 				cfg.DataWPQEntries = need
 			}
 		}
-		copts := core.Options{NumBlocks: p.NumBlocks, Levels: p.Levels, CryptoWorkers: p.CryptoWorkers}
+		copts := core.Options{
+			NumBlocks:     p.NumBlocks,
+			Levels:        p.Levels,
+			CryptoWorkers: p.CryptoWorkers,
+			GroupCommit:   core.GroupCommit{MaxOps: p.GroupCommitOps, MaxDelay: p.GroupCommitDelay},
+		}
 		if p.StoreDir != "" {
 			ctl, _, err := core.NewDurable(p.Scheme, cfg, copts, p.StoreDir)
 			if err != nil {
@@ -218,8 +231,28 @@ func (t *coreTarget) SnapshotConfig() config.Config { return t.ctl.Cfg }
 func (t *coreTarget) Prefetch(addr oram.Addr) { t.ctl.Prefetch(addr) }
 
 // StageNanos exposes the controller's cumulative per-stage wall time
-// (load / crypto / evict / seal) for the serving layer's histograms.
-func (t *coreTarget) StageNanos() [4]int64 { return t.ctl.StageNanos() }
+// (load / crypto / evict / seal / persist) for the serving layer's
+// histograms.
+func (t *coreTarget) StageNanos() [5]int64 { return t.ctl.StageNanos() }
+
+// OnCommit registers fn to fire once the most recently completed
+// access is durable (inline when it already is) — the serving layer
+// holds acks on it under group commit.
+func (t *coreTarget) OnCommit(fn func(error)) { t.ctl.OnCommit(fn) }
+
+// FlushCommits closes and flushes the open commit group (the serving
+// layer's MaxDelay idle flush and drain-on-close hook).
+func (t *coreTarget) FlushCommits() error { return t.ctl.FlushCommits() }
+
+// CommitPending reports whether acked-but-not-yet-durable accesses are
+// waiting on an open commit group.
+func (t *coreTarget) CommitPending() bool { return t.ctl.CommitPending() }
+
+// SetCommitObserver forwards per-group flush observations (ops covered,
+// barrier wall time) to the serving layer's histograms.
+func (t *coreTarget) SetCommitObserver(fn func(ops int, persistNanos int64)) {
+	t.ctl.SetCommitObserver(fn)
+}
 
 // --- ringoram adapter ---
 

@@ -29,10 +29,11 @@ type Image struct {
 	// (snapshots, integrity checks, equivalence tests). The protocol's
 	// IV/version streams, and therefore every observable ciphertext, are
 	// unchanged.
-	lazy   bool
-	engine *cryptoeng.Engine
-	plain  []plainSlot // bucket*Z+z; live entries shadow the store
-	seq    []uint64    // per-bucket write sequence (prefetch invalidation)
+	lazy    bool
+	engine  *cryptoeng.Engine
+	plain   []plainSlot // bucket*Z+z; live entries shadow the store
+	seq     []uint64    // per-bucket write sequence (prefetch invalidation)
+	pending []uint64    // slot indices with a queued deferred seal (see MaterializePending)
 }
 
 // plainSlot is one deferred seal: what the slot's ciphertext WILL be.
@@ -41,6 +42,7 @@ type plainSlot struct {
 	live     bool
 	sealed   bool // memoHdr/memoData hold the materialized ciphertext
 	dummy    bool
+	queued   bool // on the pending list (dedupes MaterializePending work)
 	iv1      uint64
 	iv2      uint64
 	addr     Addr
@@ -81,9 +83,11 @@ func NewImageOn(st Storage, t Tree, blockBytes int) *Image {
 // Storage returns the backing store.
 func (img *Image) Storage() Storage { return img.store }
 
-// EnableLazySeal arms the overlay. Only valid for in-memory images:
-// durable backends persist the sealed bytes, so the seal cannot be
-// deferred past the write.
+// EnableLazySeal arms the overlay. Durable backends serialize the
+// store's sealed bytes at their persist barrier, so a durable caller
+// must run MaterializePending before every persist — that mirrors the
+// overlay into the store and the seal is deferred only as far as the
+// barrier, never past it.
 func (img *Image) EnableLazySeal(e *cryptoeng.Engine) {
 	img.lazy = true
 	img.engine = e
@@ -141,6 +145,7 @@ func (img *Image) PutLazyBlock(bucket uint64, z int, iv1, iv2 uint64, b Block) {
 	}
 	ps.data = ps.data[:len(b.Data)]
 	copy(ps.data, b.Data)
+	img.enqueue(ps, bucket, z)
 	img.seq[bucket]++
 }
 
@@ -149,7 +154,39 @@ func (img *Image) PutLazyDummy(bucket uint64, z int, iv1, iv2 uint64) {
 	ps := img.plainAt(bucket, z)
 	ps.live, ps.sealed, ps.dummy = true, false, true
 	ps.iv1, ps.iv2 = iv1, iv2
+	img.enqueue(ps, bucket, z)
 	img.seq[bucket]++
+}
+
+func (img *Image) enqueue(ps *plainSlot, bucket uint64, z int) {
+	if !ps.queued {
+		ps.queued = true
+		img.pending = append(img.pending, bucket*uint64(img.Tree.Z)+uint64(z))
+	}
+}
+
+// MaterializePending is the persist-time materialization barrier: every
+// deferred seal recorded since the last call is sealed into its memo
+// buffers and mirrored into the store (marking the durable backend's
+// chunks dirty), so the store holds exactly the bytes the eager path
+// would have written. Entries that died (overwritten via SetSlot/
+// PutSlot) or were already materialized by a reader are skipped. A slot
+// rewritten N times within one group is sealed once, with its final
+// content — the amortization that makes lazy sealing pay off under
+// group commit. No-op when the overlay is off.
+func (img *Image) MaterializePending() {
+	if !img.lazy {
+		return
+	}
+	zz := uint64(img.Tree.Z)
+	for _, idx := range img.pending {
+		ps := &img.plain[idx]
+		ps.queued = false
+		if ps.live && !ps.sealed {
+			ps.materialize(img, idx/zz, int(idx%zz))
+		}
+	}
+	img.pending = img.pending[:0]
 }
 
 // PlainHeader is the overlay fast path for header inspection: if the slot

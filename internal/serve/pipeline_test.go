@@ -445,7 +445,7 @@ func TestStageHistogramsPopulated(t *testing.T) {
 		}
 	}
 	st := p.Stats()
-	want := []string{"load", "crypto", "evict", "seal"}
+	want := []string{"load", "crypto", "evict", "seal", "persist"}
 	for s, sh := range st.Shards {
 		if len(sh.Stages) != len(want) {
 			t.Fatalf("shard %d: %d stage rows, want %d", s, len(sh.Stages), len(want))

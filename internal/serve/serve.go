@@ -94,13 +94,29 @@ type clocked interface{ Cycles() uint64 }
 type prefetcher interface{ Prefetch(addr oram.Addr) }
 
 // staged is the optional backend facet exposing cumulative per-stage
-// wall time (load / crypto / evict / seal); the worker differences
-// snapshots around each access to feed the stage histograms.
-type staged interface{ StageNanos() [4]int64 }
+// wall time (load / crypto / evict / seal / persist); the worker
+// differences snapshots around each access to feed the stage
+// histograms.
+type staged interface{ StageNanos() [5]int64 }
 
 // stageNames labels the staged facet's indices (mirrors core.StageNames
 // without importing core).
-var stageNames = [4]string{"load", "crypto", "evict", "seal"}
+var stageNames = [5]string{"load", "crypto", "evict", "seal", "persist"}
+
+// grouped is the optional backend facet for group-commit durability:
+// accesses return before their mutations are durable, so the worker
+// holds each successful access's reply on OnCommit (fired by the
+// backend once the covering group persist barrier completes — possibly
+// on the backend's persist worker, hence the buffered reply channels),
+// flushes the open group when the queue idles past GroupCommitDelay,
+// and drains it before exiting. SetCommitObserver feeds the group-size
+// and persist-latency histograms.
+type grouped interface {
+	OnCommit(fn func(error))
+	FlushCommits() error
+	CommitPending() bool
+	SetCommitObserver(fn func(ops int, persistNanos int64))
+}
 
 // crashable is the optional backend facet accepting a crash injector.
 type crashable interface {
@@ -171,6 +187,19 @@ type Options struct {
 	// duplicate-address reads within one coalesced round into a single
 	// physical access. 0 defaults to 4.
 	PipelineDepth int
+	// GroupCommitOps batches each durable shard's persist barrier across
+	// up to this many accesses: replies are held until the covering
+	// group flushes, so acks still imply durability, but the fsync floor
+	// is paid once per group instead of once per access. <= 1 keeps the
+	// per-access serial barrier (byte-identical on disk). Only effective
+	// for durable backends (StoreDir, or a Factory whose backends
+	// implement the group-commit facet).
+	GroupCommitOps int
+	// GroupCommitDelay bounds how long an idle shard may hold an open
+	// commit group: when the worker's queue is empty and acks are
+	// pending, the group is flushed after this long. 0 defaults to 2ms
+	// when GroupCommitOps > 1.
+	GroupCommitDelay time.Duration
 }
 
 func (o *Options) normalize() error {
@@ -194,6 +223,9 @@ func (o *Options) normalize() error {
 	}
 	if o.PipelineDepth <= 0 {
 		o.PipelineDepth = 4
+	}
+	if o.GroupCommitOps > 1 && o.GroupCommitDelay <= 0 {
+		o.GroupCommitDelay = 2 * time.Millisecond
 	}
 	return nil
 }
@@ -315,11 +347,12 @@ type shard struct {
 	clock    clocked    // nil when the backend has no cycle clock
 	prefetch prefetcher // nil when pipelining is off or unsupported
 	stages   staged     // nil when the backend has no stage clock
+	grouped  grouped    // nil when group commit is off or unsupported
 	queue    chan *request
 	done     chan struct{} // closed when the worker exits (per-shard join)
 
 	// Worker-owned pipelining scratch (no locks: one worker per shard).
-	stageLast [4]int64     // last StageNanos snapshot
+	stageLast [5]int64     // last StageNanos snapshot
 	combine   []int        // per-round: leader index for combinable reads, -1 = physical
 	caps      []combineCap // per-round leader value captures
 
@@ -344,11 +377,14 @@ type shard struct {
 	recoveries stats.PaddedUint64
 	batches    stats.PaddedUint64
 	combined   stats.PaddedUint64 // reads served from a round-mate's access
+	flushes    stats.PaddedUint64 // group persist barriers run (group commit)
 
 	mu        sync.Mutex
 	latency   stats.Histogram    // per-access service time, simulated cycles
 	batch     stats.Histogram    // requests coalesced per protocol round
-	stageHist [4]stats.Histogram // per-access wall ns per protocol stage
+	stageHist [5]stats.Histogram // per-access wall ns per protocol stage
+	groupHist stats.Histogram    // accesses covered per group persist barrier
+	persistNs stats.Histogram    // wall ns per group barrier, flush → durable
 }
 
 // combineCap captures one physical access's outcome for round-mates that
@@ -446,13 +482,15 @@ func (p *Pool) buildBackend(s int, local uint64, dir string) (Backend, error) {
 		levels = cfg.TreeLevelsFor(local)
 	}
 	t, err := oracle.NewTarget(oracle.Params{
-		Scheme:        p.opts.Scheme,
-		NumBlocks:     local,
-		Levels:        levels,
-		Seed:          rng.DeriveSeed(p.opts.Seed, 0x5e4e, uint64(s)),
-		Cfg:           p.opts.Cfg,
-		StoreDir:      dir,
-		CryptoWorkers: p.opts.CryptoWorkers,
+		Scheme:           p.opts.Scheme,
+		NumBlocks:        local,
+		Levels:           levels,
+		Seed:             rng.DeriveSeed(p.opts.Seed, 0x5e4e, uint64(s)),
+		Cfg:              p.opts.Cfg,
+		StoreDir:         dir,
+		CryptoWorkers:    p.opts.CryptoWorkers,
+		GroupCommitOps:   p.opts.GroupCommitOps,
+		GroupCommitDelay: p.opts.GroupCommitDelay,
 	})
 	if err != nil {
 		return nil, err
@@ -478,6 +516,20 @@ func (p *Pool) newShard(id int, b Backend) *shard {
 	if p.opts.PipelineDepth > 1 {
 		sh.prefetch, _ = b.(prefetcher)
 	}
+	if p.opts.GroupCommitOps > 1 {
+		sh.grouped, _ = b.(grouped)
+		if sh.grouped != nil {
+			// The observer runs on the backend's persist worker;
+			// histograms are mu-guarded, so a third writer is fine.
+			sh.grouped.SetCommitObserver(func(ops int, persistNanos int64) {
+				sh.flushes.Add(1)
+				sh.mu.Lock()
+				sh.groupHist.Observe(uint64(ops))
+				sh.persistNs.Observe(uint64(persistNanos))
+				sh.mu.Unlock()
+			})
+		}
+	}
 	sh.combine = make([]int, 0, p.opts.MaxBatch)
 	sh.caps = make([]combineCap, p.opts.MaxBatch)
 	p.wg.Add(1)
@@ -491,15 +543,35 @@ func (p *Pool) newShard(id int, b Backend) *shard {
 // before execution: duplicate-address reads combine with the latest
 // preceding access to their address (one physical round, value fanned
 // out), and after each access the worker prefetches the next request's
-// path so its header decodes overlap the current access's tail. Exits
-// when the queue is closed and drained — so every request accepted
+// path so its header decodes overlap the current access's tail. Under
+// group commit, an idle queue with held acks flushes the open group
+// after GroupCommitDelay. Exits when the queue is closed and drained —
+// flushing any open group on the way out, so every request accepted
 // before Close is answered.
 func (p *Pool) work(sh *shard) {
 	defer close(sh.done)
 	defer p.wg.Done()
 	batch := make([]*request, 0, p.opts.MaxBatch)
 	combining := p.opts.PipelineDepth > 1
-	for first := range sh.queue {
+	for {
+		var first *request
+		var ok bool
+		if sh.grouped != nil && sh.grouped.CommitPending() {
+			// Acks are held on an open commit group and no request is
+			// ready: bound their wait. The flush error (if any) reaches
+			// the held replies through their tickets.
+			select {
+			case first, ok = <-sh.queue:
+			case <-time.After(p.opts.GroupCommitDelay):
+				sh.grouped.FlushCommits()
+				continue
+			}
+		} else {
+			first, ok = <-sh.queue
+		}
+		if !ok {
+			break
+		}
 		batch = append(batch[:0], first)
 	coalesce:
 		for len(batch) < p.opts.MaxBatch {
@@ -527,7 +599,8 @@ func (p *Pool) work(sh *shard) {
 					c := &sh.caps[j]
 					sh.combined.Add(1)
 					sh.completed.Add(1)
-					r.reply <- response{value: append([]byte(nil), c.value...), leaf: c.leaf}
+					resp := response{value: append([]byte(nil), c.value...), leaf: c.leaf}
+					sh.deliver(r, resp)
 					continue
 				}
 				if sh.caps[i].want {
@@ -548,6 +621,31 @@ func (p *Pool) work(sh *shard) {
 		sh.batch.Observe(occ)
 		sh.mu.Unlock()
 	}
+	if sh.grouped != nil {
+		// Queue closed and drained: flush the open group so every held
+		// reply resolves before the shard reports done.
+		sh.grouped.FlushCommits()
+	}
+}
+
+// deliver sends a successful access reply — immediately, or held on the
+// covering commit group's ticket under group commit, so the ack is only
+// observable once the access is durable. A barrier failure replaces the
+// held reply with the error. The reply channel is buffered(1), so the
+// eventual send (possibly from the backend's persist worker) never
+// blocks.
+func (sh *shard) deliver(r *request, resp response) {
+	if sh.grouped == nil {
+		r.reply <- resp
+		return
+	}
+	sh.grouped.OnCommit(func(perr error) {
+		if perr != nil {
+			r.reply <- response{err: fmt.Errorf("serve: shard %d: %w", sh.id, perr)}
+			return
+		}
+		r.reply <- resp
+	})
 }
 
 // planCombines marks, for each read in the round, the latest preceding
@@ -664,6 +762,14 @@ func (p *Pool) execute(sh *shard, r *request, cc *combineCap) {
 	}
 	if resp.err == nil || errors.Is(resp.err, ErrInterrupted) {
 		sh.completed.Add(1)
+	}
+	if r.kind == kindAccess && resp.err == nil {
+		// Successful accesses are the only replies that imply the
+		// mutation is durable; under group commit they are held on their
+		// commit ticket. Errors (including ErrInterrupted — the access
+		// never happened) and non-access kinds reply immediately.
+		sh.deliver(r, resp)
+		return
 	}
 	r.reply <- resp
 }

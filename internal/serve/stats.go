@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/stats"
 )
@@ -36,9 +37,20 @@ type ShardStats struct {
 	LatencyMax  uint64  `json:"latency_max"`
 	Cycles      uint64  `json:"cycles"` // shard clock at snapshot time
 
-	// Per-stage wall time per access (load / crypto / evict / seal),
-	// nanoseconds. Empty for backends without a stage clock.
+	// Per-stage wall time per access (load / crypto / evict / seal /
+	// persist), nanoseconds. Empty for backends without a stage clock.
 	Stages []StageStats `json:"stages,omitempty"`
+
+	// Group-commit shape: persist barriers run, accesses covered per
+	// barrier, and barrier wall time from flush to durable. All zero
+	// when group commit is off.
+	Flushes       uint64  `json:"flushes,omitempty"`
+	GroupMean     float64 `json:"group_mean,omitempty"`
+	GroupMax      uint64  `json:"group_max,omitempty"`
+	PersistMeanNs float64 `json:"persist_mean_ns,omitempty"`
+	PersistP50Ns  uint64  `json:"persist_p50_ns,omitempty"`
+	PersistP99Ns  uint64  `json:"persist_p99_ns,omitempty"`
+	PersistMaxNs  uint64  `json:"persist_max_ns,omitempty"`
 }
 
 // StageStats is the latency histogram summary for one protocol stage.
@@ -94,6 +106,7 @@ func (p *Pool) Stats() PoolStats {
 			Recoveries: sh.recoveries.Load(),
 			Batches:    sh.batches.Load(),
 			Combined:   sh.combined.Load(),
+			Flushes:    sh.flushes.Load(),
 			QueueDepth: len(sh.queue),
 		}
 		sh.mu.Lock()
@@ -115,6 +128,14 @@ func (p *Pool) Stats() PoolStats {
 					MaxNs:  h.Max(),
 				}
 			}
+		}
+		if sh.grouped != nil {
+			s.GroupMean = sh.groupHist.Mean()
+			s.GroupMax = sh.groupHist.Max()
+			s.PersistMeanNs = sh.persistNs.Mean()
+			s.PersistP50Ns = sh.persistNs.Quantile(0.50)
+			s.PersistP99Ns = sh.persistNs.Quantile(0.99)
+			s.PersistMaxNs = sh.persistNs.Max()
 		}
 		sh.mu.Unlock()
 		if sh.clock != nil {
@@ -163,7 +184,7 @@ func (ps PoolStats) StageTable() *stats.Table {
 	if !any {
 		return nil
 	}
-	tab := stats.NewTable("Per-stage access latency (wall ns: load / crypto / evict / seal)",
+	tab := stats.NewTable("Per-stage access latency (wall ns: load / crypto / evict / seal / persist)",
 		"Shard", "Stage", "Mean", "P50", "P99", "Max")
 	for _, s := range ps.Shards {
 		for _, st := range s.Stages {
@@ -176,6 +197,36 @@ func (ps PoolStats) StageTable() *stats.Table {
 				fmt.Sprintf("%d", st.MaxNs),
 			)
 		}
+	}
+	return tab
+}
+
+// GroupTable renders the group-commit shape (barriers run, accesses
+// amortized per barrier, barrier latency), or nil when no shard ran a
+// group barrier.
+func (ps PoolStats) GroupTable() *stats.Table {
+	any := false
+	for _, s := range ps.Shards {
+		if s.Flushes > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	tab := stats.NewTable("Group commit (persist barriers amortized over accesses)",
+		"Shard", "Flushes", "Group avg", "Group max", "Persist P50", "Persist P99", "Persist max")
+	for _, s := range ps.Shards {
+		tab.AddRow(
+			fmt.Sprintf("%d", s.Shard),
+			fmt.Sprintf("%d", s.Flushes),
+			fmt.Sprintf("%.2f", s.GroupMean),
+			fmt.Sprintf("%d", s.GroupMax),
+			fmt.Sprintf("%v", time.Duration(s.PersistP50Ns)),
+			fmt.Sprintf("%v", time.Duration(s.PersistP99Ns)),
+			fmt.Sprintf("%v", time.Duration(s.PersistMaxNs)),
+		)
 	}
 	return tab
 }

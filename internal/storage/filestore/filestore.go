@@ -30,6 +30,16 @@
 // with an fence (fsync) between. Superseded files are garbage-collected
 // only after the flip.
 //
+// The barrier has two entry points. Persist runs it synchronously.
+// PersistAsync snapshots the dirty set into a job and hands it to a
+// background worker, so callers can accumulate several accesses' worth
+// of dirty chunks and commit them in ONE epoch (group commit): the
+// per-epoch cost — chunk writes fanned out across goroutines, one flip,
+// two fsync rounds — is amortized over the whole group, while the flip
+// remains the single commit point, so recovery always lands on a group
+// boundary. The onDone callback runs on the worker after the flip;
+// that is the durability edge acks may be released on.
+//
 // # Recovery
 //
 // Open reads the committed epoch from the version record (the valid slot
@@ -51,6 +61,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/oram"
 )
@@ -110,9 +121,65 @@ type Store struct {
 	buf  []byte // reusable chunk serialization buffer
 	name []byte // reusable filename buffer
 
+	// Async group barrier (PersistAsync). At most one persist job is in
+	// flight on the background worker; the owner thread serializes the
+	// next epoch into job-owned buffers before handing it off, so the
+	// worker never touches live store state. spare recycles the previous
+	// job's buffers, failed latches the first barrier error (a store
+	// whose disk state diverged from its in-memory view stays failed).
+	jobs     chan *persistJob
+	inFlight *persistJob
+	spare    *persistJob
+	failed   error
+
 	// Test-only sabotage switches (see the Testing* methods).
 	noFlip  bool
 	keepOld bool
+}
+
+// persistJob is one group barrier handed to the background worker: the
+// fully serialized chunk files for one epoch, the superseded files to
+// retire after the flip, and the completion callback. Its buffers are
+// owned by the job from enqueue until the owner thread waits it out.
+type persistJob struct {
+	dir     string
+	epoch   uint64
+	files   []jobFile
+	gc      []string
+	noFlip  bool
+	keepOld bool
+	onDone  func(error)
+	done    chan struct{}
+	err     error
+	free    [][]byte // recycled serialization buffers
+}
+
+type jobFile struct {
+	path string
+	data []byte
+}
+
+func (j *persistJob) reset() {
+	for i := range j.files {
+		j.free = append(j.free, j.files[i].data[:0])
+		j.files[i] = jobFile{}
+	}
+	j.files = j.files[:0]
+	j.gc = j.gc[:0]
+	j.onDone = nil
+	j.err = nil
+	j.done = make(chan struct{})
+}
+
+// grab returns a recycled serialization buffer (nil grows a fresh one).
+func (j *persistJob) grab() []byte {
+	if n := len(j.free); n > 0 {
+		b := j.free[n-1]
+		j.free[n-1] = nil
+		j.free = j.free[:n-1]
+		return b
+	}
+	return nil
 }
 
 func validGeometry(g oram.StoreGeometry) error {
@@ -260,8 +327,19 @@ func (s *Store) SetRoot(root []byte) {
 	s.stateDirty = true
 }
 
-// Close persists any remaining dirty state and releases the store.
-func (s *Store) Close() error { return s.Persist() }
+// Close waits out any in-flight group barrier, persists any remaining
+// dirty state, and releases the store (stopping the persist worker).
+func (s *Store) Close() error {
+	err := s.Barrier()
+	if s.jobs != nil {
+		close(s.jobs)
+		s.jobs = nil
+	}
+	if err != nil {
+		return err
+	}
+	return s.Persist()
+}
 
 // TestingDisableVersionFlip sabotages the persist barrier for mutation
 // testing: chunks are still written and fsynced, but the version record
@@ -278,8 +356,12 @@ func (s *Store) TestingKeepSuperseded() { s.keepOld = true }
 
 // Persist runs the ordered barrier: write-new → fsync → flip version
 // record → fsync → GC. On return (absent sabotage) the store's current
-// state is the committed on-disk version.
+// state is the committed on-disk version. Any in-flight group barrier
+// is waited out first, so epochs always commit in order.
 func (s *Store) Persist() error {
+	if err := s.Barrier(); err != nil {
+		return err
+	}
 	if len(s.dirtyList) == 0 && !s.stateDirty {
 		return nil
 	}
@@ -330,6 +412,178 @@ func (s *Store) Persist() error {
 	return nil
 }
 
+// Barrier waits out any in-flight group barrier and returns the store's
+// sticky failure state. After a clean Barrier the last PersistAsync
+// epoch is the committed on-disk version (absent sabotage).
+func (s *Store) Barrier() error {
+	if j := s.inFlight; j != nil {
+		<-j.done
+		s.inFlight = nil
+		if j.err != nil && s.failed == nil {
+			s.failed = j.err
+		}
+		s.spare = j
+	}
+	return s.failed
+}
+
+// PersistAsync runs the same ordered barrier as Persist on a background
+// worker: the caller's thread serializes every dirty chunk for the next
+// epoch into job-owned buffers (so the store may keep mutating freely),
+// then the worker writes, fsyncs, flips the version record, and retires
+// superseded files. onDone fires exactly once from the worker (or
+// inline when nothing is dirty) after the epoch is durable — or with
+// the barrier's error. If PersistAsync itself returns an error, onDone
+// is never called.
+//
+// At most one job is in flight: a second PersistAsync (or Persist, or
+// Close) first waits the previous job out, so on disk there is never
+// more than one uncommitted epoch and commits happen in order.
+func (s *Store) PersistAsync(onDone func(error)) error {
+	if err := s.Barrier(); err != nil {
+		return err
+	}
+	if len(s.dirtyList) == 0 && !s.stateDirty {
+		if onDone != nil {
+			onDone(nil)
+		}
+		return nil
+	}
+	next := s.epoch + 1
+	job := s.spare
+	s.spare = nil
+	if job == nil {
+		job = &persistJob{dir: s.dir}
+	}
+	job.reset()
+	job.epoch = next
+	job.noFlip = s.noFlip
+	job.keepOld = s.keepOld
+	job.onDone = onDone
+	sort.Ints(s.dirtyList)
+	for _, ci := range s.dirtyList {
+		buf := s.serializeDataChunk(job.grab(), ci, next)
+		job.files = append(job.files, jobFile{path: s.chunkPath(kindData, ci, next), data: buf})
+	}
+	wroteState := s.stateDirty
+	if wroteState {
+		buf := s.serializeStateChunk(job.grab(), next)
+		job.files = append(job.files, jobFile{path: s.chunkPath(kindState, 0, next), data: buf})
+	}
+	// The GC list uses the pre-advance chunk epochs, exactly like the
+	// synchronous barrier's post-flip sweep.
+	if !job.noFlip && !job.keepOld {
+		for _, ci := range s.dirtyList {
+			if old := s.chunkEpoch[ci]; old != 0 && old != next {
+				job.gc = append(job.gc, s.chunkPath(kindData, ci, old))
+			}
+		}
+		if wroteState && s.stateEpoch != 0 && s.stateEpoch != next {
+			job.gc = append(job.gc, s.chunkPath(kindState, 0, s.stateEpoch))
+		}
+	}
+	// Advance the in-memory bookkeeping at enqueue: the store's view is
+	// epoch next, and the next group accumulates dirt against it. A job
+	// failure latches s.failed, so a diverged view is never persisted.
+	for _, ci := range s.dirtyList {
+		s.chunkEpoch[ci] = next
+		s.dirty[ci] = false
+	}
+	if wroteState {
+		s.stateEpoch = next
+	}
+	s.dirtyList = s.dirtyList[:0]
+	s.stateDirty = false
+	s.epoch = next
+	if s.jobs == nil {
+		s.jobs = make(chan *persistJob)
+		go persistWorker(s.jobs)
+	}
+	s.inFlight = job
+	s.jobs <- job
+	return nil
+}
+
+// persistWorker drains barrier jobs in order. The channel send/receive
+// pair orders every job field before the worker reads it, and j.err
+// before close(j.done).
+func persistWorker(jobs <-chan *persistJob) {
+	for j := range jobs {
+		j.err = j.run()
+		if j.onDone != nil {
+			j.onDone(j.err)
+		}
+		close(j.done)
+	}
+}
+
+// run is the worker half of the barrier: identical ordering discipline
+// to Persist, over the job's pre-serialized files.
+func (j *persistJob) run() error {
+	if err := j.writeFiles(); err != nil {
+		return err
+	}
+	if err := syncDir(filepath.Join(j.dir, "chunks")); err != nil {
+		return err
+	}
+	if j.noFlip {
+		return nil
+	}
+	if err := flipVersionAt(filepath.Join(j.dir, "version"), j.epoch); err != nil {
+		return err
+	}
+	if !j.keepOld {
+		for _, p := range j.gc {
+			os.Remove(p)
+		}
+	}
+	return nil
+}
+
+// writeFiles lands every chunk file of the epoch, each fsynced. The
+// barrier only orders the version flip AFTER the full set is durable —
+// within the set the writes are independent, so a large group's files
+// fan out across a few goroutines to overlap their fsync latencies.
+func (j *persistJob) writeFiles() error {
+	if len(j.files) < 4 {
+		for _, f := range j.files {
+			if err := writeFileSync(f.path, f.data); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	workers := 8
+	if workers > len(j.files) {
+		workers = len(j.files)
+	}
+	var next atomic.Int64
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(j.files) {
+					errs <- nil
+					return
+				}
+				f := j.files[i]
+				if err := writeFileSync(f.path, f.data); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	var first error
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // chunkPath builds the chunk filename into the reusable name buffer.
 func (s *Store) chunkPath(kind byte, idx int, epoch uint64) string {
 	b := s.name[:0]
@@ -365,8 +619,11 @@ func (s *Store) chunkHeader(buf []byte, kind byte, idx int, epoch uint64) []byte
 	return buf
 }
 
-func (s *Store) writeDataChunk(ci int, epoch uint64) error {
-	buf := s.chunkHeader(s.buf[:0], kindData, ci, epoch)
+// serializeDataChunk appends chunk ci's complete file image (header,
+// slots, CRC) to buf — the single source of the on-disk chunk format
+// for both the synchronous and the group barrier.
+func (s *Store) serializeDataChunk(buf []byte, ci int, epoch uint64) []byte {
+	buf = s.chunkHeader(buf, kindData, ci, epoch)
 	lo, hi := s.bucketRange(ci)
 	for b := lo; b < hi; b++ {
 		for z := 0; z < s.tree.Z; z++ {
@@ -377,25 +634,32 @@ func (s *Store) writeDataChunk(ci int, epoch uint64) error {
 			buf = append(buf, sl.SealedData...)
 		}
 	}
-	s.buf = buf
-	return s.writeChunkFile(s.chunkPath(kindData, ci, epoch), buf)
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
 }
 
-func (s *Store) writeStateChunk(epoch uint64) error {
-	buf := s.chunkHeader(s.buf[:0], kindState, 0, epoch)
+// serializeStateChunk appends the state chunk's complete file image.
+func (s *Store) serializeStateChunk(buf []byte, epoch uint64) []byte {
+	buf = s.chunkHeader(buf, kindState, 0, epoch)
 	buf = binary.LittleEndian.AppendUint32(buf, s.verSeq)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.root)))
 	buf = append(buf, s.root...)
 	for _, l := range s.leaves {
 		buf = binary.LittleEndian.AppendUint32(buf, l)
 	}
-	s.buf = buf
-	return s.writeChunkFile(s.chunkPath(kindState, 0, epoch), buf)
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
 }
 
-func (s *Store) writeChunkFile(path string, content []byte) error {
-	content = binary.LittleEndian.AppendUint32(content, crc32.Checksum(content, castagnoli))
-	s.buf = content[:0]
+func (s *Store) writeDataChunk(ci int, epoch uint64) error {
+	s.buf = s.serializeDataChunk(s.buf[:0], ci, epoch)
+	return writeFileSync(s.chunkPath(kindData, ci, epoch), s.buf)
+}
+
+func (s *Store) writeStateChunk(epoch uint64) error {
+	s.buf = s.serializeStateChunk(s.buf[:0], epoch)
+	return writeFileSync(s.chunkPath(kindState, 0, epoch), s.buf)
+}
+
+func writeFileSync(path string, content []byte) error {
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
@@ -415,11 +679,15 @@ func (s *Store) writeChunkFile(path string, content []byte) error {
 // between the two slots so a torn write can only damage the record being
 // written, never the previously committed one), then fsync.
 func (s *Store) flipVersion(epoch uint64) error {
+	return flipVersionAt(filepath.Join(s.dir, "version"), epoch)
+}
+
+func flipVersionAt(path string, epoch uint64) error {
 	var rec [verRecSize]byte
 	copy(rec[:], verMagic)
 	binary.LittleEndian.PutUint64(rec[4:], epoch)
 	binary.LittleEndian.PutUint32(rec[12:], crc32.Checksum(rec[:12], castagnoli))
-	f, err := os.OpenFile(filepath.Join(s.dir, "version"), os.O_WRONLY, 0o644)
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}

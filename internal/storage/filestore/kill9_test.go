@@ -39,6 +39,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -61,6 +62,7 @@ const (
 	k9EnvSeed     = "PSORAM_KILL9_SEED"
 	k9EnvProgress = "PSORAM_KILL9_PROGRESS"
 	k9EnvNoFlip   = "PSORAM_KILL9_NOFLIP"
+	k9EnvGroup    = "PSORAM_KILL9_GROUP"
 )
 
 func k9Cfg(seed uint64) config.Config {
@@ -97,7 +99,15 @@ func TestKill9Child(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctl, created, err := core.NewDurable(scheme, k9Cfg(seed), core.Options{NumBlocks: k9Blocks, Levels: k9Levels}, dir)
+	group := 0
+	if g := os.Getenv(k9EnvGroup); g != "" {
+		if _, err := fmt.Sscan(g, &group); err != nil {
+			t.Fatalf("bad %s: %v", k9EnvGroup, err)
+		}
+	}
+	opts := core.Options{NumBlocks: k9Blocks, Levels: k9Levels,
+		GroupCommit: core.GroupCommit{MaxOps: group}}
+	ctl, created, err := core.NewDurable(scheme, k9Cfg(seed), opts, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +133,21 @@ func TestKill9Child(t *testing.T) {
 		}
 		// One line per completed (and persisted) access. O_APPEND and the
 		// trailing newline make the count crash-safe: a torn line has no
-		// newline and is not counted.
+		// newline and is not counted. Under group commit the line is the
+		// ack — it goes down only from the commit callback, after the
+		// covering barrier, exactly like a serve-layer reply.
+		if group > 1 {
+			i := i
+			ctl.OnCommit(func(cerr error) {
+				if cerr != nil {
+					return // unacked: the torture must not count it
+				}
+				pfMu.Lock()
+				fmt.Fprintf(pf, "%d\n", i)
+				pfMu.Unlock()
+			})
+			continue
+		}
 		if _, err := fmt.Fprintf(pf, "%d\n", i); err != nil {
 			t.Fatal(err)
 		}
@@ -133,11 +157,16 @@ func TestKill9Child(t *testing.T) {
 	}
 }
 
+// pfMu orders the child's progress lines: commit callbacks run on the
+// backend's persist worker, the serial path on the test goroutine.
+var pfMu sync.Mutex
+
 type k9Trial struct {
 	scheme    config.Scheme
 	seed      uint64
 	killAfter int // SIGKILL once this many accesses have been reported
 	noFlip    bool
+	group     int // group-commit size (0/1 = serial per-access barrier)
 }
 
 // runKill9Trial spawns the child, kills it, recovers, and returns the
@@ -157,6 +186,9 @@ func runKill9Trial(t *testing.T, tr k9Trial) []string {
 	)
 	if tr.noFlip {
 		cmd.Env = append(cmd.Env, k9EnvNoFlip+"=1")
+	}
+	if tr.group > 1 {
+		cmd.Env = append(cmd.Env, fmt.Sprintf("%s=%d", k9EnvGroup, tr.group))
 	}
 	var childOut bytes.Buffer
 	cmd.Stdout, cmd.Stderr = &childOut, &childOut
@@ -239,6 +271,28 @@ poll:
 
 	switch tr.scheme {
 	case config.SchemePSORAM, config.SchemeNaivePSORAM:
+		if tr.group > 1 {
+			// Acked prefix over groups: every acked access (a progress
+			// line goes down only from its commit callback) is durable,
+			// so the recovered state must be at least the done-op prefix.
+			// Above it there is bounded unacked tail: the group whose
+			// barrier completed but whose callbacks had not all written
+			// (≤ group-1 lines short), plus one whole in-flight group
+			// whose flip may have just landed — never a torn state.
+			states := oracle.PrefixStates(ops, k9BB)
+			hi := done + 2*tr.group
+			matched := oracle.MatchedPrefixes(recovered, states, hi, k9BB)
+			ok := false
+			for _, p := range matched {
+				if p >= done && p <= hi {
+					ok = true
+				}
+			}
+			if !ok {
+				fail("recovered store matches prefixes %v, want one in [%d, %d]", matched, done, hi)
+			}
+			break
+		}
 		states := oracle.PrefixStates(ops, k9BB)
 		matched := oracle.MatchedPrefixes(recovered, states, done+1, k9BB)
 		if !containsInt(matched, done) && !containsInt(matched, done+1) {
@@ -325,6 +379,67 @@ func TestKill9Recovery(t *testing.T) {
 				})
 			}
 		})
+	}
+}
+
+// TestKill9GroupRecovery re-runs the torture with group commit on: the
+// child acks (writes a progress line for) an access only from its
+// commit callback, so the acked-prefix contract is tested verbatim over
+// groups — after SIGKILL, recovery must land on a state covering every
+// acked access, at most a bounded unacked tail beyond, never torn.
+func TestKill9GroupRecovery(t *testing.T) {
+	groups := []int{4, 8}
+	trialsPer := 6
+	if testing.Short() {
+		trialsPer = 2
+	}
+	for _, g := range groups {
+		g := g
+		t.Run(fmt.Sprintf("group=%d", g), func(t *testing.T) {
+			t.Parallel()
+			for i := 0; i < trialsPer; i++ {
+				i := i
+				t.Run(fmt.Sprintf("trial%02d", i), func(t *testing.T) {
+					t.Parallel()
+					seed := rng.DeriveSeed(0x6709, uint64(g), uint64(i))
+					rnd := rand.New(rand.NewSource(int64(seed)))
+					tr := k9Trial{
+						scheme:    config.SchemePSORAM,
+						seed:      seed,
+						killAfter: 1 + rnd.Intn(k9NumOps-10),
+						group:     g,
+					}
+					for _, v := range runKill9Trial(t, tr) {
+						t.Error(v)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestKill9GroupMutation: with the version flip sabotaged, the disk
+// freezes at the creation commit while the child keeps acking groups —
+// the group harness must call that out, or it cannot be trusted.
+func TestKill9GroupMutation(t *testing.T) {
+	trials := 2
+	if testing.Short() {
+		trials = 1
+	}
+	found := 0
+	for i := 0; i < trials; i++ {
+		seed := rng.DeriveSeed(0xbeef, uint64(i))
+		tr := k9Trial{
+			scheme:    config.SchemePSORAM,
+			seed:      seed,
+			killAfter: 20 + 5*i,
+			noFlip:    true,
+			group:     4,
+		}
+		found += len(runKill9Trial(t, tr))
+	}
+	if found == 0 {
+		t.Fatal("version flip disabled yet no violations reported: the group kill -9 harness is blind")
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/core"
@@ -116,6 +117,7 @@ type storeConfig struct {
 	storage       DurableStorage
 	cryptoWorkers int
 	pipelineDepth int
+	group         core.GroupCommit
 }
 
 // StoreOption customizes New.
@@ -186,6 +188,23 @@ func WithPipelineDepth(d int) StoreOption {
 	return func(c *storeConfig) { c.pipelineDepth = d }
 }
 
+// WithGroupCommit batches the durable persist barrier across up to n
+// accesses (PS-ORAM §4.3 runs one ordered commit point per access; the
+// fsync floor under that barrier dominates file-backed stores). Under
+// group commit, Write and Read return before the mutation is durable —
+// call FlushCommits to force the open group down, or serve the store
+// through a Pool, whose acks already wait for durability. n <= 1 keeps
+// the per-access serial barrier, byte-identical to the default. d
+// bounds how long a pool shard may hold an open group while idle
+// (ignored on a lone Store, which has no scheduler to run the timer; 0
+// lets the pool pick a small default). Crash-wise the guarantee is
+// unchanged in kind: recovery lands on a group boundary, so at most the
+// last unflushed (unacked) group of accesses is lost, never a torn
+// prefix.
+func WithGroupCommit(n int, d time.Duration) StoreOption {
+	return func(c *storeConfig) { c.group = core.GroupCommit{MaxOps: n, MaxDelay: d} }
+}
+
 // New builds a store holding numBlocks zero-initialized blocks,
 // customized by functional options:
 //
@@ -204,7 +223,7 @@ func New(numBlocks uint64, opts ...StoreOption) (*Store, error) {
 	if sc.storeDir != "" && sc.storage != nil {
 		return nil, errors.New("psoram: WithStorePath and WithStorage are mutually exclusive")
 	}
-	copts := core.Options{NumBlocks: numBlocks, Levels: sc.levels, CryptoWorkers: sc.cryptoWorkers}
+	copts := core.Options{NumBlocks: numBlocks, Levels: sc.levels, CryptoWorkers: sc.cryptoWorkers, GroupCommit: sc.group}
 	var ctl *core.Controller
 	var err error
 	switch {
@@ -259,7 +278,9 @@ func (s *Store) Read(addr uint64) ([]byte, error) {
 }
 
 // Write performs one oblivious access replacing the block's value; data
-// must be exactly BlockSize bytes.
+// must be exactly BlockSize bytes. Under WithGroupCommit(n>1, …) the
+// write returns before it is durable — FlushCommits (or Close) runs the
+// covering barrier.
 func (s *Store) Write(addr uint64, data []byte) error {
 	_, err := s.ctl.Access(oram.OpWrite, oram.Addr(addr), data)
 	return err
@@ -287,6 +308,14 @@ func (s *Store) CrashNow() error {
 	}
 	return errors.New("psoram: crash injector did not fire")
 }
+
+// FlushCommits forces the open group-commit group down to the durable
+// backend (see WithGroupCommit). It returns when the barrier has been
+// started — with a file-backed store the fsync runs on a background
+// worker, and the next FlushCommits, access, or Close observes its
+// outcome. A no-op when group commit is off, no group is open, or the
+// store is in-memory.
+func (s *Store) FlushCommits() error { return s.ctl.FlushCommits() }
 
 // Recover runs the post-restart recovery procedure (§4.3).
 func (s *Store) Recover() error { return s.ctl.Recover() }
@@ -453,6 +482,20 @@ func WithPoolCryptoWorkers(n int) PoolOption {
 // (default 4; 1 disables lookahead and read-combining entirely).
 func WithPoolPipelineDepth(d int) PoolOption {
 	return func(o *serve.Options) { o.PipelineDepth = d }
+}
+
+// WithPoolGroupCommit batches each durable shard's persist barrier
+// across up to n accesses, holding each request's ack until its group
+// is durable — an acked request is still always recoverable after kill
+// -9, the commit point just covers a group instead of one access. d
+// bounds how long an idle shard may hold an open group (0 picks a small
+// default). n <= 1 keeps the serial per-access barrier. No effect on
+// pools without durable storage.
+func WithPoolGroupCommit(n int, d time.Duration) PoolOption {
+	return func(o *serve.Options) {
+		o.GroupCommitOps = n
+		o.GroupCommitDelay = d
+	}
 }
 
 // NewPool builds and starts a concurrent serving pool over numBlocks
